@@ -1,0 +1,1 @@
+bench/ablations.ml: Acd Adaptive Adaptive_core Adaptive_mech Adaptive_net Adaptive_sim Engine Float Host Link List Mantts Option Params Profiles Protograph Qos Scs Session Time Unites Util

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Experiments Figures Format List Micro Printf Sys Tables

@@ -1,0 +1,1 @@
+bench/micro.ml: Adaptive_buf Adaptive_core Adaptive_mech Adaptive_sim Analyze Bechamel Benchmark Char Checksum Hashtbl Heap Instance List Measure Msg Rng Scs Staged String Test Time Tko Toolkit Util

@@ -1,0 +1,1 @@
+bench/tables.ml: Acd Adaptive_core Adaptive_workloads List Qos Tsc Util Workloads

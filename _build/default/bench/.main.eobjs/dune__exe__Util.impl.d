@@ -1,0 +1,1 @@
+bench/util.ml: Adaptive Adaptive_core Adaptive_net Adaptive_sim Format Link List Network Printf Stats String Time Topology Unites

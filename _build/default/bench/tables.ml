@@ -1,0 +1,82 @@
+(* Regeneration of the paper's two tables from the implementation. *)
+
+open Adaptive_core
+open Adaptive_workloads
+
+(* The rows of Table 1 exactly as printed in the paper, for comparison
+   with what the classifier and grader produce. *)
+let paper_rows =
+  [
+    (Workloads.Voice_conversation, ("low", "low", "high", "high", "low", "high", "no", "no"));
+    (Workloads.Teleconferencing, ("mod", "mod", "high", "high", "low", "mod", "yes", "yes"));
+    (Workloads.Video_compressed, ("high", "high", "high", "mod", "low", "mod", "yes", "yes"));
+    (Workloads.Video_raw, ("very-high", "low", "high", "high", "low", "mod", "yes", "yes"));
+    (Workloads.Manufacturing_control, ("mod", "mod", "high", "var", "high", "low", "yes", "yes"));
+    (Workloads.File_transfer, ("mod", "low", "low", "N/D", "high", "none", "no", "no"));
+    (Workloads.Telnet, ("very-low", "high", "high", "low", "high", "none", "yes", "no"));
+    (Workloads.Oltp, ("low", "high", "high", "low", "var", "none", "no", "no"));
+    (Workloads.Remote_file_service, ("low", "high", "high", "low", "var", "none", "no", "yes"));
+  ]
+
+let generated_row app =
+  let q = Workloads.qos app in
+  let l = Qos.levels q in
+  let s = Qos.level_to_string in
+  let loss =
+    match l.Qos.loss_tolerance_level with
+    | Qos.Not_defined -> "none"
+    | lv -> s lv
+  in
+  ( s l.Qos.throughput,
+    s l.Qos.burst_factor,
+    s l.Qos.delay_sensitivity,
+    s l.Qos.jitter_sensitivity,
+    s l.Qos.order_sensitivity,
+    loss,
+    (if q.Qos.priority then "yes" else "no"),
+    if q.Qos.multicast then "yes" else "no" )
+
+let cell_matches ~paper ~ours =
+  (* "var" and "N/D" in the paper are accepted against any grade; exact
+     labels must match exactly. *)
+  paper = ours || paper = "var" || paper = "N/D"
+
+let table1 () =
+  Util.heading "Table 1 — Application Transport Service Classes (regenerated)";
+  Util.row "%-30s %-28s %-9s %-5s %-5s %-6s %-5s %-5s %-4s %-5s@." "Service Class"
+    "Application" "Thruput" "Burst" "Delay" "Jitter" "Order" "Loss" "Pri" "Mcast";
+  Util.rule 110;
+  let agree = ref 0 and cells = ref 0 in
+  List.iter
+    (fun (app, (p1, p2, p3, p4, p5, p6, p7, p8)) ->
+      let tsc = Tsc.classify (Workloads.qos app) in
+      let g1, g2, g3, g4, g5, g6, g7, g8 = generated_row app in
+      Util.row "%-30s %-28s %-9s %-5s %-5s %-6s %-5s %-5s %-4s %-5s@." (Tsc.name tsc)
+        (Workloads.name app) g1 g2 g3 g4 g5 g6 g7 g8;
+      List.iter
+        (fun (paper, ours) ->
+          incr cells;
+          if cell_matches ~paper ~ours then incr agree)
+        [ (p1, g1); (p2, g2); (p3, g3); (p4, g4); (p5, g5); (p6, g6); (p7, g7); (p8, g8) ])
+    paper_rows;
+  Util.rule 110;
+  Util.row "cells agreeing with the paper's grades: %d / %d@." !agree !cells;
+  let classes_ok =
+    List.for_all
+      (fun (app, _) -> Tsc.classify (Workloads.qos app) = Workloads.expected_tsc app)
+      paper_rows
+  in
+  Util.shape_check "all nine applications land in the paper's service class" classes_ok;
+  Util.shape_check "at least 80% of qualitative grades match the paper"
+    (float_of_int !agree /. float_of_int !cells >= 0.8)
+
+let table2 () =
+  Util.heading "Table 2 — The ADAPTIVE Communication Descriptor (regenerated)";
+  List.iter
+    (fun (name, description, example) ->
+      Util.row "%-42s@." name;
+      Util.row "    %s@." description;
+      Util.row "    e.g. %s@." example)
+    Acd.table2;
+  Util.shape_check "five descriptor components as in the paper"
+    (List.length Acd.table2 = 5)

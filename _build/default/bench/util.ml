@@ -1,0 +1,87 @@
+(* Shared helpers for the experiment harness: scenario builders, traffic
+   drivers and table formatting. *)
+
+open Adaptive_sim
+open Adaptive_net
+open Adaptive_core
+
+let fprintf = Format.printf
+
+(* ------------------------------------------------------------ tables *)
+
+let rule width = fprintf "%s@." (String.make width '-')
+
+let heading title =
+  fprintf "@.=== %s@." title;
+  rule 72
+
+let row fmt = Format.printf fmt
+
+let shape_check label ok =
+  fprintf "shape: %-58s %s@." label (if ok then "OK" else "MISMATCH")
+
+(* ------------------------------------------------------- scenarios *)
+
+type pair = {
+  stack : Adaptive.stack;
+  src : Network.addr;
+  dst : Network.addr;
+  hops : Link.t list;
+}
+
+let make_pair ?(seed = 4242) ?host_cpu hops =
+  let stack = Adaptive.create_stack ~seed () in
+  let mk () =
+    match host_cpu with
+    | Some f -> Some (f stack.Adaptive.engine)
+    | None -> None
+  in
+  let src = Adaptive.add_host ?host_cpu:(mk ()) stack "src" in
+  let dst = Adaptive.add_host ?host_cpu:(mk ()) stack "dst" in
+  Adaptive.connect_hosts stack src dst hops;
+  { stack; src; dst; hops }
+
+(* A star topology: one sender, [n] receivers behind a shared access
+   link. *)
+let make_star ?(seed = 4242) ~receivers () =
+  let stack = Adaptive.create_stack ~seed () in
+  let src = Adaptive.add_host stack "src" in
+  let access =
+    Link.create ~name:"access" ~bandwidth_bps:10e6 ~propagation:(Time.us 5)
+      ~queue_pkts:256 ~mtu:1500 ()
+  in
+  let dsts =
+    List.init receivers (fun i ->
+        let r = Adaptive.add_host stack (Printf.sprintf "r%d" i) in
+        let tail =
+          Link.create ~bandwidth_bps:10e6 ~propagation:(Time.us 5) ~queue_pkts:256
+            ~mtu:1500 ()
+        in
+        Topology.set_route stack.Adaptive.topology ~src ~dst:r [ access; tail ];
+        Topology.set_route stack.Adaptive.topology ~src:r ~dst:src
+          [
+            Link.create ~bandwidth_bps:10e6 ~propagation:(Time.us 5) ~queue_pkts:256
+              ~mtu:1500 ();
+          ];
+        r)
+  in
+  (stack, src, dsts, access)
+
+(* --------------------------------------------------------- metrics *)
+
+let goodput_bps stack =
+  let u = stack.Adaptive.unites in
+  let delivered = Unites.aggregate_total u Unites.Bytes_delivered in
+  match Unites.aggregate u Unites.Delivery_latency with
+  | Some s when s.Stats.max > 0.0 -> delivered *. 8.0 /. s.Stats.max
+  | Some _ | None -> 0.0
+
+let delivered_bytes stack =
+  Unites.aggregate_total stack.Adaptive.unites Unites.Bytes_delivered
+
+let total stack m = Unites.aggregate_total stack.Adaptive.unites m
+
+let latency_summary stack =
+  Unites.aggregate stack.Adaptive.unites Unites.Delivery_latency
+
+let mbps v = v /. 1e6

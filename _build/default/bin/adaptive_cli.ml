@@ -1,0 +1,194 @@
+(* adaptive — a command-line front end for the ADAPTIVE reproduction.
+
+   Subcommands:
+     apps                      list the Table 1 applications
+     networks                  list the network profiles
+     classify  -a APP -n NET   run MANTTS stages I+II and print the result
+     run       -a APP -n NET   simulate the application over the network
+                               and print the UNITES report
+
+   Example:
+     adaptive_cli run -a voice -n satellite -d 10 *)
+
+open Adaptive_sim
+open Adaptive_net
+open Adaptive_core
+open Adaptive_workloads
+
+(* ----------------------------------------------------------- catalogs *)
+
+let apps =
+  [
+    ("voice", Workloads.Voice_conversation);
+    ("teleconference", Workloads.Teleconferencing);
+    ("video", Workloads.Video_compressed);
+    ("video-raw", Workloads.Video_raw);
+    ("control", Workloads.Manufacturing_control);
+    ("ftp", Workloads.File_transfer);
+    ("telnet", Workloads.Telnet);
+    ("oltp", Workloads.Oltp);
+    ("rfs", Workloads.Remote_file_service);
+  ]
+
+let networks =
+  [
+    ("lan", Profiles.lan_path);
+    ("campus", Profiles.campus_path);
+    ("internet", Profiles.internet_path);
+    ("bisdn", Profiles.bisdn_path);
+    ("atm-lfn", Profiles.atm_lfn_path);
+    ("satellite", Profiles.satellite_path);
+  ]
+
+let list_apps () =
+  List.iter
+    (fun (key, app) ->
+      let q = Workloads.qos app in
+      Format.printf "%-14s %-30s %-30s avg %.0f kb/s@." key (Workloads.name app)
+        (Tsc.name (Workloads.expected_tsc app))
+        (q.Qos.avg_bps /. 1e3))
+    apps
+
+let list_networks () =
+  List.iter
+    (fun (key, path) ->
+      let hops = path () in
+      let prop =
+        List.fold_left (fun acc l -> Time.add acc (Link.propagation l)) Time.zero hops
+      in
+      let bottleneck =
+        List.fold_left (fun acc l -> Float.min acc (Link.bandwidth_bps l)) infinity hops
+      in
+      Format.printf "%-10s %d hop(s), bottleneck %.0f Mb/s, one-way propagation %s@."
+        key (List.length hops) (bottleneck /. 1e6) (Time.to_string prop))
+    networks
+
+(* ------------------------------------------------------------ scenarios *)
+
+let build app path_fn =
+  let stack = Adaptive.create_stack ~seed:97 () in
+  let src = Adaptive.add_host stack "local" in
+  let receivers = Workloads.multicast_receivers app in
+  let dsts =
+    List.init receivers (fun i ->
+        let r = Adaptive.add_host stack (Printf.sprintf "remote%d" i) in
+        Adaptive.connect_hosts stack src r (path_fn ());
+        r)
+  in
+  List.iter
+    (fun r -> Workloads.install_server app (Mantts.entity stack.Adaptive.mantts r))
+    dsts;
+  (stack, src, dsts)
+
+let classify app path_fn =
+  let stack, src, dsts = build app path_fn in
+  let acd = Acd.make ~participants:dsts ~qos:(Workloads.qos app) () in
+  let tsc = Mantts.classify acd in
+  let scs = Mantts.derive_scs stack.Adaptive.mantts ~src acd tsc in
+  let path = Mantts.sample_paths stack.Adaptive.mantts ~src acd in
+  Format.printf "application    : %s@." (Workloads.name app);
+  Format.printf "stage I  (TSC) : %s@." (Tsc.name tsc);
+  Format.printf
+    "network state  : mtu %d B, bottleneck %.1f Mb/s, rtt %s, worst BER %.0e@."
+    path.Mantts.mtu
+    (path.Mantts.bottleneck_bps /. 1e6)
+    (Time.to_string path.Mantts.rtt)
+    path.Mantts.worst_ber;
+  Format.printf "stage II (SCS) : %a@." Scs.pp scs;
+  `Ok ()
+
+let run_scenario app path_fn duration =
+  let stack, src, dsts = build app path_fn in
+  let acd = Acd.make ~participants:dsts ~qos:(Workloads.qos app) () in
+  let session = Mantts.open_session stack.Adaptive.mantts ~src ~acd ~name:"cli" () in
+  Format.printf "configuration: %a@." Scs.pp (Session.scs session);
+  let driver =
+    Workloads.drive stack.Adaptive.engine stack.Adaptive.rng ~session app
+      ~stop_at:(Time.sec duration)
+  in
+  Adaptive.run stack ~until:(Time.sec (duration +. 5.0));
+  Mantts.close_session stack.Adaptive.mantts session;
+  Adaptive.run stack ~until:(Time.sec (duration +. 30.0));
+  Format.printf "@.application sent %d message(s), %d byte(s)@."
+    (Workloads.messages_sent driver) (Workloads.bytes_sent driver);
+  (match Mantts.adaptations stack.Adaptive.mantts with
+  | [] -> ()
+  | log ->
+    Format.printf "@.adaptations:@.";
+    List.iter (fun (at, _, what) -> Format.printf "  [%s] %s@." (Time.to_string at) what) log);
+  Format.printf "@.%a@." Unites.report stack.Adaptive.unites;
+  `Ok ()
+
+(* ------------------------------------------------------------- cmdliner *)
+
+open Cmdliner
+
+let app_conv =
+  let parse s =
+    match List.assoc_opt s apps with
+    | Some app -> Ok app
+    | None -> Error (`Msg (Printf.sprintf "unknown application %S (try 'apps')" s))
+  in
+  let print fmt app =
+    let key, _ = List.find (fun (_, a) -> a = app) apps in
+    Format.pp_print_string fmt key
+  in
+  Arg.conv (parse, print)
+
+let network_conv =
+  let parse s =
+    match List.assoc_opt s networks with
+    | Some path -> Ok path
+    | None -> Error (`Msg (Printf.sprintf "unknown network %S (try 'networks')" s))
+  in
+  let print fmt path =
+    match List.find_opt (fun (_, p) -> p == path) networks with
+    | Some (key, _) -> Format.pp_print_string fmt key
+    | None -> Format.pp_print_string fmt "<custom>"
+  in
+  Arg.conv (parse, print)
+
+let app_arg =
+  Arg.(
+    required
+    & opt (some app_conv) None
+    & info [ "a"; "app" ] ~docv:"APP" ~doc:"Application workload (see 'apps').")
+
+let network_arg =
+  Arg.(
+    value
+    & opt network_conv Profiles.lan_path
+    & info [ "n"; "network" ] ~docv:"NET" ~doc:"Network profile (see 'networks').")
+
+let duration_arg =
+  Arg.(
+    value
+    & opt float 5.0
+    & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc:"Simulated traffic duration.")
+
+let apps_cmd =
+  Cmd.v (Cmd.info "apps" ~doc:"List the Table 1 application workloads")
+    Term.(const list_apps $ const ())
+
+let networks_cmd =
+  Cmd.v (Cmd.info "networks" ~doc:"List the network profiles")
+    Term.(const list_networks $ const ())
+
+let classify_cmd =
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Run MANTTS stages I and II for an application over a network")
+    Term.(ret (const classify $ app_arg $ network_arg))
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate the application over the network and report")
+    Term.(ret (const run_scenario $ app_arg $ network_arg $ duration_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "adaptive_cli" ~version:"1.0"
+       ~doc:"The ADAPTIVE transport system reproduction")
+    [ apps_cmd; networks_cmd; classify_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main)

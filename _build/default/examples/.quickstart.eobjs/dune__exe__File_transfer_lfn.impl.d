@@ -1,0 +1,1 @@
+examples/file_transfer_lfn.ml: Acd Adaptive Adaptive_baselines Adaptive_core Adaptive_mech Adaptive_net Adaptive_sim Baselines Format Mantts Params Profiles Qos Scs Session Stats Time Unites

@@ -1,0 +1,1 @@
+examples/manufacturing.ml: Acd Adaptive Adaptive_core Adaptive_mech Adaptive_net Adaptive_sim Adaptive_workloads Engine Format Host Link List Mantts Qos Routing Scs Session Time Unites Workloads

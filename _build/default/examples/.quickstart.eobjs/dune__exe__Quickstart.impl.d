@@ -1,0 +1,1 @@
+examples/quickstart.ml: Acd Adaptive Adaptive_core Adaptive_net Adaptive_sim Float Format Mantts Profiles Qos Scs Session Stats Time Tsc Unites

@@ -1,0 +1,1 @@
+examples/teleconference.ml: Acd Adaptive Adaptive_core Adaptive_net Adaptive_sim Adaptive_workloads Engine Format Link Mantts Scs Session Time Topology Unites Workloads

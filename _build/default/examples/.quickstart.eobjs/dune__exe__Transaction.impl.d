@@ -1,0 +1,1 @@
+examples/transaction.ml: Acd Adaptive Adaptive_baselines Adaptive_core Adaptive_net Adaptive_sim Adaptive_workloads Baselines Engine Format Mantts Profiles Session Time Workloads

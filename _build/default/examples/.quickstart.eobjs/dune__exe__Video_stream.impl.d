@@ -1,0 +1,1 @@
+examples/video_stream.ml: Acd Adaptive Adaptive_core Adaptive_net Adaptive_sim Adaptive_workloads Engine Format List Mantts Profiles Scs Session Stats Time Topology Unites Workloads

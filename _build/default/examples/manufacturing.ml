@@ -1,0 +1,100 @@
+(* Real-time manufacturing control (the paper's Real-Time Non-Isochronous
+   class): a cell controller sends a command to its robot every 10 ms with
+   a hard 50 ms deadline, while a bulk diagnostic upload shares the same
+   host CPU.  Two things keep the control loop alive:
+
+   - priority scheduling: the control session's PDUs jump the bulk
+     transfer's host backlog (Table 2's "priorities for message delivery
+     and scheduling");
+   - routing failover: when the factory backbone fails mid-run, the
+     Routing monitor installs the backup path and the session rides
+     through.
+
+   Run with: dune exec examples/manufacturing.exe *)
+
+open Adaptive_sim
+open Adaptive_net
+open Adaptive_mech
+open Adaptive_core
+open Adaptive_workloads
+
+let () =
+  let stack = Adaptive.create_stack ~seed:33 () in
+  let slow e = Host.create ~per_packet:(Time.us 250) ~per_byte_copy:(Time.ns 25) e in
+  let controller = Adaptive.add_host ~host_cpu:(slow stack.Adaptive.engine) stack "controller" in
+  let robot = Adaptive.add_host ~host_cpu:(slow stack.Adaptive.engine) stack "robot" in
+  let archive = Adaptive.add_host stack "archive" in
+
+  (* Primary backbone and a slower backup path; the Routing monitor keeps
+     the best live one installed. *)
+  let mk bw prop = Link.create ~bandwidth_bps:bw ~propagation:prop ~queue_pkts:128 ~mtu:1500 () in
+  let primary = [ mk 100e6 (Time.us 50) ] in
+  let backup = [ mk 10e6 (Time.ms 2) ] in
+  let routing = Routing.create stack.Adaptive.engine stack.Adaptive.topology in
+  Routing.set_symmetric_candidates routing ~a:controller ~b:robot [ primary; backup ];
+  ignore (Routing.monitor ~every:(Time.ms 100) routing);
+  Adaptive.connect_hosts stack controller archive
+    [ mk 100e6 (Time.us 50) ];
+
+  (* The control session: MANTTS classifies it Real-Time Non-Isochronous
+     and gives it expedited priority. *)
+  let qos = Workloads.qos Workloads.Manufacturing_control in
+  let qos = { qos with Qos.multicast = false } in
+  let deadline = Time.ms 50 in
+  let latencies = ref [] in
+  Mantts.set_app_handler (Mantts.entity stack.Adaptive.mantts robot) (fun _ d ->
+      latencies := Time.diff d.Session.delivered_at d.Session.app_stamp :: !latencies);
+  let acd = Acd.make ~participants:[ robot ] ~qos () in
+  let control = Mantts.open_session stack.Adaptive.mantts ~src:controller ~acd ~name:"control" () in
+  Format.printf "control configuration: %a@." Scs.pp (Session.scs control);
+
+  (* The competing bulk diagnostic upload from the same host. *)
+  let bulk_acd = Acd.make ~participants:[ archive ] ~qos:Qos.default () in
+  let bulk = Mantts.open_session stack.Adaptive.mantts ~src:controller ~acd:bulk_acd ~name:"upload" () in
+  Session.send bulk ~bytes:30_000_000 ();
+
+  (* 10 ms command loop for 8 simulated seconds. *)
+  let rec command i =
+    if i < 800 then
+      ignore
+        (Engine.schedule stack.Adaptive.engine
+           ~at:(Time.add (Time.ms 20) (i * Time.ms 10))
+           (fun () ->
+             if Session.state control = Session.Established then
+               Session.send control ~bytes:256 ();
+             command (i + 1)))
+  in
+  command 0;
+
+  (* The backbone fails at 3 s and is repaired at 6 s. *)
+  ignore
+    (Engine.schedule stack.Adaptive.engine ~at:(Time.sec 3.0) (fun () ->
+         Format.printf "[%a] backbone fails@." Time.pp (Adaptive.now stack);
+         Link.fail (List.hd primary)));
+  ignore
+    (Engine.schedule stack.Adaptive.engine ~at:(Time.sec 6.0) (fun () ->
+         Format.printf "[%a] backbone repaired@." Time.pp (Adaptive.now stack);
+         Link.repair (List.hd primary)));
+
+  Adaptive.run stack ~until:(Time.sec 9.0);
+
+  List.iter
+    (fun (at, src, dst, ix) ->
+      Format.printf "[%a] route %d->%d switched to candidate %d@." Time.pp at src dst ix)
+    (Routing.log routing);
+
+  let n = List.length !latencies in
+  let sorted = List.sort compare !latencies in
+  let pct q = if n = 0 then Time.zero else List.nth sorted (min (n - 1) (n * q / 100)) in
+  let misses = List.length (List.filter (fun l -> l > deadline) !latencies) in
+  Format.printf "@.commands delivered : %d / 800@." n;
+  Format.printf "latency            : p50 %a, p99 %a@." Time.pp (pct 50) Time.pp (pct 99);
+  Format.printf "deadline misses    : %d (%.2f%%) against %a@." misses
+    (100.0 *. float_of_int misses /. float_of_int (max 1 n))
+    Time.pp deadline;
+  Format.printf "bulk upload moved  : %.1f MB alongside@."
+    (Unites.total stack.Adaptive.unites ~session:(Session.id bulk) Unites.Bytes_delivered
+    /. 1e6);
+  Mantts.close_session stack.Adaptive.mantts control;
+  Mantts.close_session stack.Adaptive.mantts bulk;
+  Adaptive.run stack ~until:(Time.sec 20.0)

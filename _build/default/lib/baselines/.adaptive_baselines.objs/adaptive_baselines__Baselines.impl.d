@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Adaptive_core Adaptive_mech Adaptive_net Adaptive_sim List Network Params Scs Session Time Tko Topology

@@ -1,0 +1,1 @@
+lib/baselines/baselines.mli: Adaptive_core Adaptive_net Network Scs Session

@@ -1,0 +1,76 @@
+open Adaptive_sim
+open Adaptive_net
+open Adaptive_mech
+open Adaptive_core
+
+type kind = Tcp_like | Tp4_like | Udp_like
+
+let name = function Tcp_like -> "tcp" | Tp4_like -> "tp4" | Udp_like -> "udp"
+
+let tcp_scs =
+  match Tko.Templates.find Tko.Templates.tcp_compatible with
+  | Some (_, scs) -> scs
+  | None -> Scs.default
+
+let tp4_scs =
+  {
+    Scs.default with
+    Scs.connection = Params.Three_way;
+    transmission = Params.Sliding_window { window = 16 };
+    congestion = Params.No_congestion_control;
+    detection = Params.Crc32;
+    reporting = Params.Cumulative_ack { delay = Time.ms 5 };
+    recovery = Params.Go_back_n;
+    ordering = Params.Ordered;
+    duplicates = Params.Drop_duplicates;
+    delivery = Params.As_available;
+    recv_buffer_segments = 16;
+  }
+
+let udp_scs =
+  match Tko.Templates.find Tko.Templates.udp_compatible with
+  | Some (_, scs) -> scs
+  | None -> Scs.default
+
+let scs = function Tcp_like -> tcp_scs | Tp4_like -> tp4_scs | Udp_like -> udp_scs
+
+let binding = function
+  | Tcp_like -> Tko.Static_template Tko.Templates.tcp_compatible
+  | Tp4_like -> Tko.Static_template "tp4-monolithic"
+  | Udp_like -> Tko.Static_template Tko.Templates.udp_compatible
+
+let connect ?name:label ?on_deliver disp ~peers kind =
+  let label = match label with Some n -> Some n | None -> Some (name kind) in
+  (* Classic MSS negotiation: each endpoint advertises a segment size from
+     its interface MTU, so even the static stacks do not blackhole on
+     small-MTU paths.  Everything else stays fixed at "link time". *)
+  let base = scs kind in
+  let topo = Network.topology (Session.Dispatcher.network disp) in
+  let src = Session.Dispatcher.addr disp in
+  let path_mtu =
+    List.fold_left
+      (fun acc dst ->
+        match Topology.path_mtu topo ~src ~dst with
+        | Some mtu -> min acc mtu
+        | None -> acc)
+      65535 peers
+  in
+  let segment = min base.Scs.segment_bytes (max 64 (path_mtu - 64)) in
+  (* The 64 KiB window limit is a byte count; re-express it in segments. *)
+  let rescale w =
+    max 1 (min (w * base.Scs.segment_bytes / segment) (65535 / segment))
+  in
+  let fixed =
+    match base.Scs.transmission with
+    | Params.Sliding_window { window } ->
+      {
+        base with
+        Scs.segment_bytes = segment;
+        transmission = Params.Sliding_window { window = rescale window };
+        recv_buffer_segments = rescale base.Scs.recv_buffer_segments;
+      }
+    | Params.Rate_based _ | Params.Stop_and_wait ->
+      { base with Scs.segment_bytes = segment }
+  in
+  Session.connect ?name:label ~binding:(binding kind) ?on_deliver disp ~peers
+    ~scs:fixed ()

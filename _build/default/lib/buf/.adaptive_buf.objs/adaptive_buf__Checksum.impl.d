@@ -1,0 +1,1 @@
+lib/buf/checksum.ml: Array Bytes Char Int32 Lazy Msg String

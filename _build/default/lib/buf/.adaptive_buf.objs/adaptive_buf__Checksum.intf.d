@@ -1,0 +1,1 @@
+lib/buf/checksum.mli: Msg

@@ -1,0 +1,1 @@
+lib/buf/msg.ml: Bytes List String

@@ -1,0 +1,78 @@
+let internet_fold acc b off len =
+  (* Ones'-complement sum of 16-bit big-endian words. *)
+  let sum = ref acc in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + (Char.code (Bytes.get b !i) lsl 8) + Char.code (Bytes.get b (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get b !i) lsl 8);
+  !sum
+
+let internet_finish sum =
+  let s = ref sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  lnot !s land 0xFFFF
+
+let internet s =
+  let b = Bytes.unsafe_of_string s in
+  internet_finish (internet_fold 0 b 0 (Bytes.length b))
+
+let internet_msg m =
+  (* Pair bytes into 16-bit words across segment boundaries by carrying the
+     leftover high byte from one segment into the next. *)
+  let sum = ref 0 in
+  let pending = ref (-1) in
+  Msg.iter_data m (fun b off len ->
+      for i = off to off + len - 1 do
+        let byte = Char.code (Bytes.get b i) in
+        if !pending < 0 then pending := byte
+        else begin
+          sum := !sum + ((!pending lsl 8) lor byte);
+          pending := -1
+        end
+      done);
+  if !pending >= 0 then sum := !sum + (!pending lsl 8);
+  internet_finish !sum
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32_fold acc b off len =
+  let table = Lazy.force crc_table in
+  let c = ref acc in
+  for i = off to off + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get b i)))) 0xFFl) in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  !c
+
+let crc32 s =
+  let b = Bytes.unsafe_of_string s in
+  Int32.logxor (crc32_fold 0xFFFFFFFFl b 0 (Bytes.length b)) 0xFFFFFFFFl
+
+let crc32_msg m =
+  let acc = ref 0xFFFFFFFFl in
+  Msg.iter_data m (fun b off len -> acc := crc32_fold !acc b off len);
+  Int32.logxor !acc 0xFFFFFFFFl
+
+let adler32 s =
+  let modulus = 65521 in
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod modulus;
+      b := (!b + !a) mod modulus)
+    s;
+  Int32.logor (Int32.shift_left (Int32.of_int !b) 16) (Int32.of_int !a)

@@ -1,0 +1,21 @@
+(** Error-detection codes used by the reliability-management mechanisms.
+
+    The paper's error-detection component chooses among "none", the
+    Internet 16-bit ones'-complement checksum (cheap, weak) and CRC-32
+    (costlier, strong).  All functions operate on strings; messages are
+    checksummed via {!Msg.iter_data} without materializing them. *)
+
+val internet : string -> int
+(** 16-bit ones'-complement Internet checksum (RFC 1071). *)
+
+val internet_msg : Msg.t -> int
+(** Internet checksum over a message's data region, zero-copy. *)
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE 802.3 polynomial, reflected). *)
+
+val crc32_msg : Msg.t -> int32
+(** CRC-32 over a message's data region, zero-copy. *)
+
+val adler32 : string -> int32
+(** Adler-32 rolling checksum. *)

@@ -1,0 +1,101 @@
+type segment = { base : Bytes.t; off : int; len : int }
+type t = { mutable headers : string list; mutable data : segment list }
+
+let copies_counter = ref 0
+let bytes_counter = ref 0
+
+let charge_copy n =
+  incr copies_counter;
+  bytes_counter := !bytes_counter + n
+
+let physical_copies () = !copies_counter
+let copied_bytes () = !bytes_counter
+
+let reset_copy_counters () =
+  copies_counter := 0;
+  bytes_counter := 0
+
+let of_bytes b = { headers = []; data = [ { base = b; off = 0; len = Bytes.length b } ] }
+let create n = of_bytes (Bytes.make n '\000')
+let of_string s = of_bytes (Bytes.of_string s)
+
+let data_length m = List.fold_left (fun acc s -> acc + s.len) 0 m.data
+let header_length m = List.fold_left (fun acc h -> acc + String.length h) 0 m.headers
+let total_length m = header_length m + data_length m
+
+let push m h = m.headers <- h :: m.headers
+
+let pop m =
+  match m.headers with
+  | [] -> None
+  | h :: rest ->
+    m.headers <- rest;
+    Some h
+
+let peek_header m = match m.headers with [] -> None | h :: _ -> Some h
+let copy m = { headers = m.headers; data = m.data }
+
+let split m n =
+  if n < 0 || n > data_length m then invalid_arg "Msg.split: index out of range";
+  let rec take acc remaining segs =
+    if remaining = 0 then (List.rev acc, segs)
+    else
+      match segs with
+      | [] -> (List.rev acc, [])
+      | s :: rest ->
+        if s.len <= remaining then take (s :: acc) (remaining - s.len) rest
+        else
+          let first = { s with len = remaining } in
+          let second = { s with off = s.off + remaining; len = s.len - remaining } in
+          (List.rev (first :: acc), second :: rest)
+  in
+  let front, back = take [] n m.data in
+  ({ headers = m.headers; data = front }, { headers = []; data = back })
+
+let fragment m ~mtu =
+  if mtu <= 0 then invalid_arg "Msg.fragment: non-positive MTU";
+  let rec cut acc rest =
+    let len = data_length rest in
+    if len = 0 then List.rev acc
+    else if len <= mtu then List.rev ({ headers = []; data = rest.data } :: acc)
+    else
+      let piece, remainder = split { headers = []; data = rest.data } mtu in
+      cut (piece :: acc) remainder
+  in
+  cut [] { headers = []; data = m.data }
+
+let concat ms = { headers = []; data = List.concat_map (fun m -> m.data) ms }
+
+let blit_segments segs dst off =
+  let pos = ref off in
+  List.iter
+    (fun s ->
+      Bytes.blit s.base s.off dst !pos s.len;
+      pos := !pos + s.len)
+    segs
+
+let data_to_string m =
+  let n = data_length m in
+  let b = Bytes.create n in
+  blit_segments m.data b 0;
+  charge_copy n;
+  Bytes.unsafe_to_string b
+
+let to_string m =
+  let hl = header_length m and dl = data_length m in
+  let b = Bytes.create (hl + dl) in
+  let pos = ref 0 in
+  List.iter
+    (fun h ->
+      Bytes.blit_string h 0 b !pos (String.length h);
+      pos := !pos + String.length h)
+    m.headers;
+  blit_segments m.data b !pos;
+  charge_copy (hl + dl);
+  Bytes.unsafe_to_string b
+
+let blit_data m dst off =
+  blit_segments m.data dst off;
+  charge_copy (data_length m)
+
+let iter_data m f = List.iter (fun s -> f s.base s.off s.len) m.data

@@ -1,0 +1,88 @@
+(** Message buffers — the [TKO_Message] analog.
+
+    A message is logically divided into a {e header region} (a stack of
+    protocol headers, outermost first) and a {e data region} (a list of
+    byte segments).  The representation is designed so that the operations
+    protocol layers perform constantly — prepending a header
+    ([TKO_Message::push]), stripping one ([TKO_Message::pop]), copying a
+    message between layers, fragmenting to an MTU and reassembling — do
+    {e not} touch payload bytes.  Payload bytes are shared between copies
+    and fragments ("lazy copying"); the module counts every physical byte
+    actually moved, so the throughput-preservation experiments can charge
+    memory-to-memory copy costs precisely. *)
+
+type t
+(** A message. *)
+
+val create : int -> t
+(** [create n] is a message with [n] zero bytes of data and no headers. *)
+
+val of_string : string -> t
+(** Message whose data region holds the bytes of the string. *)
+
+val of_bytes : Bytes.t -> t
+(** Message sharing (not copying) the given bytes as its data region. *)
+
+val data_length : t -> int
+(** Bytes in the data region. *)
+
+val header_length : t -> int
+(** Bytes in the header region (sum of pushed headers). *)
+
+val total_length : t -> int
+(** [header_length m + data_length m] — what goes on the wire. *)
+
+val push : t -> string -> unit
+(** [push m h] prepends header [h] as the new outermost header.  O(1),
+    copies only the header bytes. *)
+
+val pop : t -> string option
+(** [pop m] removes and returns the outermost header, or [None] if the
+    header region is empty.  O(1). *)
+
+val peek_header : t -> string option
+(** Outermost header without removing it. *)
+
+val copy : t -> t
+(** Logical copy.  Headers are copied (they are small and mutable per
+    layer); data segments are shared.  No payload bytes move. *)
+
+val split : t -> int -> t * t
+(** [split m n] divides the {e data region}: the first result carries the
+    first [n] data bytes, the second the rest.  Headers stay with the
+    first part.  Payload bytes are shared, not copied.  Raises
+    [Invalid_argument] if [n] is negative or exceeds [data_length m]. *)
+
+val fragment : t -> mtu:int -> t list
+(** [fragment m ~mtu] cuts the data region into pieces of at most [mtu]
+    bytes (headers are not replicated — each fragment is headerless).
+    Shares payload bytes. *)
+
+val concat : t list -> t
+(** [concat ms] is a headerless message whose data region is the
+    concatenation of all the inputs' data regions (reassembly).  Shares
+    payload bytes. *)
+
+val to_string : t -> string
+(** Materialize the whole message, headers then data.  This is a physical
+    copy and is counted as one. *)
+
+val data_to_string : t -> string
+(** Materialize only the data region (counted as a physical copy). *)
+
+val blit_data : t -> Bytes.t -> int -> unit
+(** [blit_data m dst off] physically copies the data region into [dst] at
+    [off] (counted). *)
+
+val iter_data : t -> (Bytes.t -> int -> int -> unit) -> unit
+(** Iterate over the underlying data segments without copying. *)
+
+val physical_copies : unit -> int
+(** Number of physical copy operations performed since the last
+    {!reset_copy_counters}. *)
+
+val copied_bytes : unit -> int
+(** Number of payload bytes physically moved since the last reset. *)
+
+val reset_copy_counters : unit -> unit
+(** Zero both copy counters. *)

@@ -1,0 +1,61 @@
+type t = {
+  size : int;
+  mutable cap : int;
+  mutable free_list : Bytes.t list;
+  mutable used : int;
+  mutable miss_count : int;
+  mutable alloc_count : int;
+}
+
+let create ~buffers ~size =
+  if buffers < 0 || size <= 0 then invalid_arg "Pool.create";
+  {
+    size;
+    cap = buffers;
+    free_list = List.init buffers (fun _ -> Bytes.create size);
+    used = 0;
+    miss_count = 0;
+    alloc_count = 0;
+  }
+
+let buffer_size t = t.size
+let capacity t = t.cap
+let available t = List.length t.free_list
+let in_use t = t.used
+
+let alloc t =
+  match t.free_list with
+  | [] ->
+    t.miss_count <- t.miss_count + 1;
+    None
+  | b :: rest ->
+    t.free_list <- rest;
+    t.used <- t.used + 1;
+    t.alloc_count <- t.alloc_count + 1;
+    Some b
+
+let free t b =
+  if Bytes.length b <> t.size then invalid_arg "Pool.free: wrong buffer size";
+  if t.used = 0 then invalid_arg "Pool.free: pool already full";
+  t.used <- t.used - 1;
+  if List.length t.free_list + t.used < t.cap then t.free_list <- b :: t.free_list
+
+let resize t ~buffers =
+  if buffers < 0 then invalid_arg "Pool.resize";
+  let old_free = List.length t.free_list in
+  let target_free = max 0 (buffers - t.used) in
+  if target_free > old_free then
+    t.free_list <-
+      List.init (target_free - old_free) (fun _ -> Bytes.create t.size) @ t.free_list
+  else if target_free < old_free then begin
+    let rec take n = function
+      | [] -> []
+      | _ :: rest when n > 0 -> take (n - 1) rest
+      | l -> l
+    in
+    t.free_list <- take (old_free - target_free) t.free_list
+  end;
+  t.cap <- buffers
+
+let misses t = t.miss_count
+let allocations t = t.alloc_count

@@ -1,0 +1,42 @@
+(** Fixed-size buffer pool.
+
+    MANTTS negotiates buffer space per session; the pool models that
+    resource.  Allocation failures are how "insufficient buffer space"
+    conditions reach the reconfiguration policies (e.g. a receiver whose
+    pool shrinks triggers the application callback path of §4.1.2). *)
+
+type t
+(** A pool of equally sized buffers. *)
+
+val create : buffers:int -> size:int -> t
+(** [create ~buffers ~size] holds [buffers] buffers of [size] bytes. *)
+
+val buffer_size : t -> int
+(** Size of each buffer in bytes. *)
+
+val capacity : t -> int
+(** Total number of buffers. *)
+
+val available : t -> int
+(** Buffers currently free. *)
+
+val in_use : t -> int
+(** Buffers currently allocated. *)
+
+val alloc : t -> Bytes.t option
+(** Take a buffer, or [None] when exhausted (counted as a miss). *)
+
+val free : t -> Bytes.t -> unit
+(** Return a buffer to the pool.  Raises [Invalid_argument] on a buffer of
+    the wrong size or when the pool is already full. *)
+
+val resize : t -> buffers:int -> unit
+(** Change the pool capacity (renegotiated buffer space).  Shrinking below
+    the number of in-use buffers keeps those buffers alive; they simply may
+    not all be returnable until capacity grows again. *)
+
+val misses : t -> int
+(** Number of failed allocations since creation. *)
+
+val allocations : t -> int
+(** Number of successful allocations since creation. *)

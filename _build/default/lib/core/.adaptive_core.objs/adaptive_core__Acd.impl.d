@@ -1,0 +1,1 @@
+lib/core/acd.ml: Adaptive_mech Adaptive_net Adaptive_sim List Network Params Printf Qos String Time Tsc Unites

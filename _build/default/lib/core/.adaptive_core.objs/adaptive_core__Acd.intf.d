@@ -1,0 +1,1 @@
+lib/core/acd.mli: Adaptive_mech Adaptive_net Adaptive_sim Network Params Qos Time Tsc Unites

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Adaptive_mech Adaptive_net Adaptive_sim Engine Mantts Network Pdu Rng Topology Unites

@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Adaptive_mech Adaptive_net Adaptive_sim Engine Host Link Mantts Network Pdu Rng Time Topology Unites

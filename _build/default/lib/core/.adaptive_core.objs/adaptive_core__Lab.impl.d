@@ -1,0 +1,1 @@
+lib/core/lab.ml: Adaptive_sim Float Format List Stats

@@ -1,0 +1,1 @@
+lib/core/mantts.ml: Acd Adaptive_buf Adaptive_mech Adaptive_net Adaptive_sim Engine Float Hashtbl Host List Network Params Pdu Pool Printf Qos Rng Scs Session String Time Tko Tsc Unites

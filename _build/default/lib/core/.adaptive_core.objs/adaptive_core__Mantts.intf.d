@@ -1,0 +1,1 @@
+lib/core/mantts.mli: Acd Adaptive_buf Adaptive_mech Adaptive_net Adaptive_sim Engine Host Network Pdu Pool Rng Scs Session Time Tsc Unites

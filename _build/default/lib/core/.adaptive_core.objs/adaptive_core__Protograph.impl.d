@@ -1,0 +1,1 @@
+lib/core/protograph.ml: Adaptive_mech Adaptive_sim Host List Printf Time

@@ -1,0 +1,1 @@
+lib/core/protograph.mli: Adaptive_mech Adaptive_sim Engine Host Time

@@ -1,0 +1,1 @@
+lib/core/qos.ml: Adaptive_sim Format Time

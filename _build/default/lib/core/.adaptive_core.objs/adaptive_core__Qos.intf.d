@@ -1,0 +1,1 @@
+lib/core/qos.mli: Adaptive_sim Format Time

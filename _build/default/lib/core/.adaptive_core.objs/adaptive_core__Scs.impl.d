@@ -1,0 +1,1 @@
+lib/core/scs.ml: Adaptive_mech Adaptive_sim Format List Option Params String Time

@@ -1,0 +1,1 @@
+lib/core/scs.mli: Adaptive_mech Adaptive_sim Format Params Time

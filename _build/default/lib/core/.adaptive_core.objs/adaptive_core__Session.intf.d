@@ -1,0 +1,1 @@
+lib/core/session.mli: Adaptive_buf Adaptive_mech Adaptive_net Adaptive_sim Engine Host Msg Network Pdu Scs Time Tko Unites

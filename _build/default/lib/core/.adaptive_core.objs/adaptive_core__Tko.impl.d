@@ -1,0 +1,1 @@
+lib/core/tko.ml: Adaptive_mech Adaptive_sim Fec List Params Pdu Playout Printf Rate Reorder Rtt Scs Slowstart Time Window

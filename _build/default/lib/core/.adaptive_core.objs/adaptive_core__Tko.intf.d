@@ -1,0 +1,1 @@
+lib/core/tko.mli: Adaptive_mech Fec Playout Rate Reorder Rtt Scs Slowstart Window

@@ -1,0 +1,1 @@
+lib/core/tsc.ml: Format Qos

@@ -1,0 +1,1 @@
+lib/core/tsc.mli: Format Qos

@@ -1,0 +1,1 @@
+lib/core/unites.ml: Adaptive_sim Engine Format Hashtbl List Option Stats Time

@@ -1,0 +1,1 @@
+lib/core/unites.mli: Adaptive_sim Engine Format Stats Time

@@ -1,0 +1,34 @@
+open Adaptive_sim
+open Adaptive_net
+open Adaptive_mech
+
+type stack = {
+  engine : Engine.t;
+  rng : Rng.t;
+  topology : Topology.t;
+  net : Pdu.t Network.t;
+  unites : Unites.t;
+  mantts : Mantts.t;
+}
+
+let create_stack ?(seed = 1) ?(whitebox = true) () =
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let topology = Topology.create () in
+  let net = Network.create engine ~rng:(Rng.split rng) topology in
+  let unites = Unites.create ~whitebox engine in
+  let mantts = Mantts.create ~net ~unites ~rng:(Rng.split rng) () in
+  { engine; rng; topology; net; unites; mantts }
+
+let mantts stack = stack.mantts
+
+let add_host ?host_cpu ?buffer_segments stack name =
+  let addr = Topology.add_host stack.topology name in
+  ignore (Mantts.add_host ?host:host_cpu ?buffer_segments stack.mantts ~addr);
+  addr
+
+let connect_hosts stack a b hops =
+  Topology.set_symmetric_route stack.topology ~a ~b hops
+
+let run ?until stack = Engine.run ?until stack.engine
+let now stack = Engine.now stack.engine

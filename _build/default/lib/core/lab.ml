@@ -1,0 +1,35 @@
+open Adaptive_sim
+
+type replication = { n : int; mean : float; stddev : float; half_width : float }
+
+let replicate ~seeds f =
+  if seeds = [] then invalid_arg "Lab.replicate: no seeds";
+  let stats = Stats.create () in
+  List.iter (fun seed -> Stats.add stats (f ~seed)) seeds;
+  let n = Stats.count stats in
+  let stddev = if n < 2 then 0.0 else Stats.stddev stats in
+  {
+    n;
+    mean = Stats.mean stats;
+    stddev;
+    half_width = (if n < 2 then 0.0 else 2.0 *. stddev /. sqrt (float_of_int n));
+  }
+
+let default_seeds = [ 11; 211; 3011; 40111; 500111 ]
+
+let distinguishable a b =
+  Float.abs (a.mean -. b.mean) > a.half_width +. b.half_width
+
+let pp fmt r = Format.fprintf fmt "%.3g ± %.2g (n=%d)" r.mean r.half_width r.n
+
+let compare_table ~label_a ~label_b ~rows fmt () =
+  Format.fprintf fmt "%-14s %22s %22s %16s@." "" label_a label_b "verdict";
+  List.iter
+    (fun (name, a, b) ->
+      Format.fprintf fmt "%-14s %22s %22s %16s@." name
+        (Format.asprintf "%a" pp a)
+        (Format.asprintf "%a" pp b)
+        (if distinguishable a b then
+           if a.mean > b.mean then label_a ^ " higher" else label_b ^ " higher"
+         else "indistinct"))
+    rows

@@ -1,0 +1,150 @@
+open Adaptive_sim
+open Adaptive_mech
+
+type layer = {
+  name : string;
+  header_bytes : int;
+  trailer_bytes : int;
+  copies : int;
+  per_packet : Time.t;
+}
+
+let layer ?(header = 0) ?(trailer = 0) ?(copies = 0) ?(per_packet = Time.zero) name =
+  { name; header_bytes = header; trailer_bytes = trailer; copies; per_packet }
+
+type t = {
+  mutable nodes : layer list; (* insertion order *)
+  mutable edges : (string * string) list; (* (upper, lower), insertion order *)
+}
+
+let create () = { nodes = []; edges = [] }
+let layers t = List.rev t.nodes
+let find t name = List.find_opt (fun l -> l.name = name) t.nodes
+
+let add_layer t l =
+  if find t l.name <> None then Error (Printf.sprintf "layer %S already present" l.name)
+  else begin
+    t.nodes <- l :: t.nodes;
+    Ok ()
+  end
+
+let lowers t name =
+  List.filter_map (fun (u, l) -> if u = name then Some l else None) (List.rev t.edges)
+
+let uppers t name =
+  List.filter_map (fun (u, l) -> if l = name then Some u else None) (List.rev t.edges)
+
+(* Is [target] reachable downward from [start]? *)
+let reaches t start target =
+  let rec go visited = function
+    | [] -> false
+    | n :: rest ->
+      if n = target then true
+      else if List.mem n visited then go visited rest
+      else go (n :: visited) (lowers t n @ rest)
+  in
+  go [] [ start ]
+
+let connect t ~upper ~lower =
+  if find t upper = None then Error (Printf.sprintf "unknown layer %S" upper)
+  else if find t lower = None then Error (Printf.sprintf "unknown layer %S" lower)
+  else if upper = lower then Error "a layer cannot use its own service"
+  else if reaches t lower upper then
+    Error (Printf.sprintf "edge %s->%s would create a cycle" upper lower)
+  else begin
+    if not (List.mem (upper, lower) t.edges) then t.edges <- (upper, lower) :: t.edges;
+    Ok ()
+  end
+
+let disconnect t ~upper ~lower =
+  t.edges <- List.filter (fun e -> e <> (upper, lower)) t.edges
+
+let remove_layer t name =
+  if find t name = None then Error (Printf.sprintf "unknown layer %S" name)
+  else begin
+    t.nodes <- List.filter (fun l -> l.name <> name) t.nodes;
+    t.edges <- List.filter (fun (u, l) -> u <> name && l <> name) t.edges;
+    Ok ()
+  end
+
+let insert_between t l ~upper ~lower =
+  if not (List.mem (upper, lower) t.edges) then
+    Error (Printf.sprintf "no edge %s->%s to splice into" upper lower)
+  else
+    match add_layer t l with
+    | Error _ as e -> e
+    | Ok () ->
+      disconnect t ~upper ~lower;
+      (match connect t ~upper ~lower:l.name with
+      | Ok () -> connect t ~upper:l.name ~lower
+      | Error _ as e -> e)
+
+let path t ~from_ ~to_ =
+  let rec go visited name =
+    if List.mem name visited then None
+    else
+      match find t name with
+      | None -> None
+      | Some l ->
+        if name = to_ then Some [ l ]
+        else
+          let rec try_children = function
+            | [] -> None
+            | child :: rest -> (
+              match go (name :: visited) child with
+              | Some tail -> Some (l :: tail)
+              | None -> try_children rest)
+          in
+          try_children (lowers t name)
+  in
+  go [] from_
+
+type overhead = {
+  header_total : int;
+  trailer_total : int;
+  copy_total : int;
+  processing : Time.t;
+}
+
+let stack_overhead stack =
+  List.fold_left
+    (fun acc l ->
+      {
+        header_total = acc.header_total + l.header_bytes;
+        trailer_total = acc.trailer_total + l.trailer_bytes;
+        copy_total = acc.copy_total + l.copies;
+        processing = Time.add acc.processing l.per_packet;
+      })
+    { header_total = 0; trailer_total = 0; copy_total = 0; processing = Time.zero }
+    stack
+
+let host_model ?(per_byte_copy = Time.ns 25) engine stack =
+  let o = stack_overhead stack in
+  Host.create ~per_packet:o.processing ~per_byte_copy ~copies:o.copy_total engine
+
+let build spec_layers spec_edges =
+  let t = create () in
+  List.iter (fun l -> ignore (add_layer t l)) spec_layers;
+  List.iter (fun (upper, lower) -> ignore (connect t ~upper ~lower)) spec_edges;
+  t
+
+let conventional_stack () =
+  build
+    [
+      layer ~copies:1 ~per_packet:(Time.us 20) "application";
+      layer ~header:20 ~copies:1 ~per_packet:(Time.us 60) "transport";
+      layer ~header:20 ~copies:1 ~per_packet:(Time.us 30) "network";
+      layer ~header:14 ~trailer:4 ~copies:1 ~per_packet:(Time.us 40) "driver";
+    ]
+    [ ("application", "transport"); ("transport", "network"); ("network", "driver") ]
+
+let adaptive_stack () =
+  build
+    [
+      layer ~per_packet:(Time.us 20) "application";
+      (* One flat session layer with shared buffers: headers are the
+         codec's, no intermediate copies. *)
+      layer ~header:24 ~copies:1 ~per_packet:(Time.us 50) "adaptive-session";
+      layer ~header:14 ~trailer:4 ~per_packet:(Time.us 30) "driver";
+    ]
+    [ ("application", "adaptive-session"); ("adaptive-session", "driver") ]

@@ -1,0 +1,1154 @@
+open Adaptive_sim
+open Adaptive_net
+open Adaptive_mech
+
+type state = Opening | Established | Closing | Closed
+
+type delivery = {
+  seq : int;
+  bytes : int;
+  app_stamp : Time.t;
+  delivered_at : Time.t;
+  damaged : bool;
+  payload : Adaptive_buf.Msg.t option;
+}
+
+type pending_send = {
+  ps_bytes : int;
+  ps_stamp : Time.t;
+  ps_last : bool;
+  ps_payload : Adaptive_buf.Msg.t option;
+}
+
+type dispatcher = {
+  net : Pdu.t Network.t;
+  d_engine : Engine.t;
+  d_addr : Network.addr;
+  d_host : Host.t;
+  d_unites : Unites.t;
+  by_conn : (int, t) Hashtbl.t;
+  mutable acceptor :
+    (src:Network.addr -> conn:int -> proposal:Scs.t option -> accept_decision) option;
+}
+
+and accept_decision =
+  | Accept of {
+      scs : Scs.t;
+      name : string;
+      on_deliver : (t -> delivery -> unit) option;
+      on_signal : (t -> string -> string) option;
+    }
+  | Reject
+
+and t = {
+  id : int;
+  ep_name : string;
+  disp : dispatcher;
+  mutable peers : Network.addr list;
+  ctx : Tko.context;
+  mutable ep_state : state;
+  opened_at : Time.t;
+  mutable established_time : Time.t option;
+  mutable pending_peers : Network.addr list; (* awaiting Syn_ack *)
+  (* sender half *)
+  sendq : pending_send Queue.t;
+  mutable sendq_bytes : int;
+  mutable next_seq : int;
+  mutable peer_window : int;
+  mutable dup_acks : int;
+  mutable last_cum : int;
+  mutable recover : int; (* RFC 6582: highest seq sent when the current
+                            loss-recovery episode began *)
+  mutable first_tx : int;
+  mutable rtx_count : int;
+  mutable rtx_timer : Engine.Timer.timer option;
+  mutable pump_event : Engine.handle option;
+  mutable syn_timer : Engine.Timer.timer option;
+  mutable syn_retries : int;
+  mutable fin_timer : Engine.Timer.timer option;
+  (* receiver half *)
+  mutable ack_timer : Engine.Timer.timer option;
+  mutable skip_timer : Engine.Timer.timer option;
+  mutable nack_timer : Engine.Timer.timer option;
+  mutable delivered_segments : int;
+  mutable delivered_bytes : int;
+  mutable last_latency : Time.t option;
+  mutable echo_stamp : Time.t; (* newest data tx_stamp seen, echoed in acks *)
+  (* signaling *)
+  signal_queue : string Queue.t;
+  mutable signal_inflight : string option;
+  mutable signal_timer : Engine.Timer.timer option;
+  mutable on_deliver : t -> delivery -> unit;
+  mutable on_signal : t -> string -> string;
+  mutable on_signal_reply : t -> string -> unit;
+}
+
+let conn_counter = ref 0
+
+let fresh_conn_id () =
+  incr conn_counter;
+  !conn_counter
+
+(* ------------------------------------------------------------------ *)
+(* Small accessors *)
+
+let id t = t.id
+let name t = t.ep_name
+let state t = t.ep_state
+let scs t = t.ctx.Tko.scs
+let context t = t.ctx
+let peers t = t.peers
+let local_addr t = t.disp.d_addr
+let established_at t = t.established_time
+let bytes_delivered t = t.delivered_bytes
+let segments_delivered t = t.delivered_segments
+let engine t = t.disp.d_engine
+let now t = Engine.now (engine t)
+let unites t = t.disp.d_unites
+let smoothed_rtt t = Rtt.srtt t.ctx.Tko.rtt
+
+let loss_rate_estimate t =
+  if t.first_tx = 0 then 0.0
+  else float_of_int t.rtx_count /. float_of_int (t.first_tx + t.rtx_count)
+
+(* For NACK-based and silent reporting, the in-flight set is only a repair
+   history: it never drains via acks and must not hold up close. *)
+let send_queue_empty t =
+  Queue.is_empty t.sendq
+  && (Window.is_empty t.ctx.Tko.window || not (Scs.ack_based (scs t)))
+
+let is_multicast t = List.length t.peers > 1
+
+let backlog_delay t =
+  match t.ctx.Tko.rate with
+  | Some pacer when t.sendq_bytes > 0 ->
+    Time.of_rate ~bits:(t.sendq_bytes * 8) ~bps:(Rate.rate_bps pacer)
+  | Some _ | None -> Time.zero
+
+(* ------------------------------------------------------------------ *)
+(* Negotiation blob: SCS fields plus a start-sequence marker. *)
+
+let encode_proposal scs ~start_seq =
+  Printf.sprintf "startseq=%d;%s" start_seq (Scs.to_blob scs)
+
+let decode_start_seq blob =
+  List.fold_left
+    (fun acc part ->
+      match String.index_opt part '=' with
+      | Some i when String.sub part 0 i = "startseq" ->
+        int_of_string_opt (String.sub part (i + 1) (String.length part - i - 1))
+        |> Option.value ~default:acc
+      | Some _ | None -> acc)
+    0
+    (String.split_on_char ';' blob)
+
+(* ------------------------------------------------------------------ *)
+(* Host CPU charging: every PDU pays the per-packet and copy costs, and
+   checksum-bearing configurations pay a per-byte verification cost. *)
+
+let detection_extra detection bytes =
+  match detection with
+  | Params.No_detection -> Time.zero
+  | Params.Internet_checksum -> bytes * 12
+  | Params.Crc32 -> bytes * 60
+
+(* Priorities 0-2 get expedited host scheduling (Table 2's "priorities
+   for message delivery and scheduling"). *)
+let expedited t = (scs t).Scs.priority <= 2
+
+(* Whitebox instrumentation is not free: each probe costs the host a
+   couple of microseconds of bookkeeping (§4.3's measurable
+   instrumentation overhead). *)
+let instrumentation_extra t =
+  if Unites.whitebox_enabled (unites t) then Time.us 2 else Time.zero
+
+let charge t bytes =
+  let host = t.disp.d_host in
+  let before = Host.total_busy host in
+  let extra =
+    Time.add (detection_extra (scs t).Scs.detection bytes) (instrumentation_extra t)
+  in
+  let done_at = Host.process host ~bytes ~extra ~expedited:(expedited t) () in
+  Unites.observe (unites t) ~session:t.id Unites.Host_cpu
+    (Time.to_sec (Time.diff (Host.total_busy host) before));
+  done_at
+
+(* ------------------------------------------------------------------ *)
+(* Wire output *)
+
+let inject_to t dsts pdu =
+  let bytes = Pdu.wire_bytes pdu in
+  let done_at = charge t bytes in
+  let net = t.disp.net in
+  let src = t.disp.d_addr in
+  ignore
+    (Engine.schedule (engine t) ~at:done_at (fun () ->
+         match dsts with
+         | [ dst ] -> Network.send net ~src ~dst ~bytes pdu
+         | _ :: _ :: _ -> Network.multicast net ~src ~dsts ~bytes pdu
+         | [] -> ()))
+
+let inject t pdu = inject_to t t.peers pdu
+
+let count_control t = Unites.count (unites t) ~session:t.id Unites.Control_pdus
+
+(* ------------------------------------------------------------------ *)
+(* Retransmission timer *)
+
+let cancel_timer = function Some timer -> Engine.Timer.cancel timer | None -> ()
+
+let rec ensure_rtx_armed t =
+  (* Timeout-driven behaviour only makes sense when acknowledgments drain
+     the in-flight set; NACK-based recovery is receiver-driven. *)
+  let needs = Scs.ack_based (scs t) && not (Window.is_empty t.ctx.Tko.window) in
+  if not needs then begin
+    cancel_timer t.rtx_timer;
+    t.rtx_timer <- None
+  end
+  else
+    let active =
+      match t.rtx_timer with Some timer -> Engine.Timer.is_active timer | None -> false
+    in
+    if not active then begin
+      let delay = Rtt.rto t.ctx.Tko.rtt in
+      t.rtx_timer <-
+        Some (Engine.Timer.one_shot (engine t) ~delay (fun () -> on_rtx_timeout t))
+    end
+
+and on_rtx_timeout t =
+  if not (Window.is_empty t.ctx.Tko.window) && t.ep_state <> Closed then begin
+    Unites.count (unites t) ~session:t.id Unites.Timeouts;
+    t.recover <- t.next_seq - 1;
+    Rtt.on_timeout t.ctx.Tko.rtt;
+    (match t.ctx.Tko.cc with Some cc -> Slowstart.on_loss cc | None -> ());
+    (match (scs t).Scs.recovery with
+    | Params.Go_back_n -> (
+      match Window.lowest_outstanding t.ctx.Tko.window with
+      | Some low ->
+        let segs = Window.unsacked_from t.ctx.Tko.window low in
+        let window = Tko.effective_send_window t.ctx ~peer_window:t.peer_window in
+        let capped = List.filteri (fun i _ -> i < max 1 window) segs in
+        List.iter (retransmit t ~dsts:t.peers) capped
+      | None -> ())
+    | Params.Selective_repeat ->
+      (* Resend every hole: tail losses have no SACK blocks above them to
+         drive recovery, so the timeout is their only signal. *)
+      let holes = ref [] in
+      Window.iter t.ctx.Tko.window (fun entry ->
+          if not entry.Window.sacked then holes := entry.Window.seg :: !holes);
+      List.iter (retransmit t ~dsts:t.peers) (List.rev !holes)
+    | Params.No_recovery | Params.Forward_error_correction _ ->
+      (* No ARQ: free stalled in-flight state so the window never wedges. *)
+      let given_up = Window.on_cumulative_ack t.ctx.Tko.window ~cum:t.next_seq in
+      Unites.observe (unites t) ~session:t.id Unites.Losses_unrecovered
+        (float_of_int (List.length given_up)));
+    ensure_rtx_armed t;
+    pump t
+  end
+
+and retransmit t ~dsts (seg : Pdu.seg) =
+  t.rtx_count <- t.rtx_count + 1;
+  Unites.count (unites t) ~session:t.id Unites.Retransmissions;
+  Window.touch t.ctx.Tko.window seg.Pdu.seq ~at:(now t);
+  inject_to t dsts (Pdu.Data { conn = t.id; seg; retransmit = true; tx_stamp = now t })
+
+(* ------------------------------------------------------------------ *)
+(* Sender: pump queued segments under the bound transmission control. *)
+
+and pump t =
+  match t.ep_state with
+  | Opening | Closed -> ()
+  | Established | Closing ->
+    let ctx = t.ctx in
+    let continue = ref true in
+    while (not (Queue.is_empty t.sendq)) && !continue do
+      let tracks = Scs.tracks_peer_feedback (scs t) in
+      let window_ok =
+        if not tracks then true
+        else
+          Window.in_flight ctx.Tko.window
+          < Tko.effective_send_window ctx ~peer_window:t.peer_window
+      in
+      if not window_ok then continue := false
+      else begin
+        match ctx.Tko.rate with
+        | Some pacer ->
+          let next = Queue.peek t.sendq in
+          let at = Rate.earliest_send pacer ~now:(now t) ~bytes:next.ps_bytes in
+          if at > now t then begin
+            continue := false;
+            schedule_pump t ~at
+          end
+          else begin
+            Rate.commit pacer ~at:(now t) ~bytes:next.ps_bytes;
+            transmit_next t
+          end
+        | None -> transmit_next t
+      end
+    done;
+    if
+      t.ep_state = Closing && Queue.is_empty t.sendq
+      && Window.is_empty ctx.Tko.window
+    then send_fin t ~graceful:true
+
+and schedule_pump t ~at =
+  let already =
+    match t.pump_event with Some h -> Engine.is_pending h | None -> false
+  in
+  if not already then
+    t.pump_event <-
+      Some
+        (Engine.schedule (engine t) ~at (fun () ->
+             t.pump_event <- None;
+             pump t))
+
+and transmit_next t =
+  let { ps_bytes; ps_stamp; ps_last; ps_payload } = Queue.pop t.sendq in
+  t.sendq_bytes <- t.sendq_bytes - ps_bytes;
+  let seg =
+    {
+      Pdu.seq = t.next_seq;
+      seg_bytes = ps_bytes;
+      app_stamp = ps_stamp;
+      app_last = ps_last;
+      payload = ps_payload;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.first_tx <- t.first_tx + 1;
+  let ctx = t.ctx in
+  if Scs.tracks_peer_feedback (scs t) then begin
+    Window.track ctx.Tko.window seg ~at:(now t);
+    (* NACK-only sessions never see cumulative acks; bound the repair
+       history so it cannot grow without limit. *)
+    if (scs t).Scs.reporting = Params.Nack_on_gap then begin
+      let cap = max 256 (4 * (scs t).Scs.recv_buffer_segments) in
+      if Window.in_flight ctx.Tko.window > cap then
+        ignore (Window.on_cumulative_ack ctx.Tko.window ~cum:(t.next_seq - cap))
+    end
+  end;
+  Unites.count (unites t) ~session:t.id Unites.Segments_sent;
+  Unites.observe (unites t) ~session:t.id Unites.Window_size
+    (float_of_int (Window.in_flight ctx.Tko.window));
+  inject t (Pdu.Data { conn = t.id; seg; retransmit = false; tx_stamp = now t });
+  (match ctx.Tko.fec_tx with
+  | Some fec -> (
+    match Fec.Sender.push fec seg with
+    | Some covered -> send_parity t covered
+    | None -> ())
+  | None -> ());
+  ensure_rtx_armed t
+
+and send_parity t covered =
+  match covered with
+  | [] -> ()
+  | first :: _ ->
+    Unites.count (unites t) ~session:t.id Unites.Fec_parity_sent;
+    inject t
+      (Pdu.Parity
+         {
+           conn = t.id;
+           group_start = first.Pdu.seq;
+           group_len = List.length covered;
+           covered = List.map Pdu.strip_payload covered;
+           parity = Fec.parity_of covered;
+         })
+
+(* ------------------------------------------------------------------ *)
+(* Connection management: active open *)
+
+and send_syn t =
+  let blob = encode_proposal (scs t) ~start_seq:t.next_seq in
+  count_control t;
+  let dsts = if t.pending_peers = [] then t.peers else t.pending_peers in
+  inject_to t dsts (Pdu.Syn { conn = t.id; blob; first = None });
+  arm_syn_timer t
+
+and arm_syn_timer t =
+  cancel_timer t.syn_timer;
+  let delay = (scs t).Scs.initial_rto in
+  t.syn_timer <-
+    Some
+      (Engine.Timer.one_shot (engine t) ~delay (fun () ->
+           if t.pending_peers <> [] && t.ep_state <> Closed then begin
+             t.syn_retries <- t.syn_retries + 1;
+             if t.syn_retries > 5 then begin
+               t.ep_state <- Closed;
+               cancel_all_timers t
+             end
+             else send_syn t
+           end))
+
+and cancel_all_timers t =
+  List.iter cancel_timer
+    [
+      t.rtx_timer; t.syn_timer; t.fin_timer; t.ack_timer; t.skip_timer;
+      t.nack_timer; t.signal_timer;
+    ];
+  (match t.pump_event with Some h -> Engine.cancel h | None -> ());
+  t.rtx_timer <- None;
+  t.syn_timer <- None;
+  t.fin_timer <- None;
+  t.ack_timer <- None;
+  t.skip_timer <- None;
+  t.nack_timer <- None;
+  t.signal_timer <- None;
+  t.pump_event <- None
+
+and mark_established t =
+  if t.established_time = None then begin
+    t.established_time <- Some (now t);
+    Unites.observe (unites t) ~session:t.id Unites.Setup_latency
+      (Time.to_sec (Time.diff (now t) t.opened_at))
+  end;
+  if t.ep_state = Opening then t.ep_state <- Established
+
+(* ------------------------------------------------------------------ *)
+(* Connection release *)
+
+and send_fin t ~graceful =
+  count_control t;
+  inject t (Pdu.Fin { conn = t.id; graceful });
+  cancel_timer t.fin_timer;
+  t.fin_timer <-
+    Some
+      (Engine.Timer.one_shot (engine t)
+         ~delay:(Rtt.rto t.ctx.Tko.rtt)
+         (fun () ->
+           (* Give up waiting for the Fin_ack after one retry period. *)
+           finish_close t))
+
+and finish_close t =
+  t.ep_state <- Closed;
+  cancel_all_timers t;
+  Hashtbl.remove t.disp.by_conn t.id
+
+(* ------------------------------------------------------------------ *)
+(* Receiver half *)
+
+and advertised_window t =
+  max 0 ((scs t).Scs.recv_buffer_segments - Reorder.buffered_count t.ctx.Tko.reorder)
+
+and send_ack_now t ~with_sack =
+  let reorder = t.ctx.Tko.reorder in
+  let sack =
+    if with_sack then
+      let all = Reorder.sack_list reorder in
+      List.filteri (fun i _ -> i < 16) all
+    else []
+  in
+  Unites.count (unites t) ~session:t.id Unites.Acks_sent;
+  inject t
+    (Pdu.Ack
+       {
+         conn = t.id;
+         cum = Reorder.expected reorder;
+         window = advertised_window t;
+         sack;
+         echo = t.echo_stamp;
+       })
+
+and schedule_ack t ~delay ~with_sack =
+  if delay <= 0 then send_ack_now t ~with_sack
+  else
+    let active =
+      match t.ack_timer with Some timer -> Engine.Timer.is_active timer | None -> false
+    in
+    if not active then
+      t.ack_timer <-
+        Some (Engine.Timer.one_shot (engine t) ~delay (fun () -> send_ack_now t ~with_sack))
+
+and send_nack t missing =
+  match missing with
+  | [] -> ()
+  | _ ->
+    let capped = List.filteri (fun i _ -> i < 32) missing in
+    Unites.count (unites t) ~session:t.id Unites.Nacks_sent;
+    inject t (Pdu.Nack { conn = t.id; missing = capped })
+
+and deliver_segment t (seg : Pdu.seg) ~damaged =
+  let release arrival_point =
+    t.delivered_segments <- t.delivered_segments + 1;
+    t.delivered_bytes <- t.delivered_bytes + seg.Pdu.seg_bytes;
+    Unites.count (unites t) ~session:t.id Unites.Segments_delivered;
+    Unites.observe (unites t) ~session:t.id Unites.Bytes_delivered
+      (float_of_int seg.Pdu.seg_bytes);
+    let latency = Time.diff arrival_point seg.Pdu.app_stamp in
+    Unites.observe (unites t) ~session:t.id Unites.Delivery_latency
+      (Time.to_sec latency);
+    (match t.last_latency with
+    | Some prev ->
+      Unites.observe (unites t) ~session:t.id Unites.Jitter
+        (Float.abs (Time.to_sec (Time.diff latency prev)))
+    | None -> ());
+    t.last_latency <- Some latency;
+    if damaged then Unites.count (unites t) ~session:t.id Unites.Corrupt_delivered;
+    (* Undetected corruption of a real payload damages the bytes the
+       application sees — the sender's copy is left untouched. *)
+    let payload =
+      match (seg.Pdu.payload, damaged) with
+      | Some m, true when Adaptive_buf.Msg.data_length m > 0 ->
+        let b = Bytes.of_string (Adaptive_buf.Msg.data_to_string m) in
+        let i = seg.Pdu.seq mod Bytes.length b in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+        Some (Adaptive_buf.Msg.of_bytes b)
+      | p, _ -> p
+    in
+    t.on_deliver t
+      {
+        seq = seg.Pdu.seq;
+        bytes = seg.Pdu.seg_bytes;
+        app_stamp = seg.Pdu.app_stamp;
+        delivered_at = arrival_point;
+        damaged;
+        payload;
+      }
+  in
+  match t.ctx.Tko.playout with
+  | None -> release (now t)
+  | Some playout -> (
+    match Playout.offer playout ~app_stamp:seg.Pdu.app_stamp ~arrival:(now t) with
+    | Playout.Release_at at ->
+      if at <= now t then release (now t)
+      else ignore (Engine.schedule (engine t) ~at (fun () -> release at))
+    | Playout.Late _ -> Unites.count (unites t) ~session:t.id Unites.Late_discards)
+
+(* Returns [true] when the segment was a duplicate. *)
+and offer_to_reorder t (seg : Pdu.seg) ~damaged =
+  match Reorder.offer t.ctx.Tko.reorder seg with
+  | Reorder.Deliver segs ->
+    List.iter
+      (fun s -> deliver_segment t s ~damaged:(damaged && s.Pdu.seq = seg.Pdu.seq))
+      segs;
+    false
+  | Reorder.Buffered -> false
+  | Reorder.Duplicate ->
+    Unites.count (unites t) ~session:t.id Unites.Dup_segments;
+    true
+
+and arm_skip_timer t =
+  let applies =
+    (scs t).Scs.ordering = Params.Ordered && not (Scs.reliable (scs t))
+  in
+  if applies && Reorder.missing t.ctx.Tko.reorder <> [] then begin
+    let active =
+      match t.skip_timer with Some timer -> Engine.Timer.is_active timer | None -> false
+    in
+    if not active then begin
+      let delay =
+        match t.ctx.Tko.playout with
+        | Some playout -> Time.max (Time.ms 5) (2 * Playout.target playout)
+        | None -> (scs t).Scs.initial_rto
+      in
+      t.skip_timer <-
+        Some
+          (Engine.Timer.one_shot (engine t) ~delay (fun () ->
+               let skipped, released = Reorder.advance_past_gap t.ctx.Tko.reorder in
+               if skipped > 0 then
+                 Unites.observe (unites t) ~session:t.id Unites.Losses_unrecovered
+                   (float_of_int skipped);
+               List.iter (fun s -> deliver_segment t s ~damaged:false) released;
+               arm_skip_timer t))
+    end
+  end
+
+and arm_renack_timer t =
+  if (scs t).Scs.reporting = Params.Nack_on_gap then begin
+    let active =
+      match t.nack_timer with Some timer -> Engine.Timer.is_active timer | None -> false
+    in
+    if (not active) && Reorder.missing t.ctx.Tko.reorder <> [] then
+      t.nack_timer <-
+        Some
+          (Engine.Timer.one_shot (engine t) ~delay:(scs t).Scs.initial_rto (fun () ->
+               if t.ep_state <> Closed then begin
+                 let missing = Reorder.missing t.ctx.Tko.reorder in
+                 if missing <> [] then begin
+                   send_nack t missing;
+                   arm_renack_timer t
+                 end
+               end))
+  end
+
+and handle_data t ?(tx_stamp = Time.zero) (recv : Pdu.t Network.recv) (seg : Pdu.seg) =
+  let detection = (scs t).Scs.detection in
+  if tx_stamp > t.echo_stamp then t.echo_stamp <- tx_stamp;
+  if recv.Network.corrupted && detection <> Params.No_detection then
+    Unites.count (unites t) ~session:t.id Unites.Corrupt_detected
+  else begin
+    let damaged = recv.Network.corrupted in
+    let prior_missing = Reorder.missing t.ctx.Tko.reorder in
+    (* FEC bookkeeping runs regardless of arrival order. *)
+    let duplicate =
+      match (scs t).Scs.recovery with
+      | Params.Forward_error_correction _ ->
+        let recovered = Fec.Receiver.on_data t.ctx.Tko.fec_rx seg in
+        let dup = offer_to_reorder t seg ~damaged in
+        List.iter
+          (fun s ->
+            Unites.count (unites t) ~session:t.id Unites.Fec_recovered;
+            ignore (offer_to_reorder t s ~damaged:false))
+          recovered;
+        dup
+      | Params.No_recovery | Params.Go_back_n | Params.Selective_repeat ->
+        offer_to_reorder t seg ~damaged
+    in
+    (* Reporting.  Out-of-order arrivals are acknowledged immediately so
+       the sender's duplicate-ack counter sees every arrival — delaying
+       them would coalesce the dup-ack stream and defeat fast
+       retransmission.  Pure duplicates with no gap left are echoes of the
+       sender's own recovery burst; acknowledging each would feed the
+       duplicate-ack counter and re-trigger it, so they ride the delayed
+       ack. *)
+    let gaps = Reorder.missing t.ctx.Tko.reorder <> [] in
+    (match (scs t).Scs.reporting with
+    | Params.No_report -> ()
+    | Params.Cumulative_ack { delay } ->
+      let delay = ack_delay_for t ~gaps ~duplicate ~delay in
+      schedule_ack t ~delay ~with_sack:false
+    | Params.Selective_ack { delay } ->
+      let delay = ack_delay_for t ~gaps ~duplicate ~delay in
+      schedule_ack t ~delay ~with_sack:true
+    | Params.Nack_on_gap ->
+      let missing = Reorder.missing t.ctx.Tko.reorder in
+      let fresh = List.filter (fun s -> not (List.mem s prior_missing)) missing in
+      if fresh <> [] then send_nack t missing;
+      arm_renack_timer t);
+    arm_skip_timer t
+  end
+
+(* Gap-free duplicates are echoes of the peer's recovery burst: a long
+   coalescing delay folds a whole burst into one acknowledgment, which
+   cannot reach the three-duplicate-ack threshold (no storm) yet still
+   rescues a sender stalled by a lost acknowledgment. *)
+and ack_delay_for t ~gaps ~duplicate ~delay =
+  if duplicate && not gaps then Time.max (Time.ms 25) ((scs t).Scs.initial_rto / 2)
+  else if gaps then Time.zero
+  else delay
+
+and handle_parity t (recv : Pdu.t Network.recv) ~covered ~parity =
+  if recv.Network.corrupted && (scs t).Scs.detection <> Params.No_detection then
+    Unites.count (unites t) ~session:t.id Unites.Corrupt_detected
+  else begin
+    let recovered = Fec.Receiver.on_parity t.ctx.Tko.fec_rx ~covered ~parity in
+    List.iter
+      (fun s ->
+        Unites.count (unites t) ~session:t.id Unites.Fec_recovered;
+        ignore (offer_to_reorder t s ~damaged:false))
+      recovered;
+    arm_skip_timer t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sender: feedback processing *)
+
+and handle_ack t ~cum ~window ~sack ~echo =
+  t.peer_window <- max 1 window;
+  let ctx = t.ctx in
+  let newly = Window.on_cumulative_ack ctx.Tko.window ~cum in
+  (* RTT sampling via timestamp echo (RFC 7323 style): the receiver
+     returned the transmit stamp of the newest data PDU it has seen, so
+     the sample is unambiguous even when that PDU was a retransmission —
+     no Karn exclusion needed, and the estimator keeps tracking the true
+     round trip through heavy recovery. *)
+  if echo > Time.zero && echo <= now t then begin
+    let sample = Time.diff (now t) echo in
+    Rtt.observe ctx.Tko.rtt sample;
+    Unites.observe (unites t) ~session:t.id Unites.Rtt (Time.to_sec sample)
+  end;
+  List.iter
+    (fun (_ : Window.entry) ->
+      match ctx.Tko.cc with Some cc -> Slowstart.on_ack cc | None -> ())
+    newly;
+  Window.mark_sacked ctx.Tko.window sack;
+  (* SACK-driven loss recovery (RFC 6675 style): any un-SACKed segment
+     below the highest SACK block is a hole; resend each at most once per
+     measured round trip.  This works even when the window slides too
+     slowly for a three-dup-ack volley. *)
+  (match (scs t).Scs.recovery with
+  | Params.Selective_repeat when sack <> [] ->
+    let limit = List.fold_left max (cum + 1) sack in
+    let min_age =
+      match Rtt.srtt ctx.Tko.rtt with
+      | Some srtt -> Time.max (Time.ms 1) srtt
+      | None -> Time.max (Time.ms 1) ((scs t).Scs.initial_rto / 4)
+    in
+    let holes = ref [] in
+    Window.iter ctx.Tko.window (fun entry ->
+        if
+          (not entry.Window.sacked)
+          && entry.Window.seg.Pdu.seq < limit
+          && Time.diff (now t) entry.Window.sent_at > min_age
+        then holes := entry.Window.seg :: !holes);
+    List.iter (retransmit t ~dsts:t.peers) (List.rev !holes)
+  | Params.Selective_repeat | Params.Go_back_n | Params.No_recovery
+  | Params.Forward_error_correction _ -> ());
+  if newly = [] && cum = t.last_cum && cum < t.next_seq then begin
+    t.dup_acks <- t.dup_acks + 1;
+    (* One fast retransmit per recovery episode (RFC 6582): duplicate
+       acks below [recover] are echoes of our own retransmission burst,
+       not evidence of a new loss. *)
+    let fresh_episode = cum > t.recover in
+    if t.dup_acks >= 3 && fresh_episode then begin
+      t.dup_acks <- 0;
+      t.recover <- t.next_seq - 1;
+      (match ctx.Tko.cc with Some cc -> Slowstart.on_loss cc | None -> ());
+      match (scs t).Scs.recovery with
+      | Params.Go_back_n ->
+        let segs = Window.unsacked_from ctx.Tko.window cum in
+        let cap = max 1 (Tko.effective_send_window ctx ~peer_window:t.peer_window) in
+        List.iteri (fun i seg -> if i < cap then retransmit t ~dsts:t.peers seg) segs
+      | Params.Selective_repeat -> (
+        (* Without SACK blocks in this ack, fall back to resending the
+           cumulative hole. *)
+        match Window.find ctx.Tko.window cum with
+        | Some entry when not entry.Window.sacked ->
+          retransmit t ~dsts:t.peers entry.Window.seg
+        | Some _ | None -> ())
+      | Params.No_recovery | Params.Forward_error_correction _ -> ()
+    end
+  end
+  else begin
+    t.dup_acks <- 0;
+    t.last_cum <- cum
+  end;
+  if newly <> [] then begin
+    (* Forward progress: re-arm the timer afresh and drop any timeout
+       backoff even if the acked segments were retransmissions. *)
+    Rtt.reset_backoff ctx.Tko.rtt;
+    cancel_timer t.rtx_timer;
+    t.rtx_timer <- None
+  end;
+  ensure_rtx_armed t;
+  pump t
+
+and handle_nack t ~from ~missing =
+  let segs = Window.unsacked_missing t.ctx.Tko.window missing in
+  let dsts = if is_multicast t then [ from ] else t.peers in
+  List.iter (retransmit t ~dsts) segs;
+  ensure_rtx_armed t
+
+(* ------------------------------------------------------------------ *)
+(* Signaling *)
+
+and try_send_signal t =
+  if t.signal_inflight = None && not (Queue.is_empty t.signal_queue) then begin
+    let blob = Queue.pop t.signal_queue in
+    t.signal_inflight <- Some blob;
+    push_signal t blob
+  end
+
+and push_signal t blob =
+  count_control t;
+  inject t (Pdu.Signal { conn = t.id; blob });
+  cancel_timer t.signal_timer;
+  t.signal_timer <-
+    Some
+      (Engine.Timer.one_shot (engine t)
+         ~delay:(Rtt.rto t.ctx.Tko.rtt)
+         (fun () ->
+           match t.signal_inflight with
+           | Some pending when t.ep_state <> Closed -> push_signal t pending
+           | Some _ | None -> ()))
+
+and handle_signal t blob =
+  count_control t;
+  let response = t.on_signal t blob in
+  inject t (Pdu.Signal_ack { conn = t.id; blob = response })
+
+and handle_signal_ack t blob =
+  cancel_timer t.signal_timer;
+  t.signal_timer <- None;
+  t.signal_inflight <- None;
+  t.on_signal_reply t blob;
+  try_send_signal t
+
+(* ------------------------------------------------------------------ *)
+(* Default reconfiguration signal handler: "scs!<blob>" requests segue. *)
+
+and default_on_signal t blob =
+  let prefix = "scs!" in
+  let plen = String.length prefix in
+  if String.length blob > plen && String.sub blob 0 plen = prefix then begin
+    let body = String.sub blob plen (String.length blob - plen) in
+    match Scs.of_blob body with
+    | Some next -> (
+      match Tko.segue t.ctx next with
+      | Ok changed ->
+        Unites.observe (unites t) ~session:t.id Unites.Reconfigurations
+          (float_of_int (max 1 (List.length changed)));
+        "ok"
+      | Error e -> "error:" ^ e)
+    | None -> "error:bad-scs"
+  end
+  else ""
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint construction *)
+
+and make_endpoint ~disp ~conn ~ep_name ~binding ~peers ~scs ~start_seq ~on_deliver
+    ~on_signal ~on_signal_reply ~initial_state =
+  let ctx = Tko.synthesize ?binding scs in
+  (* Receiver sequencing starts at the negotiated stream position. *)
+  if start_seq > 0 then
+    ctx.Tko.reorder <-
+      Reorder.create ~start:start_seq ~ordering:scs.Scs.ordering
+        ~duplicates:scs.Scs.duplicates ();
+  let t =
+    {
+      id = conn;
+      ep_name;
+      disp;
+      peers;
+      ctx;
+      ep_state = initial_state;
+      opened_at = Engine.now disp.d_engine;
+      established_time = None;
+      pending_peers = [];
+      sendq = Queue.create ();
+      sendq_bytes = 0;
+      next_seq = start_seq;
+      peer_window = scs.Scs.recv_buffer_segments;
+      dup_acks = 0;
+      last_cum = start_seq;
+      recover = -1;
+      first_tx = 0;
+      rtx_count = 0;
+      rtx_timer = None;
+      pump_event = None;
+      syn_timer = None;
+      syn_retries = 0;
+      fin_timer = None;
+      ack_timer = None;
+      skip_timer = None;
+      nack_timer = None;
+      delivered_segments = 0;
+      delivered_bytes = 0;
+      last_latency = None;
+      echo_stamp = Time.zero;
+      signal_queue = Queue.create ();
+      signal_inflight = None;
+      signal_timer = None;
+      on_deliver = (match on_deliver with Some f -> f | None -> fun _ _ -> ());
+      on_signal = (fun _ _ -> "");
+      on_signal_reply = (match on_signal_reply with Some f -> f | None -> fun _ _ -> ());
+    }
+  in
+  t.on_signal <-
+    (fun ep blob ->
+      let builtin = default_on_signal ep blob in
+      match on_signal with
+      | Some custom -> if builtin = "" then custom ep blob else builtin
+      | None -> builtin);
+  Hashtbl.replace disp.by_conn conn t;
+  Unites.register_session disp.d_unites ~id:conn ~name:ep_name;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* PDU dispatch *)
+
+and handle_pdu disp (recv : Pdu.t Network.recv) =
+  let pdu = recv.Network.payload in
+  let conn = Pdu.conn_id pdu in
+  match Hashtbl.find_opt disp.by_conn conn with
+  | Some t -> endpoint_handle t recv pdu
+  | None -> (
+    match pdu with
+    | Pdu.Syn { blob; first; _ } -> accept_connection disp recv ~conn ~blob ~first
+    | Pdu.Data { seg; _ } -> (
+      (* Orphan data: the connection request was lost (or implicit setup
+         raced ahead).  Offer it to the acceptor with no proposal. *)
+      match disp.acceptor with
+      | None -> ()
+      | Some acceptor -> (
+        match acceptor ~src:recv.Network.src ~conn ~proposal:None with
+        | Reject -> ()
+        | Accept { scs; name; on_deliver; on_signal } ->
+          let t =
+            make_endpoint ~disp ~conn ~ep_name:name ~binding:None
+              ~peers:[ recv.Network.src ] ~scs ~start_seq:0 ~on_deliver ~on_signal
+              ~on_signal_reply:None ~initial_state:Established
+          in
+          mark_established t;
+          handle_data t recv seg))
+    | Pdu.Parity _ | Pdu.Ack _ | Pdu.Nack _ | Pdu.Syn_ack _ | Pdu.Ack_of_syn _
+    | Pdu.Fin _ | Pdu.Fin_ack _ | Pdu.Signal _ | Pdu.Signal_ack _ -> ())
+
+and accept_connection disp (recv : Pdu.t Network.recv) ~conn ~blob ~first =
+  match disp.acceptor with
+  | None -> ()
+  | Some acceptor -> (
+    let proposal = Scs.of_blob blob in
+    match acceptor ~src:recv.Network.src ~conn ~proposal with
+    | Reject ->
+      (* A rejection still answers, so the initiator can fail fast. *)
+      let engine = disp.d_engine in
+      let done_at = Host.process disp.d_host ~bytes:64 () in
+      ignore
+        (Engine.schedule engine ~at:done_at (fun () ->
+             Network.send disp.net ~src:disp.d_addr ~dst:recv.Network.src ~bytes:64
+               (Pdu.Syn_ack { conn; accepted = false; blob = "" })))
+    | Accept { scs; name; on_deliver; on_signal } ->
+      let start_seq = decode_start_seq blob in
+      let t =
+        make_endpoint ~disp ~conn ~ep_name:name ~binding:None
+          ~peers:[ recv.Network.src ] ~scs ~start_seq ~on_deliver ~on_signal
+          ~on_signal_reply:None ~initial_state:Established
+      in
+      mark_established t;
+      count_control t;
+      inject t
+        (Pdu.Syn_ack
+           { conn; accepted = true; blob = encode_proposal scs ~start_seq });
+      (match first with
+      | Some (Pdu.Data { seg; _ }) -> handle_data t recv seg
+      | Some _ | None -> ()))
+
+and endpoint_handle t (recv : Pdu.t Network.recv) pdu =
+  if t.ep_state = Closed then ()
+  else
+    match pdu with
+    | Pdu.Data { seg; tx_stamp; _ } -> handle_data t ~tx_stamp recv seg
+    | Pdu.Parity { covered; parity; _ } -> handle_parity t recv ~covered ~parity
+    | Pdu.Ack { cum; window; sack; echo; _ } ->
+      if not (recv.Network.corrupted && (scs t).Scs.detection <> Params.No_detection)
+      then handle_ack t ~cum ~window ~sack ~echo
+    | Pdu.Nack { missing; _ } -> handle_nack t ~from:recv.Network.src ~missing
+    | Pdu.Syn _ ->
+      (* Duplicate connection request: re-answer. *)
+      count_control t;
+      inject_to t [ recv.Network.src ]
+        (Pdu.Syn_ack
+           {
+             conn = t.id;
+             accepted = true;
+             blob = encode_proposal (scs t) ~start_seq:0;
+           })
+    | Pdu.Syn_ack { accepted; blob; _ } -> handle_syn_ack t recv ~accepted ~blob
+    | Pdu.Ack_of_syn _ -> count_control t
+    | Pdu.Fin { graceful = _; _ } ->
+      count_control t;
+      inject_to t [ recv.Network.src ] (Pdu.Fin_ack { conn = t.id });
+      finish_close t
+    | Pdu.Fin_ack _ ->
+      count_control t;
+      (* Membership removals also elicit Fin_acks; only a session-level
+         close may tear the endpoint down. *)
+      if t.ep_state = Closing then begin
+        cancel_timer t.fin_timer;
+        finish_close t
+      end
+    | Pdu.Signal { blob; _ } -> handle_signal t blob
+    | Pdu.Signal_ack { blob; _ } -> handle_signal_ack t blob
+
+and handle_syn_ack t (recv : Pdu.t Network.recv) ~accepted ~blob =
+  count_control t;
+  if not accepted then begin
+    t.ep_state <- Closed;
+    cancel_all_timers t
+  end
+  else begin
+    t.pending_peers <- List.filter (fun p -> p <> recv.Network.src) t.pending_peers;
+    (* Adopt the responder's (possibly counter-proposed) configuration. *)
+    (match Scs.of_blob blob with
+    | Some final when not (Scs.equal final (scs t)) -> (
+      match Tko.segue t.ctx final with Ok _ -> () | Error _ -> ())
+    | Some _ | None -> ());
+    if (scs t).Scs.connection = Params.Three_way then begin
+      count_control t;
+      inject_to t [ recv.Network.src ] (Pdu.Ack_of_syn { conn = t.id })
+    end;
+    if t.pending_peers = [] then begin
+      cancel_timer t.syn_timer;
+      t.syn_timer <- None;
+      mark_established t;
+      pump t
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher *)
+
+module Dispatcher = struct
+  type nonrec dispatcher = dispatcher
+  type nonrec accept_decision = accept_decision =
+    | Accept of {
+        scs : Scs.t;
+        name : string;
+        on_deliver : (t -> delivery -> unit) option;
+        on_signal : (t -> string -> string) option;
+      }
+    | Reject
+
+  let create net ~addr ~host ~unites =
+    let disp =
+      {
+        net;
+        d_engine = Network.engine net;
+        d_addr = addr;
+        d_host = host;
+        d_unites = unites;
+        by_conn = Hashtbl.create 16;
+        acceptor = None;
+      }
+    in
+    Network.attach net addr (fun recv ->
+        (* Charge receive-side host processing, then handle. *)
+        let pdu = recv.Network.payload in
+        let conn = Pdu.conn_id pdu in
+        let endpoint = Hashtbl.find_opt disp.by_conn conn in
+        let extra =
+          match endpoint with
+          | Some ep -> detection_extra (ep.ctx.Tko.scs).Scs.detection recv.Network.wire_bytes
+          | None -> Time.zero
+        in
+        let before = Host.total_busy host in
+        let expedite =
+          match endpoint with
+          | Some ep -> (ep.ctx.Tko.scs).Scs.priority <= 2
+          | None -> false
+        in
+        let done_at =
+          Host.process host ~bytes:recv.Network.wire_bytes ~extra ~expedited:expedite ()
+        in
+        (match endpoint with
+        | Some ep ->
+          Unites.observe unites ~session:ep.id Unites.Host_cpu
+            (Time.to_sec (Time.diff (Host.total_busy host) before))
+        | None -> ());
+        ignore
+          (Engine.schedule disp.d_engine ~at:done_at (fun () -> handle_pdu disp recv)));
+    disp
+
+  let addr d = d.d_addr
+  let host d = d.d_host
+  let unites d = d.d_unites
+  let engine d = d.d_engine
+  let network d = d.net
+  let set_acceptor d f = d.acceptor <- Some f
+  let endpoints d = Hashtbl.fold (fun _ ep acc -> ep :: acc) d.by_conn []
+end
+
+(* ------------------------------------------------------------------ *)
+(* Public API *)
+
+let connect ?name:ep_name ?binding ?on_deliver ?on_signal_reply ?(start_seq = 0)
+    disp ~peers ~scs () =
+  if peers = [] then invalid_arg "Session.connect: no peers";
+  let conn = fresh_conn_id () in
+  let ep_name =
+    match ep_name with Some n -> n | None -> Printf.sprintf "conn-%d" conn
+  in
+  let t =
+    make_endpoint ~disp ~conn ~ep_name ~binding ~peers ~scs ~start_seq
+      ~on_deliver ~on_signal:None ~on_signal_reply ~initial_state:Opening
+  in
+  (match scs.Scs.connection with
+  | Params.Implicit ->
+    (* Usable immediately; the request travels with (ahead of) the data. *)
+    mark_established t;
+    count_control t;
+    inject t
+      (Pdu.Syn { conn; blob = encode_proposal scs ~start_seq; first = None })
+  | Params.Two_way | Params.Three_way ->
+    t.pending_peers <- peers;
+    send_syn t);
+  t
+
+let send t ~bytes ?payload ?app_stamp () =
+  if bytes <= 0 then invalid_arg "Session.send: non-positive size";
+  if t.ep_state = Closed || t.ep_state = Closing then
+    invalid_arg "Session.send: session is closing or closed";
+  (match payload with
+  | Some m when Adaptive_buf.Msg.data_length m <> bytes ->
+    invalid_arg "Session.send: payload length disagrees with bytes"
+  | Some _ | None -> ());
+  let stamp = match app_stamp with Some s -> s | None -> now t in
+  let seg_size = (scs t).Scs.segment_bytes in
+  let fragments =
+    match payload with
+    | None -> None
+    | Some m -> Some (ref (Adaptive_buf.Msg.fragment m ~mtu:seg_size))
+  in
+  let next_fragment () =
+    match fragments with
+    | None -> None
+    | Some cell -> (
+      match !cell with
+      | [] -> None
+      | f :: rest ->
+        cell := rest;
+        Some f)
+  in
+  let rec split remaining =
+    if remaining > seg_size then begin
+      Queue.push
+        { ps_bytes = seg_size; ps_stamp = stamp; ps_last = false;
+          ps_payload = next_fragment () }
+        t.sendq;
+      split (remaining - seg_size)
+    end
+    else
+      Queue.push
+        { ps_bytes = remaining; ps_stamp = stamp; ps_last = true;
+          ps_payload = next_fragment () }
+        t.sendq
+  in
+  split bytes;
+  t.sendq_bytes <- t.sendq_bytes + bytes;
+  pump t
+
+let close ?(graceful = true) t =
+  match t.ep_state with
+  | Closed -> ()
+  | Opening | Established | Closing ->
+    if not graceful then begin
+      count_control t;
+      inject t (Pdu.Fin { conn = t.id; graceful = false });
+      finish_close t
+    end
+    else begin
+      t.ep_state <- Closing;
+      (* Flush any partial FEC group so the tail is protected too. *)
+      (match t.ctx.Tko.fec_tx with
+      | Some fec -> (
+        match Fec.Sender.flush fec with
+        | Some covered -> send_parity t covered
+        | None -> ())
+      | None -> ());
+      if send_queue_empty t then send_fin t ~graceful:true else pump t
+    end
+
+let signal t blob =
+  Queue.push blob t.signal_queue;
+  try_send_signal t
+
+let reconfigure t next =
+  match Tko.segue t.ctx next with
+  | Error e -> Error e
+  | Ok changed ->
+    if changed <> [] then begin
+      Unites.observe (unites t) ~session:t.id Unites.Reconfigurations
+        (float_of_int (List.length changed));
+      signal t ("scs!" ^ Scs.to_blob next)
+    end;
+    Ok changed
+
+let add_peer t addr =
+  if not (List.mem addr t.peers) then begin
+    t.peers <- t.peers @ [ addr ];
+    t.pending_peers <- addr :: t.pending_peers;
+    count_control t;
+    inject_to t [ addr ]
+      (Pdu.Syn
+         { conn = t.id; blob = encode_proposal (scs t) ~start_seq:t.next_seq; first = None });
+    arm_syn_timer t
+  end
+
+let remove_peer t addr =
+  if List.mem addr t.peers then begin
+    t.peers <- List.filter (fun p -> p <> addr) t.peers;
+    t.pending_peers <- List.filter (fun p -> p <> addr) t.pending_peers;
+    count_control t;
+    inject_to t [ addr ] (Pdu.Fin { conn = t.id; graceful = true })
+  end

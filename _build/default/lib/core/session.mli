@@ -1,0 +1,168 @@
+(** Transport session endpoints — the protocol interpreter.
+
+    A {!t} is one end of a configured transport session: the executable
+    object that MANTTS Stage III produces.  It interprets the mechanism
+    bindings in its {!Tko.context} over incoming and outgoing PDUs:
+    segmentation, window/rate transmission control, checksum validation,
+    acknowledgment and NACK generation, retransmission, FEC encode and
+    reconstruct, sequencing, duplicate suppression, playout-point
+    delivery, connection handshakes and graceful release, and the
+    out-of-band signaling channel used for renegotiation.
+
+    Endpoints at one host share a {!Dispatcher} — the [TKO_Protocol]
+    analog — which demultiplexes arriving PDUs to sessions by connection
+    identifier and consults an acceptor (the passive-open path of the
+    remote MANTTS entity) for connection requests.  All per-PDU host CPU
+    costs are charged to the dispatcher's {!Adaptive_mech.Host.t}. *)
+
+open Adaptive_sim
+open Adaptive_buf
+open Adaptive_net
+open Adaptive_mech
+
+type t
+(** A session endpoint. *)
+
+type state = Opening | Established | Closing | Closed
+
+type delivery = {
+  seq : int;  (** Segment sequence number. *)
+  bytes : int;  (** Payload bytes. *)
+  app_stamp : Time.t;  (** Sender application timestamp. *)
+  delivered_at : Time.t;  (** Delivery time at this application. *)
+  damaged : bool;  (** Bit errors passed undetected to the
+                       application (no-detection configurations). *)
+  payload : Msg.t option;
+      (** The actual bytes, when the sender supplied them.  Damaged
+          deliveries carry genuinely damaged bytes. *)
+}
+(** One segment handed to the receiving application. *)
+
+(** Per-host PDU demultiplexer and passive-open handler. *)
+module Dispatcher : sig
+  type dispatcher
+
+  type accept_decision =
+    | Accept of {
+        scs : Scs.t;  (** Final configuration (possibly a
+                          counter-proposal to the caller's). *)
+        name : string;  (** Label for UNITES reports. *)
+        on_deliver : (t -> delivery -> unit) option;
+        on_signal : (t -> string -> string) option;
+      }
+    | Reject
+
+  val create :
+    Pdu.t Network.t -> addr:Network.addr -> host:Host.t -> unites:Unites.t ->
+    dispatcher
+  (** Attach a dispatcher to its host address on the network. *)
+
+  val addr : dispatcher -> Network.addr
+  val host : dispatcher -> Host.t
+  val unites : dispatcher -> Unites.t
+  val engine : dispatcher -> Engine.t
+  val network : dispatcher -> Pdu.t Network.t
+
+  val set_acceptor :
+    dispatcher ->
+    (src:Network.addr -> conn:int -> proposal:Scs.t option -> accept_decision) ->
+    unit
+  (** Install the passive-open policy.  [proposal = None] marks an orphan
+      data PDU whose connection request was lost — the acceptor may still
+      accept with a default configuration (§4.1.1's "reasonable values
+      for default configurations"). *)
+
+  val endpoints : dispatcher -> t list
+  (** Live endpoints at this host. *)
+end
+
+val connect :
+  ?name:string ->
+  ?binding:Tko.binding ->
+  ?on_deliver:(t -> delivery -> unit) ->
+  ?on_signal_reply:(t -> string -> unit) ->
+  ?start_seq:int ->
+  Dispatcher.dispatcher ->
+  peers:Network.addr list ->
+  scs:Scs.t ->
+  unit ->
+  t
+(** Active open toward one peer (unicast) or several (multicast).  With
+    implicit connection management the endpoint is usable immediately;
+    explicit handshakes transition it to [Established] when the (first)
+    [Syn_ack] arrives. *)
+
+val send :
+  t -> bytes:int -> ?payload:Msg.t -> ?app_stamp:Time.t -> unit -> unit
+(** Submit one application message; it is segmented to the negotiated
+    segment size and transmitted under the session's transmission
+    control.  [payload] carries the actual bytes end to end (its data
+    length must equal [bytes]); without it the protocol runs over sizes
+    alone.  [app_stamp] defaults to now. *)
+
+val close : ?graceful:bool -> t -> unit
+(** Release the connection.  [graceful] (default [true]) first drains
+    queued and unacknowledged data; otherwise buffered data may be
+    lost. *)
+
+val signal : t -> string -> unit
+(** Send an out-of-band control blob to the peer(s); their [on_signal]
+    handler's return value comes back through [on_signal_reply]. *)
+
+val reconfigure : t -> Scs.t -> (string list, string) result
+(** Renegotiate the session to a new configuration: signals the peer(s)
+    to segue, then segues locally.  Returns the changed component names.
+    Fails on static-template bindings. *)
+
+val add_peer : t -> Network.addr -> unit
+(** Grow a multicast session's membership; the new receiver is brought in
+    with a connection request carrying the current sequence position. *)
+
+val remove_peer : t -> Network.addr -> unit
+(** Drop a member from the session. *)
+
+val id : t -> int
+(** Connection identifier (shared by both endpoints). *)
+
+val name : t -> string
+(** UNITES label. *)
+
+val state : t -> state
+(** Current connection state. *)
+
+val scs : t -> Scs.t
+(** Currently bound configuration. *)
+
+val context : t -> Tko.context
+(** The TKO context (mechanism bindings and shared state). *)
+
+val peers : t -> Network.addr list
+(** Current data destinations. *)
+
+val local_addr : t -> Network.addr
+(** This endpoint's host address. *)
+
+val established_at : t -> Time.t option
+(** When the connection reached [Established]. *)
+
+val bytes_delivered : t -> int
+(** Application payload bytes delivered at this endpoint. *)
+
+val segments_delivered : t -> int
+(** Segments delivered at this endpoint. *)
+
+val send_queue_empty : t -> bool
+(** Nothing queued and nothing in flight. *)
+
+val smoothed_rtt : t -> Time.t option
+(** Current RTT estimate, once measured. *)
+
+val loss_rate_estimate : t -> float
+(** Retransmissions / first transmissions at the sender (0 when nothing
+    sent) — the loss signal the TSA policies test. *)
+
+val backlog_delay : t -> Adaptive_sim.Time.t
+(** How long the data now queued at this sender will take to drain at the
+    bound pacer rate (zero for window-based transmission) — the
+    self-induced component of end-to-end delay, which playout policies
+    must absorb. *)

@@ -1,0 +1,251 @@
+open Adaptive_sim
+open Adaptive_mech
+
+type binding =
+  | Static_template of string
+  | Reconfigurable_template of string
+  | Synthesized
+
+type context = {
+  binding : binding;
+  mutable scs : Scs.t;
+  window : Window.t;
+  rtt : Rtt.t;
+  mutable reorder : Reorder.t;
+  fec_rx : Fec.Receiver.t;
+  mutable fec_tx : Fec.Sender.t option;
+  mutable rate : Rate.t option;
+  mutable cc : Slowstart.t option;
+  mutable playout : Playout.t option;
+  mutable segue_count : int;
+}
+
+let instantiate_rate (scs : Scs.t) =
+  match scs.Scs.transmission with
+  | Params.Rate_based { rate_bps; burst } ->
+    Some (Rate.create ~rate_bps ~burst_bytes:(burst * scs.Scs.segment_bytes))
+  | Params.Stop_and_wait | Params.Sliding_window _ -> None
+
+let instantiate_cc (scs : Scs.t) =
+  match scs.Scs.congestion with
+  | Params.Slow_start { initial; threshold } -> Some (Slowstart.create ~initial ~threshold)
+  | Params.No_congestion_control -> None
+
+let instantiate_fec_tx (scs : Scs.t) =
+  match scs.Scs.recovery with
+  | Params.Forward_error_correction { group } -> Some (Fec.Sender.create ~group)
+  | Params.No_recovery | Params.Go_back_n | Params.Selective_repeat -> None
+
+let instantiate_playout (scs : Scs.t) =
+  match scs.Scs.delivery with
+  | Params.Playout { target } -> Some (Playout.create ~target)
+  | Params.As_available -> None
+
+let synthesize ?(binding = Synthesized) (scs : Scs.t) =
+  {
+    binding;
+    scs;
+    window = Window.create ();
+    rtt = Rtt.create ~initial_rto:scs.Scs.initial_rto ();
+    reorder =
+      Reorder.create ~ordering:scs.Scs.ordering ~duplicates:scs.Scs.duplicates ();
+    fec_rx = Fec.Receiver.create ();
+    fec_tx = instantiate_fec_tx scs;
+    rate = instantiate_rate scs;
+    cc = instantiate_cc scs;
+    playout = instantiate_playout scs;
+    segue_count = 0;
+  }
+
+let segue ctx (next : Scs.t) =
+  match ctx.binding with
+  | Static_template name ->
+    Error (Printf.sprintf "context bound to static template %S cannot segue" name)
+  | Reconfigurable_template _ | Synthesized ->
+    let changed = Scs.component_names ctx.scs next in
+    if changed = [] then Ok []
+    else begin
+      (* Transmission: keep the pacer's token level on a pure rate change;
+         otherwise (re)instantiate. *)
+      (match (ctx.rate, next.Scs.transmission) with
+      | Some pacer, Params.Rate_based { rate_bps; _ } -> Rate.set_rate pacer ~rate_bps
+      | _, _ -> ctx.rate <- instantiate_rate next);
+      (match next.Scs.transmission with
+      | Params.Rate_based _ -> ()
+      | Params.Stop_and_wait | Params.Sliding_window _ -> ctx.rate <- None);
+      (* Congestion control: preserve an existing window if the scheme is
+         unchanged in kind. *)
+      (match (ctx.cc, next.Scs.congestion) with
+      | Some _, Params.Slow_start _ -> ()
+      | _, _ -> ctx.cc <- instantiate_cc next);
+      (* Recovery: FEC accumulator appears/disappears; ARQ schemes share
+         the untouched Window.t, so GBN <-> SR swaps carry no state. *)
+      (match (ctx.fec_tx, next.Scs.recovery) with
+      | Some tx, Params.Forward_error_correction { group }
+        when Fec.Sender.group tx = group -> ()
+      | _, _ -> ctx.fec_tx <- instantiate_fec_tx next);
+      (* Delivery: adjust the playout point in place when possible so
+         released/discard statistics survive. *)
+      (match (ctx.playout, next.Scs.delivery) with
+      | Some p, Params.Playout { target } -> Playout.set_target p target
+      | _, _ -> ctx.playout <- instantiate_playout next);
+      (* Ordering/duplicates changes need a fresh sequencing buffer only
+         if the discipline itself changed. *)
+      if
+        ctx.scs.Scs.ordering <> next.Scs.ordering
+        || ctx.scs.Scs.duplicates <> next.Scs.duplicates
+      then begin
+        let fresh =
+          Reorder.create ~ordering:next.Scs.ordering ~duplicates:next.Scs.duplicates ()
+        in
+        (* Carry the cumulative point forward so no segment is delivered
+           twice or skipped. *)
+        let rec catch_up n =
+          if n < Reorder.expected ctx.reorder then begin
+            ignore
+              (Reorder.offer fresh
+                 (Pdu.seg ~seq:n ~bytes:0 ()));
+            catch_up (n + 1)
+          end
+        in
+        catch_up 0;
+        ctx.reorder <- fresh
+      end;
+      ctx.scs <- next;
+      ctx.segue_count <- ctx.segue_count + 1;
+      Ok changed
+    end
+
+let effective_send_window ctx ~peer_window =
+  match ctx.scs.Scs.transmission with
+  | Params.Rate_based _ -> max_int
+  | Params.Stop_and_wait -> 1
+  | Params.Sliding_window { window } ->
+    let cc_bound = match ctx.cc with Some cc -> Slowstart.window cc | None -> max_int in
+    max 1 (min window (min peer_window cc_bound))
+
+module Templates = struct
+  let tcp_compatible = "tcp-compatible"
+  let udp_compatible = "udp-compatible"
+  let media_stream = "media-stream"
+  let bulk_lfn = "bulk-lfn"
+  let transaction = "transaction"
+  let reliable_multicast = "reliable-multicast"
+
+  let tcp_scs =
+    {
+      Scs.default with
+      Scs.connection = Params.Three_way;
+      transmission = Params.Sliding_window { window = 44 (* 64 KiB / 1460 *) };
+      congestion = Params.Slow_start { initial = 1; threshold = 22 };
+      detection = Params.Internet_checksum;
+      reporting = Params.Cumulative_ack { delay = Time.ms 2 };
+      recovery = Params.Go_back_n;
+      ordering = Params.Ordered;
+      duplicates = Params.Drop_duplicates;
+      delivery = Params.As_available;
+      recv_buffer_segments = 44;
+    }
+
+  let udp_scs =
+    {
+      Scs.default with
+      Scs.connection = Params.Implicit;
+      transmission = Params.Rate_based { rate_bps = 100e6; burst = 16 };
+      congestion = Params.No_congestion_control;
+      detection = Params.Internet_checksum;
+      reporting = Params.No_report;
+      recovery = Params.No_recovery;
+      ordering = Params.Unordered;
+      duplicates = Params.Accept_duplicates;
+      delivery = Params.As_available;
+    }
+
+  let media_scs =
+    {
+      Scs.default with
+      Scs.connection = Params.Two_way;
+      transmission = Params.Rate_based { rate_bps = 1.5e6; burst = 4 };
+      congestion = Params.No_congestion_control;
+      detection = Params.Internet_checksum;
+      reporting = Params.No_report;
+      recovery = Params.No_recovery;
+      ordering = Params.Ordered;
+      duplicates = Params.Drop_duplicates;
+      delivery = Params.Playout { target = Time.ms 80 };
+    }
+
+  let bulk_lfn_scs =
+    {
+      Scs.default with
+      Scs.connection = Params.Two_way;
+      transmission = Params.Sliding_window { window = 512 };
+      congestion = Params.Slow_start { initial = 4; threshold = 256 };
+      detection = Params.Crc32;
+      reporting = Params.Selective_ack { delay = Time.ms 2 };
+      recovery = Params.Selective_repeat;
+      ordering = Params.Ordered;
+      duplicates = Params.Drop_duplicates;
+      delivery = Params.As_available;
+      recv_buffer_segments = 512;
+    }
+
+  let transaction_scs =
+    {
+      Scs.default with
+      Scs.connection = Params.Implicit;
+      transmission = Params.Sliding_window { window = 8 };
+      congestion = Params.No_congestion_control;
+      detection = Params.Internet_checksum;
+      reporting = Params.Cumulative_ack { delay = Time.ms 1 };
+      recovery = Params.Selective_repeat;
+      ordering = Params.Ordered;
+      duplicates = Params.Drop_duplicates;
+      delivery = Params.As_available;
+    }
+
+  let reliable_multicast_scs =
+    {
+      Scs.default with
+      Scs.connection = Params.Two_way;
+      transmission = Params.Rate_based { rate_bps = 2e6; burst = 8 };
+      congestion = Params.No_congestion_control;
+      detection = Params.Internet_checksum;
+      reporting = Params.Nack_on_gap;
+      recovery = Params.Selective_repeat;
+      ordering = Params.Ordered;
+      duplicates = Params.Drop_duplicates;
+      delivery = Params.As_available;
+    }
+
+  let entries =
+    [
+      (tcp_compatible, (Static_template tcp_compatible, tcp_scs));
+      (udp_compatible, (Static_template udp_compatible, udp_scs));
+      (media_stream, (Reconfigurable_template media_stream, media_scs));
+      (bulk_lfn, (Reconfigurable_template bulk_lfn, bulk_lfn_scs));
+      (transaction, (Reconfigurable_template transaction, transaction_scs));
+      ( reliable_multicast,
+        (Reconfigurable_template reliable_multicast, reliable_multicast_scs) );
+    ]
+
+  let names = List.map fst entries
+  let find name = List.assoc_opt name entries
+  let hits = ref 0
+  let misses = ref 0
+
+  let lookup_scs scs =
+    let found =
+      List.find_opt (fun (_, (_, template_scs)) -> Scs.equal scs template_scs) entries
+    in
+    match found with
+    | Some (name, (binding, _)) ->
+      incr hits;
+      Some (binding, name)
+    | None ->
+      incr misses;
+      None
+
+  let cache_hits () = !hits
+  let cache_misses () = !misses
+end

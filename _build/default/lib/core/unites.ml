@@ -1,0 +1,230 @@
+open Adaptive_sim
+
+type metric =
+  | Throughput
+  | Rtt
+  | Setup_latency
+  | Delivery_latency
+  | Jitter
+  | Segments_sent
+  | Segments_delivered
+  | Bytes_delivered
+  | Retransmissions
+  | Timeouts
+  | Dup_segments
+  | Corrupt_detected
+  | Corrupt_delivered
+  | Late_discards
+  | Losses_unrecovered
+  | Fec_parity_sent
+  | Fec_recovered
+  | Acks_sent
+  | Nacks_sent
+  | Control_pdus
+  | Reconfigurations
+  | Window_size
+  | Host_cpu
+
+type kind = Blackbox | Whitebox
+
+let metric_kind = function
+  | Throughput | Rtt -> Blackbox
+  | Setup_latency | Delivery_latency | Jitter | Segments_sent | Segments_delivered
+  | Bytes_delivered | Retransmissions | Timeouts | Dup_segments | Corrupt_detected
+  | Corrupt_delivered | Late_discards | Losses_unrecovered | Fec_parity_sent
+  | Fec_recovered | Acks_sent | Nacks_sent | Control_pdus | Reconfigurations
+  | Window_size | Host_cpu -> Whitebox
+
+let metric_name = function
+  | Throughput -> "throughput_bps"
+  | Rtt -> "rtt_s"
+  | Setup_latency -> "setup_latency_s"
+  | Delivery_latency -> "delivery_latency_s"
+  | Jitter -> "jitter_s"
+  | Segments_sent -> "segments_sent"
+  | Segments_delivered -> "segments_delivered"
+  | Bytes_delivered -> "bytes_delivered"
+  | Retransmissions -> "retransmissions"
+  | Timeouts -> "timeouts"
+  | Dup_segments -> "dup_segments"
+  | Corrupt_detected -> "corrupt_detected"
+  | Corrupt_delivered -> "corrupt_delivered"
+  | Late_discards -> "late_discards"
+  | Losses_unrecovered -> "losses_unrecovered"
+  | Fec_parity_sent -> "fec_parity_sent"
+  | Fec_recovered -> "fec_recovered"
+  | Acks_sent -> "acks_sent"
+  | Nacks_sent -> "nacks_sent"
+  | Control_pdus -> "control_pdus"
+  | Reconfigurations -> "reconfigurations"
+  | Window_size -> "window_size"
+  | Host_cpu -> "host_cpu_s"
+
+let all_metrics =
+  [
+    Throughput;
+    Rtt;
+    Setup_latency;
+    Delivery_latency;
+    Jitter;
+    Segments_sent;
+    Segments_delivered;
+    Bytes_delivered;
+    Retransmissions;
+    Timeouts;
+    Dup_segments;
+    Corrupt_detected;
+    Corrupt_delivered;
+    Late_discards;
+    Losses_unrecovered;
+    Fec_parity_sent;
+    Fec_recovered;
+    Acks_sent;
+    Nacks_sent;
+    Control_pdus;
+    Reconfigurations;
+    Window_size;
+    Host_cpu;
+  ]
+
+type t = {
+  engine : Engine.t;
+  mutable whitebox : bool;
+  bucket : Time.t;
+  table : (int * metric, Stats.t) Hashtbl.t;
+  buckets : (int * metric, (int, float) Hashtbl.t) Hashtbl.t;
+  names : (int, string) Hashtbl.t;
+  tmc : (int, metric list) Hashtbl.t; (* per-session whitebox selection *)
+  mutable whitebox_count : int;
+}
+
+let create ?(whitebox = true) ?(bucket = Time.sec 1.0) engine =
+  {
+    engine;
+    whitebox;
+    bucket = Time.max 1 bucket;
+    table = Hashtbl.create 64;
+    buckets = Hashtbl.create 64;
+    names = Hashtbl.create 16;
+    tmc = Hashtbl.create 16;
+    whitebox_count = 0;
+  }
+
+let whitebox_enabled t = t.whitebox
+let set_whitebox t v = t.whitebox <- v
+let register_session t ~id ~name =
+  (* First registration wins: the initiator names the session; the
+     responder's acceptance label is secondary. *)
+  if not (Hashtbl.mem t.names id) then Hashtbl.add t.names id name
+
+let accumulator t key =
+  match Hashtbl.find_opt t.table key with
+  | Some s -> s
+  | None ->
+    let s = Stats.create () in
+    Hashtbl.add t.table key s;
+    s
+
+let record_bucket t key v =
+  let slot = Engine.now t.engine / t.bucket in
+  let per_bucket =
+    match Hashtbl.find_opt t.buckets key with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 16 in
+      Hashtbl.add t.buckets key h;
+      h
+  in
+  Hashtbl.replace per_bucket slot
+    (v +. Option.value ~default:0.0 (Hashtbl.find_opt per_bucket slot))
+
+let restrict_session t ~id metrics =
+  if metrics = [] then Hashtbl.remove t.tmc id else Hashtbl.replace t.tmc id metrics
+
+let wanted t session m =
+  match Hashtbl.find_opt t.tmc session with
+  | None -> true
+  | Some metrics -> List.mem m metrics
+
+let observe t ~session m v =
+  match metric_kind m with
+  | Whitebox when (not t.whitebox) || not (wanted t session m) -> ()
+  | Whitebox ->
+    t.whitebox_count <- t.whitebox_count + 1;
+    Stats.add (accumulator t (session, m)) v;
+    record_bucket t (session, m) v
+  | Blackbox ->
+    Stats.add (accumulator t (session, m)) v;
+    record_bucket t (session, m) v
+
+let count t ~session m = observe t ~session m 1.0
+
+let stats t ~session m =
+  Option.map Stats.summarize (Hashtbl.find_opt t.table (session, m))
+
+let total t ~session m =
+  match Hashtbl.find_opt t.table (session, m) with
+  | Some s -> Stats.total s
+  | None -> 0.0
+
+let mean t ~session m =
+  match Hashtbl.find_opt t.table (session, m) with
+  | Some s -> Stats.mean s
+  | None -> nan
+
+let aggregate_acc t m =
+  Hashtbl.fold
+    (fun (_, metric) s acc ->
+      if metric = m then match acc with None -> Some s | Some a -> Some (Stats.merge a s)
+      else acc)
+    t.table None
+
+let aggregate t m = Option.map Stats.summarize (aggregate_acc t m)
+
+let aggregate_total t m =
+  match aggregate_acc t m with Some s -> Stats.total s | None -> 0.0
+
+let sessions t =
+  Hashtbl.fold (fun id name acc -> (id, name) :: acc) t.names []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let whitebox_samples t = t.whitebox_count
+
+let series t ~session m =
+  match Hashtbl.find_opt t.buckets (session, m) with
+  | None -> []
+  | Some h ->
+    Hashtbl.fold (fun slot v acc -> (slot * t.bucket, v) :: acc) h []
+    |> List.sort compare
+
+let aggregate_series t m =
+  let merged = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun (_, metric) h ->
+      if metric = m then
+        Hashtbl.iter
+          (fun slot v ->
+            Hashtbl.replace merged slot
+              (v +. Option.value ~default:0.0 (Hashtbl.find_opt merged slot)))
+          h)
+    t.buckets;
+  Hashtbl.fold (fun slot v acc -> (slot * t.bucket, v) :: acc) merged []
+  |> List.sort compare
+
+let report fmt t =
+  Format.fprintf fmt "@[<v>UNITES metric repository (t=%a, whitebox=%b)@,"
+    Time.pp (Engine.now t.engine) t.whitebox;
+  List.iter
+    (fun (id, name) ->
+      Format.fprintf fmt "session %d (%s):@," id name;
+      List.iter
+        (fun m ->
+          match stats t ~session:id m with
+          | None -> ()
+          | Some s ->
+            Format.fprintf fmt "  %-20s [%s] %a@," (metric_name m)
+              (match metric_kind m with Blackbox -> "bb" | Whitebox -> "wb")
+              Stats.pp_summary s)
+        all_metrics)
+    (sessions t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,117 @@
+(** UNITES — "UNIform Transport Evaluation Subsystem" (§4.3, Figure 6).
+
+    Coordinates metric specification, collection, analysis and
+    presentation.  Metrics are {e blackbox} (observable without internal
+    instrumentation: throughput, round-trip latency) or {e whitebox}
+    (requiring instrumentation of the synthesized configuration:
+    connection-establishment latency, retransmission counts, jitter,
+    loss, per-mechanism event counts).  Whitebox collection can be
+    disabled wholesale, which is how the instrumentation-overhead
+    experiment compares the two modes.
+
+    The repository aggregates per-session accumulators and can present
+    them per-connection, per-host (by aggregating a host's sessions) or
+    system-wide. *)
+
+open Adaptive_sim
+
+type metric =
+  | Throughput  (** Delivered application bits per second (blackbox). *)
+  | Rtt  (** Measured round-trip time, seconds (blackbox). *)
+  | Setup_latency  (** Connection establishment, seconds. *)
+  | Delivery_latency  (** Application stamp to delivery, seconds. *)
+  | Jitter  (** Variation between consecutive deliveries' latencies,
+                seconds (the paper's "degree of jitter"). *)
+  | Segments_sent  (** First transmissions. *)
+  | Segments_delivered  (** Segments handed to the application. *)
+  | Bytes_delivered  (** Application payload bytes delivered. *)
+  | Retransmissions  (** Segments re-sent. *)
+  | Timeouts  (** Retransmission timer expirations. *)
+  | Dup_segments  (** Duplicates suppressed (or delivered). *)
+  | Corrupt_detected  (** Checksum/CRC caught a bit error. *)
+  | Corrupt_delivered  (** Bit-damaged data reached the application. *)
+  | Late_discards  (** Segments past their playout point. *)
+  | Losses_unrecovered  (** Segments given up on (loss-tolerant
+                            configurations). *)
+  | Fec_parity_sent  (** Parity PDUs emitted. *)
+  | Fec_recovered  (** Segments reconstructed from parity. *)
+  | Acks_sent  (** Acknowledgment PDUs emitted. *)
+  | Nacks_sent  (** Negative acknowledgments emitted. *)
+  | Control_pdus  (** Connection/signaling PDUs exchanged. *)
+  | Reconfigurations  (** Segue operations applied. *)
+  | Window_size  (** Effective send window samples. *)
+  | Host_cpu  (** Host CPU seconds consumed. *)
+
+type kind = Blackbox | Whitebox
+
+val metric_kind : metric -> kind
+(** Classification per §4.3. *)
+
+val metric_name : metric -> string
+(** Short stable name. *)
+
+val all_metrics : metric list
+(** Every metric, blackbox first. *)
+
+type t
+(** A metric repository. *)
+
+val create : ?whitebox:bool -> ?bucket:Time.t -> Engine.t -> t
+(** [create engine] makes a repository; [whitebox] (default [true])
+    enables whitebox collection.  [bucket] (default 1 s) is the width of
+    the time buckets behind {!series} — the TMC "sampling rate". *)
+
+val whitebox_enabled : t -> bool
+(** Whether whitebox metrics are being recorded. *)
+
+val set_whitebox : t -> bool -> unit
+(** Toggle whitebox collection. *)
+
+val register_session : t -> id:int -> name:string -> unit
+(** Announce a session so reports can label it. *)
+
+val restrict_session : t -> id:int -> metric list -> unit
+(** Honor a session's Transport Measurement Component: record only the
+    listed whitebox metrics for this session (blackbox metrics are always
+    collected).  An empty list removes the restriction. *)
+
+val observe : t -> session:int -> metric -> float -> unit
+(** Record one observation.  Whitebox observations are dropped when
+    whitebox collection is off. *)
+
+val count : t -> session:int -> metric -> unit
+(** [observe t ~session m 1.0]. *)
+
+val stats : t -> session:int -> metric -> Stats.summary option
+(** Summary of a session's metric, if any observation was recorded. *)
+
+val total : t -> session:int -> metric -> float
+(** Sum of a session's observations (0 when none). *)
+
+val mean : t -> session:int -> metric -> float
+(** Mean of a session's observations ([nan] when none). *)
+
+val aggregate : t -> metric -> Stats.summary option
+(** System-wide summary across sessions. *)
+
+val aggregate_total : t -> metric -> float
+(** System-wide sum. *)
+
+val sessions : t -> (int * string) list
+(** Registered sessions in id order. *)
+
+val whitebox_samples : t -> int
+(** Whitebox observations actually recorded — the instrumentation
+    activity the overhead experiment charges for. *)
+
+val series : t -> session:int -> metric -> (Time.t * float) list
+(** Per-bucket totals of a session's metric over simulated time, oldest
+    first: [(bucket_start, sum_of_observations_in_bucket)].  Empty
+    buckets are omitted.  This is the presentation UNITES' interactive
+    displays draw from (Figure 6). *)
+
+val aggregate_series : t -> metric -> (Time.t * float) list
+(** Bucketed totals across every session. *)
+
+val report : Format.formatter -> t -> unit
+(** Per-session presentation of all collected metrics. *)

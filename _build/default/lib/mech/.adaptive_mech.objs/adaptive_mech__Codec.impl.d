@@ -1,0 +1,1 @@
+lib/mech/codec.ml: Adaptive_buf Bytes Checksum Int32 Int64 List Msg Pdu Printf Result String

@@ -1,0 +1,1 @@
+lib/mech/codec.mli: Pdu

@@ -1,0 +1,1 @@
+lib/mech/fec.ml: Adaptive_buf Bytes Char Fun Hashtbl List Msg Option Pdu Queue String

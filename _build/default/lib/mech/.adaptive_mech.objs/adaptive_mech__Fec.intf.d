@@ -1,0 +1,1 @@
+lib/mech/fec.mli: Adaptive_buf Msg Pdu

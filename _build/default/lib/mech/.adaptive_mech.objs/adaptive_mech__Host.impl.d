@@ -1,0 +1,1 @@
+lib/mech/host.ml: Adaptive_sim Engine Time

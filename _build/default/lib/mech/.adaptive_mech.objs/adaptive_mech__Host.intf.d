@@ -1,0 +1,1 @@
+lib/mech/host.mli: Adaptive_sim Engine Time

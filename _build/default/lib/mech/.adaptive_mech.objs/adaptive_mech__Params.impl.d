@@ -1,0 +1,1 @@
+lib/mech/params.ml: Adaptive_sim Format Option Printf String Time

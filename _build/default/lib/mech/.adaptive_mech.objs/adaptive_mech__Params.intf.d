@@ -1,0 +1,1 @@
+lib/mech/params.mli: Adaptive_sim Format Time

@@ -1,0 +1,1 @@
+lib/mech/pdu.ml: Adaptive_buf Adaptive_sim List Printf String Time

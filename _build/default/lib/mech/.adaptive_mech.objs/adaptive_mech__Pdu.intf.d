@@ -1,0 +1,1 @@
+lib/mech/pdu.mli: Adaptive_buf Adaptive_sim Time

@@ -1,0 +1,1 @@
+lib/mech/playout.ml: Adaptive_sim Time

@@ -1,0 +1,1 @@
+lib/mech/playout.mli: Adaptive_sim Time

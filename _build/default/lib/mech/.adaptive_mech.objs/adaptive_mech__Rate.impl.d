@@ -1,0 +1,1 @@
+lib/mech/rate.ml: Adaptive_sim Float Time

@@ -1,0 +1,1 @@
+lib/mech/rate.mli: Adaptive_sim Time

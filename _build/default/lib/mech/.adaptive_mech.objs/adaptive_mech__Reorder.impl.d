@@ -1,0 +1,1 @@
+lib/mech/reorder.ml: Int List Map Params Pdu

@@ -1,0 +1,1 @@
+lib/mech/reorder.mli: Params Pdu

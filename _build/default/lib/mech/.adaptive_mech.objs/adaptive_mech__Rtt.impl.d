@@ -1,0 +1,1 @@
+lib/mech/rtt.ml: Adaptive_sim Float Time

@@ -1,0 +1,1 @@
+lib/mech/rtt.mli: Adaptive_sim Time

@@ -1,0 +1,1 @@
+lib/mech/slowstart.ml: Float

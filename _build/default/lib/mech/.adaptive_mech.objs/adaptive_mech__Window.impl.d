@@ -1,0 +1,1 @@
+lib/mech/window.ml: Adaptive_sim Int List Map Option Pdu Time

@@ -1,0 +1,1 @@
+lib/mech/window.mli: Adaptive_sim Pdu Time

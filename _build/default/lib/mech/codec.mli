@@ -1,0 +1,36 @@
+(** Concrete wire format for transport PDUs.
+
+    §2.2(C) criticizes the classic suites' control formats: TCP and TP4
+    keep the checksum in the header (precluding simultaneous transmission
+    and checksum computation) and use unaligned, variable-format fields.
+    This codec is the "efficient control format" the paper calls for:
+
+    - every header field is 32-bit aligned and fixed-size;
+    - payload-bearing PDUs (data, parity) carry their 16-bit Internet
+      checksum in the {e trailer}, so a sender can compute it while the
+      packet streams out and a receiver can verify while it streams in;
+    - control PDUs carry the checksum at a fixed header offset.
+
+    [encode] always produces exactly {!Pdu.wire_bytes} bytes — a property
+    the test suite enforces — so the simulator's size accounting and the
+    byte-level format cannot drift apart.  Segments without payload are
+    encoded with zero filler of the declared length. *)
+
+type error =
+  | Truncated  (** Fewer bytes than the header or declared lengths need. *)
+  | Bad_type of int  (** Unknown PDU type tag. *)
+  | Bad_checksum  (** Verification failed: the PDU was damaged. *)
+
+val error_to_string : error -> string
+(** Human-readable rendering. *)
+
+val encode : Pdu.t -> string
+(** Serialize a PDU; [String.length (encode p) = Pdu.wire_bytes p]. *)
+
+val decode : string -> (Pdu.t, error) result
+(** Parse and verify a PDU.  Decoded data/parity segments always carry a
+    payload (the bytes on the wire). *)
+
+val decode_unchecked : string -> (Pdu.t, error) result
+(** Parse without checksum verification — what a no-detection
+    configuration does. *)

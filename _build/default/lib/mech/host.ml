@@ -1,0 +1,57 @@
+open Adaptive_sim
+
+type t = {
+  engine : Engine.t;
+  per_packet : Time.t;
+  per_byte_copy : Time.t;
+  mutable copy_count : int;
+  mutable busy : Time.t;
+  mutable busy_expedited : Time.t;
+  mutable accumulated : Time.t;
+  mutable packet_count : int;
+}
+
+let create ?(per_packet = Time.us 100) ?(per_byte_copy = Time.ns 25) ?(copies = 2)
+    engine =
+  {
+    engine;
+    per_packet;
+    per_byte_copy;
+    copy_count = copies;
+    busy = Time.zero;
+    busy_expedited = Time.zero;
+    accumulated = Time.zero;
+    packet_count = 0;
+  }
+
+let zero_cost engine = create ~per_packet:Time.zero ~per_byte_copy:Time.zero ~copies:0 engine
+
+let process t ~bytes ?(extra = Time.zero) ?(expedited = false) () =
+  let now = Engine.now t.engine in
+  let cost =
+    Time.add t.per_packet
+      (Time.add extra (t.copy_count * bytes * t.per_byte_copy))
+  in
+  t.accumulated <- Time.add t.accumulated cost;
+  t.packet_count <- t.packet_count + 1;
+  if expedited then begin
+    (* Jumps the bulk backlog; bulk work completes no earlier than the
+       expedited work that preempted it. *)
+    let start = Time.max now t.busy_expedited in
+    let finish = Time.add start cost in
+    t.busy_expedited <- finish;
+    t.busy <- Time.max t.busy finish;
+    finish
+  end
+  else begin
+    let start = Time.max now t.busy in
+    let finish = Time.add start cost in
+    t.busy <- finish;
+    finish
+  end
+
+let copies t = t.copy_count
+let set_copies t n = t.copy_count <- max 0 n
+let busy_until t = t.busy
+let total_busy t = t.accumulated
+let packets t = t.packet_count

@@ -1,0 +1,50 @@
+(** Host processing cost model.
+
+    §2.2(A)'s throughput-preservation problem: transport system overhead
+    — memory-to-memory copies, per-packet interrupt and context-switch
+    work — consumes a serial CPU whose speed does not scale with the
+    network.  Each host owns one such CPU; every packet passing through
+    the transport system occupies it for
+    [per_packet + copies * bytes * per_byte_copy (+ extra)].  Packets
+    queue behind one another on the CPU exactly as they queue on a link,
+    producing the delivered-throughput plateau the paper describes. *)
+
+open Adaptive_sim
+
+type t
+(** One host CPU. *)
+
+val create :
+  ?per_packet:Time.t -> ?per_byte_copy:Time.t -> ?copies:int -> Engine.t -> t
+(** [create engine] models a host.  Defaults are 1992-class: 100 us fixed
+    per-packet cost (interrupt, context switch, protocol control),
+    25 ns per byte per copy (a ~40 MB/s memory system) and 2 copies per
+    packet traversal (user/kernel and kernel/interface). *)
+
+val zero_cost : Engine.t -> t
+(** An infinitely fast host: packets pass through for free (isolates
+    network behaviour in experiments that do not study host overhead). *)
+
+val process : t -> bytes:int -> ?extra:Time.t -> ?expedited:bool -> unit -> Time.t
+(** Occupy the CPU for one packet of [bytes] bytes (plus [extra] work,
+    e.g. checksum computation); returns the completion time, [>= now].
+    Bulk work (the default) is serialized behind everything already
+    queued.  [expedited] work models priority scheduling: it queues only
+    behind other expedited work, jumping the bulk backlog (a preemption
+    approximation: an expedited burst and a bulk burst may overlap
+    rather than strictly share the CPU). *)
+
+val copies : t -> int
+(** Copies charged per packet traversal. *)
+
+val set_copies : t -> int -> unit
+(** Change the copy count (the e4 experiment's sweep knob). *)
+
+val busy_until : t -> Time.t
+(** When the CPU becomes free. *)
+
+val total_busy : t -> Time.t
+(** Accumulated busy time (for utilization reports). *)
+
+val packets : t -> int
+(** Packets processed. *)

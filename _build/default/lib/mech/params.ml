@@ -1,0 +1,145 @@
+open Adaptive_sim
+
+type connection = Implicit | Two_way | Three_way
+
+type transmission =
+  | Stop_and_wait
+  | Sliding_window of { window : int }
+  | Rate_based of { rate_bps : float; burst : int }
+
+type congestion_window =
+  | No_congestion_control
+  | Slow_start of { initial : int; threshold : int }
+
+type detection = No_detection | Internet_checksum | Crc32
+
+type reporting =
+  | No_report
+  | Cumulative_ack of { delay : Time.t }
+  | Selective_ack of { delay : Time.t }
+  | Nack_on_gap
+
+type recovery =
+  | No_recovery
+  | Go_back_n
+  | Selective_repeat
+  | Forward_error_correction of { group : int }
+
+type ordering = Unordered | Ordered
+type duplicates = Accept_duplicates | Drop_duplicates
+type delivery = As_available | Playout of { target : Time.t }
+
+let connection_to_string = function
+  | Implicit -> "implicit"
+  | Two_way -> "2way"
+  | Three_way -> "3way"
+
+let connection_of_string = function
+  | "implicit" -> Some Implicit
+  | "2way" -> Some Two_way
+  | "3way" -> Some Three_way
+  | _ -> None
+
+let transmission_to_string = function
+  | Stop_and_wait -> "stopwait"
+  | Sliding_window { window } -> Printf.sprintf "window:%d" window
+  | Rate_based { rate_bps; burst } -> Printf.sprintf "rate:%.0f:%d" rate_bps burst
+
+let transmission_of_string s =
+  match String.split_on_char ':' s with
+  | [ "stopwait" ] -> Some Stop_and_wait
+  | [ "window"; w ] -> Option.map (fun window -> Sliding_window { window }) (int_of_string_opt w)
+  | [ "rate"; r; b ] -> (
+    match (float_of_string_opt r, int_of_string_opt b) with
+    | Some rate_bps, Some burst -> Some (Rate_based { rate_bps; burst })
+    | _ -> None)
+  | _ -> None
+
+let congestion_window_to_string = function
+  | No_congestion_control -> "nocc"
+  | Slow_start { initial; threshold } -> Printf.sprintf "slowstart:%d:%d" initial threshold
+
+let congestion_window_of_string s =
+  match String.split_on_char ':' s with
+  | [ "nocc" ] -> Some No_congestion_control
+  | [ "slowstart"; i; t ] -> (
+    match (int_of_string_opt i, int_of_string_opt t) with
+    | Some initial, Some threshold -> Some (Slow_start { initial; threshold })
+    | _ -> None)
+  | _ -> None
+
+let detection_to_string = function
+  | No_detection -> "nodetect"
+  | Internet_checksum -> "cksum"
+  | Crc32 -> "crc32"
+
+let detection_of_string = function
+  | "nodetect" -> Some No_detection
+  | "cksum" -> Some Internet_checksum
+  | "crc32" -> Some Crc32
+  | _ -> None
+
+let reporting_to_string = function
+  | No_report -> "noreport"
+  | Cumulative_ack { delay } -> Printf.sprintf "cumack:%d" delay
+  | Selective_ack { delay } -> Printf.sprintf "sack:%d" delay
+  | Nack_on_gap -> "nack"
+
+let reporting_of_string s =
+  match String.split_on_char ':' s with
+  | [ "noreport" ] -> Some No_report
+  | [ "cumack"; d ] -> Option.map (fun delay -> Cumulative_ack { delay }) (int_of_string_opt d)
+  | [ "sack"; d ] -> Option.map (fun delay -> Selective_ack { delay }) (int_of_string_opt d)
+  | [ "nack" ] -> Some Nack_on_gap
+  | _ -> None
+
+let recovery_to_string = function
+  | No_recovery -> "norecover"
+  | Go_back_n -> "gbn"
+  | Selective_repeat -> "srepeat"
+  | Forward_error_correction { group } -> Printf.sprintf "fec:%d" group
+
+let recovery_of_string s =
+  match String.split_on_char ':' s with
+  | [ "norecover" ] -> Some No_recovery
+  | [ "gbn" ] -> Some Go_back_n
+  | [ "srepeat" ] -> Some Selective_repeat
+  | [ "fec"; g ] -> Option.map (fun group -> Forward_error_correction { group }) (int_of_string_opt g)
+  | _ -> None
+
+let ordering_to_string = function Unordered -> "unordered" | Ordered -> "ordered"
+
+let ordering_of_string = function
+  | "unordered" -> Some Unordered
+  | "ordered" -> Some Ordered
+  | _ -> None
+
+let duplicates_to_string = function
+  | Accept_duplicates -> "dups-ok"
+  | Drop_duplicates -> "dups-drop"
+
+let duplicates_of_string = function
+  | "dups-ok" -> Some Accept_duplicates
+  | "dups-drop" -> Some Drop_duplicates
+  | _ -> None
+
+let delivery_to_string = function
+  | As_available -> "asap"
+  | Playout { target } -> Printf.sprintf "playout:%d" target
+
+let delivery_of_string s =
+  match String.split_on_char ':' s with
+  | [ "asap" ] -> Some As_available
+  | [ "playout"; t ] -> Option.map (fun target -> Playout { target }) (int_of_string_opt t)
+  | _ -> None
+
+let pp_of to_string fmt v = Format.pp_print_string fmt (to_string v)
+let pp_connection fmt v = pp_of connection_to_string fmt v
+let pp_transmission fmt v = pp_of transmission_to_string fmt v
+let pp_congestion_window fmt v = pp_of congestion_window_to_string fmt v
+let pp_detection fmt v = pp_of detection_to_string fmt v
+let pp_reporting fmt v = pp_of reporting_to_string fmt v
+let pp_recovery fmt v = pp_of recovery_to_string fmt v
+let pp_ordering fmt v = pp_of ordering_to_string fmt v
+let pp_duplicates fmt v = pp_of duplicates_to_string fmt v
+let pp_delivery fmt v = pp_of delivery_to_string fmt v

@@ -1,0 +1,97 @@
+(** The mechanism repository's configuration space.
+
+    Each type below enumerates the "plug-compatible" alternatives for one
+    session activity (§4.2.2): connection management, transmission
+    control, the three reliability-management subcomponents (error
+    detection, error reporting, error recovery), sequenced delivery,
+    duplicate handling, and delivery timing.  A full
+    {!Adaptive_core.Scs.t} names one alternative per activity; the TKO
+    synthesizer instantiates the matching implementations, and segue
+    swaps between alternatives of the same activity at run time.
+
+    Serialization to/from compact strings supports the negotiation blobs
+    exchanged in [Syn]/[Syn_ack]/[Signal] PDUs. *)
+
+open Adaptive_sim
+
+type connection =
+  | Implicit  (** Configuration piggybacked on the first data PDU. *)
+  | Two_way  (** SYN / SYN-ACK. *)
+  | Three_way  (** SYN / SYN-ACK / ACK (TCP-style). *)
+
+type transmission =
+  | Stop_and_wait  (** One outstanding segment. *)
+  | Sliding_window of { window : int }
+      (** Up to [window] outstanding segments; honors the peer's
+          advertisement. *)
+  | Rate_based of { rate_bps : float; burst : int }
+      (** Leaky-bucket pacing with no window (suits isochronous media and
+          long-delay paths). *)
+
+type congestion_window =
+  | No_congestion_control
+  | Slow_start of { initial : int; threshold : int }
+      (** TCP-style slow start + multiplicative decrease, layered under
+          the transmission window. *)
+
+type detection =
+  | No_detection  (** Corruption goes unnoticed. *)
+  | Internet_checksum  (** Cheap, 16-bit. *)
+  | Crc32  (** Stronger, costlier per byte. *)
+
+type reporting =
+  | No_report  (** Receiver never talks back. *)
+  | Cumulative_ack of { delay : Time.t }
+      (** Delayed cumulative acknowledgments. *)
+  | Selective_ack of { delay : Time.t }
+      (** Cumulative plus SACK blocks. *)
+  | Nack_on_gap  (** Negative acks when a gap is detected; no acks. *)
+
+type recovery =
+  | No_recovery  (** Losses are final (loss-tolerant media). *)
+  | Go_back_n  (** Retransmit everything from the first gap. *)
+  | Selective_repeat  (** Retransmit exactly the missing segments. *)
+  | Forward_error_correction of { group : int }
+      (** One XOR parity PDU per [group] data segments; recovers any
+          single loss per group with no retransmission round trip. *)
+
+type ordering =
+  | Unordered  (** Deliver segments as they arrive. *)
+  | Ordered  (** Buffer and deliver in sequence. *)
+
+type duplicates = Accept_duplicates | Drop_duplicates
+
+type delivery =
+  | As_available  (** Hand data up immediately. *)
+  | Playout of { target : Time.t }
+      (** Isochronous playout point [target] after the application
+          stamp; early data waits, late data is discarded. *)
+
+val pp_connection : Format.formatter -> connection -> unit
+val pp_transmission : Format.formatter -> transmission -> unit
+val pp_congestion_window : Format.formatter -> congestion_window -> unit
+val pp_detection : Format.formatter -> detection -> unit
+val pp_reporting : Format.formatter -> reporting -> unit
+val pp_recovery : Format.formatter -> recovery -> unit
+val pp_ordering : Format.formatter -> ordering -> unit
+val pp_duplicates : Format.formatter -> duplicates -> unit
+val pp_delivery : Format.formatter -> delivery -> unit
+
+val connection_to_string : connection -> string
+val connection_of_string : string -> connection option
+val transmission_to_string : transmission -> string
+val transmission_of_string : string -> transmission option
+val congestion_window_to_string : congestion_window -> string
+val congestion_window_of_string : string -> congestion_window option
+val detection_to_string : detection -> string
+val detection_of_string : string -> detection option
+val reporting_to_string : reporting -> string
+val reporting_of_string : string -> reporting option
+val recovery_to_string : recovery -> string
+val recovery_of_string : string -> recovery option
+val ordering_to_string : ordering -> string
+val ordering_of_string : string -> ordering option
+val duplicates_to_string : duplicates -> string
+val duplicates_of_string : string -> duplicates option
+val delivery_to_string : delivery -> string
+val delivery_of_string : string -> delivery option

@@ -1,0 +1,22 @@
+open Adaptive_sim
+
+type t = { mutable target : Time.t; mutable released : int; mutable discarded : int }
+type verdict = Release_at of Time.t | Late of Time.t
+
+let create ~target = { target; released = 0; discarded = 0 }
+let target t = t.target
+let set_target t v = t.target <- v
+
+let offer t ~app_stamp ~arrival =
+  let point = Time.add app_stamp t.target in
+  if arrival <= point then begin
+    t.released <- t.released + 1;
+    Release_at point
+  end
+  else begin
+    t.discarded <- t.discarded + 1;
+    Late (Time.diff arrival point)
+  end
+
+let released t = t.released
+let discarded t = t.discarded

@@ -1,0 +1,35 @@
+(** Isochronous playout buffering (jitter smoothing).
+
+    Continuous-media configurations deliver each segment at a fixed
+    playout point after its application timestamp: early arrivals wait,
+    smoothing network jitter to (near) zero at the cost of [target]
+    latency; arrivals past their playout point are useless and are
+    discarded (the loss-tolerance the media classes in Table 1 allow). *)
+
+open Adaptive_sim
+
+type t
+(** Playout state. *)
+
+type verdict =
+  | Release_at of Time.t  (** Hold the segment and deliver at this time. *)
+  | Late of Time.t  (** Missed its playout point by this much; discard. *)
+
+val create : target:Time.t -> t
+(** [create ~target] sets the playout point [target] after each segment's
+    application stamp. *)
+
+val target : t -> Time.t
+(** Configured playout delay. *)
+
+val set_target : t -> Time.t -> unit
+(** Adjust the playout point (an SCS-level adaptation). *)
+
+val offer : t -> app_stamp:Time.t -> arrival:Time.t -> verdict
+(** Decide one segment's fate. *)
+
+val released : t -> int
+(** Segments scheduled for release so far. *)
+
+val discarded : t -> int
+(** Segments discarded as late so far. *)

@@ -1,0 +1,42 @@
+open Adaptive_sim
+
+type t = {
+  mutable rate : float; (* bytes per second *)
+  burst : float; (* bytes *)
+  mutable tokens : float; (* bytes *)
+  mutable last : Time.t;
+}
+
+let create ~rate_bps ~burst_bytes =
+  if rate_bps <= 0.0 then invalid_arg "Rate.create: non-positive rate";
+  if burst_bytes <= 0 then invalid_arg "Rate.create: non-positive burst";
+  {
+    rate = rate_bps /. 8.0;
+    burst = float_of_int burst_bytes;
+    tokens = float_of_int burst_bytes;
+    last = Time.zero;
+  }
+
+let rate_bps t = t.rate *. 8.0
+
+let refill t now =
+  if now > t.last then begin
+    let dt = Time.to_sec (Time.diff now t.last) in
+    t.tokens <- Float.min t.burst (t.tokens +. (dt *. t.rate));
+    t.last <- now
+  end
+
+let set_rate t ~rate_bps =
+  if rate_bps <= 0.0 then invalid_arg "Rate.set_rate: non-positive rate";
+  refill t t.last;
+  t.rate <- rate_bps /. 8.0
+
+let earliest_send t ~now ~bytes =
+  refill t now;
+  let need = float_of_int bytes -. t.tokens in
+  if need <= 0.0 then now
+  else Time.add now (Time.sec (need /. t.rate))
+
+let commit t ~at ~bytes =
+  refill t at;
+  t.tokens <- t.tokens -. float_of_int bytes

@@ -1,0 +1,30 @@
+(** Rate-based transmission control (token bucket).
+
+    The paper calls for "rate control ... to handle congestion" (§2.2(C))
+    and names "increase the inter-PDU gap used by the rate control
+    mechanism" as an SCS-level reconfiguration (§4.1.2).  The pacer is a
+    token bucket: tokens accrue at the configured rate up to a burst
+    bound; a segment may depart once enough tokens have accrued.
+    {!set_rate} adjusts the inter-PDU gap live. *)
+
+open Adaptive_sim
+
+type t
+(** A pacer. *)
+
+val create : rate_bps:float -> burst_bytes:int -> t
+(** [create ~rate_bps ~burst_bytes] allows [burst_bytes] back-to-back and
+    [rate_bps] sustained. *)
+
+val rate_bps : t -> float
+(** Current sustained rate. *)
+
+val set_rate : t -> rate_bps:float -> unit
+(** Change the sustained rate (live reconfiguration). *)
+
+val earliest_send : t -> now:Time.t -> bytes:int -> Time.t
+(** Earliest instant at which a [bytes]-byte segment may depart,
+    [>= now]. *)
+
+val commit : t -> at:Time.t -> bytes:int -> unit
+(** Consume tokens for a segment actually sent at [at]. *)

@@ -1,0 +1,71 @@
+module Imap = Map.Make (Int)
+
+type verdict = Deliver of Pdu.seg list | Buffered | Duplicate
+
+type t = {
+  ordering : Params.ordering;
+  duplicates : Params.duplicates;
+  mutable expected : int;
+  mutable above : Pdu.seg Imap.t; (* received with seq >= expected *)
+  mutable highest : int;
+}
+
+let create ?(start = 0) ~ordering ~duplicates () =
+  { ordering; duplicates; expected = start; above = Imap.empty; highest = start - 1 }
+
+let expected t = t.expected
+let highest_seen t = t.highest
+
+let seen t seq = seq < t.expected || Imap.mem seq t.above
+
+(* Advance the cumulative point over any contiguous run now present,
+   removing the run from the buffer and returning it in order. *)
+let drain_run t =
+  let rec take acc =
+    match Imap.find_opt t.expected t.above with
+    | None -> List.rev acc
+    | Some seg ->
+      t.above <- Imap.remove t.expected t.above;
+      t.expected <- t.expected + 1;
+      take (seg :: acc)
+  in
+  take []
+
+let offer t (seg : Pdu.seg) =
+  let dup = seen t seg.Pdu.seq in
+  if dup && t.duplicates = Params.Drop_duplicates then Duplicate
+  else if dup then Deliver [ seg ]
+  else begin
+    if seg.Pdu.seq > t.highest then t.highest <- seg.Pdu.seq;
+    t.above <- Imap.add seg.Pdu.seq seg t.above;
+    match t.ordering with
+    | Params.Unordered ->
+      (* Release immediately, but keep cumulative bookkeeping for acks. *)
+      let _ = drain_run t in
+      Deliver [ seg ]
+    | Params.Ordered ->
+      let run = drain_run t in
+      if run = [] then Buffered else Deliver run
+  end
+
+let missing t =
+  let rec gaps seq acc =
+    if seq > t.highest then List.rev acc
+    else if Imap.mem seq t.above then gaps (seq + 1) acc
+    else gaps (seq + 1) (seq :: acc)
+  in
+  gaps t.expected []
+
+let sack_list t = List.map fst (Imap.bindings t.above)
+
+let advance_past_gap t =
+  match Imap.min_binding_opt t.above with
+  | None -> (0, [])
+  | Some (seq, _) when seq <= t.expected -> (0, [])
+  | Some (seq, _) ->
+    let skipped = seq - t.expected in
+    t.expected <- seq;
+    (skipped, drain_run t)
+
+let buffered_count t =
+  match t.ordering with Params.Unordered -> 0 | Params.Ordered -> Imap.cardinal t.above

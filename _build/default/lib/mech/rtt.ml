@@ -1,0 +1,45 @@
+open Adaptive_sim
+
+type t = {
+  mutable srtt : float; (* seconds *)
+  mutable rttvar : float;
+  mutable nsamples : int;
+  mutable backoff : int;
+  initial_rto : Time.t;
+}
+
+let create ?(initial_rto = Time.sec 1.0) () =
+  { srtt = 0.0; rttvar = 0.0; nsamples = 0; backoff = 0; initial_rto }
+
+let observe t sample =
+  let r = Time.to_sec sample in
+  if t.nsamples = 0 then begin
+    t.srtt <- r;
+    t.rttvar <- r /. 2.0
+  end
+  else begin
+    let delta = Float.abs (t.srtt -. r) in
+    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. delta);
+    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. r)
+  end;
+  t.nsamples <- t.nsamples + 1;
+  t.backoff <- 0
+
+let srtt t = if t.nsamples = 0 then None else Some (Time.sec t.srtt)
+let rttvar t = if t.nsamples = 0 then None else Some (Time.sec t.rttvar)
+
+let clamp_rto v = Time.max (Time.ms 10) (Time.min (Time.sec 60.0) v)
+
+let rto t =
+  (* Variance term floored at a 10 ms granularity (RFC 6298's G) so a
+     converged estimator still rides out ack-clock jitter. *)
+  let base =
+    if t.nsamples = 0 then t.initial_rto
+    else Time.sec (t.srtt +. Float.max (4.0 *. t.rttvar) 0.010)
+  in
+  let shift = min t.backoff 16 in
+  clamp_rto (base * (1 lsl shift))
+
+let on_timeout t = t.backoff <- t.backoff + 1
+let reset_backoff t = t.backoff <- 0
+let samples t = t.nsamples

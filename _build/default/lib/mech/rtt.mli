@@ -1,0 +1,39 @@
+(** Round-trip-time estimation and retransmission timeout computation.
+
+    Jacobson/Karels smoothed RTT plus mean deviation, with exponential
+    backoff on timeout — the "precise round-trip timer calculations" the
+    paper lists among long-delay-link requirements (§2.2(C)).  Karn's rule
+    is the caller's job: do not feed samples from retransmitted
+    segments. *)
+
+open Adaptive_sim
+
+type t
+(** Estimator state. *)
+
+val create : ?initial_rto:Time.t -> unit -> t
+(** Fresh estimator; [initial_rto] (default 1 s) is used until the first
+    sample arrives. *)
+
+val observe : t -> Time.t -> unit
+(** Feed one RTT sample; resets any timeout backoff. *)
+
+val srtt : t -> Time.t option
+(** Smoothed RTT, once at least one sample exists. *)
+
+val rttvar : t -> Time.t option
+(** Smoothed mean deviation. *)
+
+val rto : t -> Time.t
+(** Current retransmission timeout: [srtt + 4*rttvar], backed off by the
+    number of consecutive timeouts, clamped to [\[10 ms, 60 s\]]. *)
+
+val on_timeout : t -> unit
+(** Double the effective RTO (exponential backoff). *)
+
+val reset_backoff : t -> unit
+(** Clear the timeout backoff without a new sample — called when the
+    acknowledgment stream shows forward progress. *)
+
+val samples : t -> int
+(** Number of samples observed. *)

@@ -1,0 +1,24 @@
+type t = {
+  initial : int;
+  mutable cwnd : float;
+  mutable ssthresh : int;
+  mutable loss_events : int;
+}
+
+let create ~initial ~threshold =
+  if initial < 1 || threshold < 1 then invalid_arg "Slowstart.create";
+  { initial; cwnd = float_of_int initial; ssthresh = threshold; loss_events = 0 }
+
+let window t = max 1 (int_of_float t.cwnd)
+let threshold t = t.ssthresh
+
+let on_ack t =
+  if window t < t.ssthresh then t.cwnd <- t.cwnd +. 1.0
+  else t.cwnd <- t.cwnd +. (1.0 /. Float.max 1.0 t.cwnd)
+
+let on_loss t =
+  t.ssthresh <- max 2 (window t / 2);
+  t.cwnd <- float_of_int t.initial;
+  t.loss_events <- t.loss_events + 1
+
+let losses t = t.loss_events

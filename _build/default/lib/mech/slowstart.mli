@@ -1,0 +1,32 @@
+(** TCP-style congestion window (slow start / congestion avoidance /
+    multiplicative decrease).
+
+    §2.2(C) notes TCP "simulates access control" with slow start and
+    multiplicative decrease; the TCP-like baseline and any ADAPTIVE
+    configuration that selects [Slow_start] congestion control layer this
+    window under the advertised flow-control window: the effective send
+    window is the minimum of the two. *)
+
+type t
+(** Congestion-window state (in segments). *)
+
+val create : initial:int -> threshold:int -> t
+(** [initial] is the window after a loss and at start; [threshold] the
+    slow-start/congestion-avoidance boundary. *)
+
+val window : t -> int
+(** Current congestion window, segments ([>= 1]). *)
+
+val threshold : t -> int
+(** Current slow-start threshold. *)
+
+val on_ack : t -> unit
+(** Acknowledgment of new data: exponential growth below threshold,
+    additive (1 segment per window) above it. *)
+
+val on_loss : t -> unit
+(** Loss signal: threshold becomes half the window, window collapses to
+    the initial value (multiplicative decrease). *)
+
+val losses : t -> int
+(** Number of loss events reacted to. *)

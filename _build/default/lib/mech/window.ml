@@ -1,0 +1,67 @@
+open Adaptive_sim
+module Imap = Map.Make (Int)
+
+type entry = {
+  seg : Pdu.seg;
+  mutable sent_at : Time.t;
+  mutable retries : int;
+  mutable sacked : bool;
+}
+
+type t = { mutable entries : entry Imap.t }
+
+let create () = { entries = Imap.empty }
+let in_flight t = Imap.cardinal t.entries
+
+let bytes_in_flight t =
+  Imap.fold (fun _ e acc -> acc + e.seg.Pdu.seg_bytes) t.entries 0
+
+let is_empty t = Imap.is_empty t.entries
+
+let track t seg ~at =
+  t.entries <-
+    Imap.add seg.Pdu.seq { seg; sent_at = at; retries = 0; sacked = false } t.entries
+
+let touch t seq ~at =
+  match Imap.find_opt seq t.entries with
+  | None -> ()
+  | Some e ->
+    e.sent_at <- at;
+    e.retries <- e.retries + 1
+
+let find t seq = Imap.find_opt seq t.entries
+let lowest_outstanding t = Option.map fst (Imap.min_binding_opt t.entries)
+
+let on_cumulative_ack t ~cum =
+  let acked, kept = Imap.partition (fun seq _ -> seq < cum) t.entries in
+  t.entries <- kept;
+  List.map snd (Imap.bindings acked)
+
+let mark_sacked t seqs =
+  List.iter
+    (fun seq ->
+      match Imap.find_opt seq t.entries with
+      | Some e -> e.sacked <- true
+      | None -> ())
+    seqs
+
+let unsacked_from t from =
+  Imap.fold
+    (fun seq e acc -> if seq >= from && not e.sacked then e.seg :: acc else acc)
+    t.entries []
+  |> List.rev
+
+let unsacked_missing t seqs =
+  List.filter_map
+    (fun seq ->
+      match Imap.find_opt seq t.entries with
+      | Some e when not e.sacked -> Some e.seg
+      | Some _ | None -> None)
+    (List.sort_uniq compare seqs)
+
+let oldest_unsacked t =
+  Imap.fold
+    (fun _ e acc -> match acc with Some _ -> acc | None -> if e.sacked then None else Some e)
+    t.entries None
+
+let iter t f = Imap.iter (fun _ e -> f e) t.entries

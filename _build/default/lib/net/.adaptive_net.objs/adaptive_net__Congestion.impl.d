@@ -1,0 +1,1 @@
+lib/net/congestion.ml: Adaptive_sim Engine Float Link List Rng Time

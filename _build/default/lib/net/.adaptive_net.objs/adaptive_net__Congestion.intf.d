@@ -1,0 +1,1 @@
+lib/net/congestion.mli: Adaptive_sim Engine Link Rng Time

@@ -1,0 +1,1 @@
+lib/net/link.ml: Adaptive_sim Float Printf Rng Stdlib Time

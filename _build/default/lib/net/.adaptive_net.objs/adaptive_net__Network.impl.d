@@ -1,0 +1,1 @@
+lib/net/network.ml: Adaptive_sim Engine Hashtbl Link List Rng Time Topology

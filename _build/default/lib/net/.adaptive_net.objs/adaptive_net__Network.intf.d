@@ -1,0 +1,1 @@
+lib/net/network.mli: Adaptive_sim Engine Rng Time Topology

@@ -1,0 +1,1 @@
+lib/net/profiles.ml: Adaptive_sim Link Time

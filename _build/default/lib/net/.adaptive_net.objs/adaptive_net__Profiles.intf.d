@@ -1,0 +1,1 @@
+lib/net/profiles.mli: Adaptive_sim Link Time

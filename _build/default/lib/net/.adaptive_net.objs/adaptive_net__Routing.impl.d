@@ -1,0 +1,1 @@
+lib/net/routing.ml: Adaptive_sim Engine Hashtbl Link List Option Time Topology

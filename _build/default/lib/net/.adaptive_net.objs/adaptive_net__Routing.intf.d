@@ -1,0 +1,1 @@
+lib/net/routing.mli: Adaptive_sim Engine Link Time Topology

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Adaptive_sim Float Hashtbl Link List Time

@@ -1,0 +1,136 @@
+open Adaptive_sim
+
+type stats = {
+  accepted : int;
+  dropped_queue : int;
+  dropped_down : int;
+  corrupted : int;
+  bytes_carried : int;
+}
+
+type t = {
+  name : string;
+  bandwidth_bps : float;
+  propagation : Time.t;
+  queue_pkts : int;
+  ber : float;
+  mtu : int;
+  mutable busy_until : Time.t;
+  mutable background : float;
+  mutable up : bool;
+  mutable accepted : int;
+  mutable dropped_queue : int;
+  mutable dropped_down : int;
+  mutable corrupted_count : int;
+  mutable bytes_carried : int;
+}
+
+let counter = ref 0
+
+let create ?name ~bandwidth_bps ~propagation ?(queue_pkts = 64) ?(ber = 0.0)
+    ?(mtu = 65535) () =
+  if bandwidth_bps <= 0.0 then invalid_arg "Link.create: non-positive bandwidth";
+  incr counter;
+  let name = match name with Some n -> n | None -> Printf.sprintf "link%d" !counter in
+  {
+    name;
+    bandwidth_bps;
+    propagation;
+    queue_pkts;
+    ber;
+    mtu;
+    busy_until = Time.zero;
+    background = 0.0;
+    up = true;
+    accepted = 0;
+    dropped_queue = 0;
+    dropped_down = 0;
+    corrupted_count = 0;
+    bytes_carried = 0;
+  }
+
+let name t = t.name
+let bandwidth_bps t = t.bandwidth_bps
+let propagation t = t.propagation
+let mtu t = t.mtu
+let ber t = t.ber
+let queue_capacity t = t.queue_pkts
+
+let set_background_utilization t u =
+  t.background <- Float.max 0.0 (Float.min 0.98 u)
+
+let background_utilization t = t.background
+
+let fail t = t.up <- false
+let repair t = t.up <- true
+let is_up t = t.up
+
+let effective_bps t = t.bandwidth_bps *. (1.0 -. t.background)
+
+let serialization t bytes = Time.of_rate ~bits:(bytes * 8) ~bps:(effective_bps t)
+
+type verdict =
+  | Transmitted of { departs : Time.t; corrupted : bool }
+  | Dropped_queue
+  | Dropped_down
+
+(* Congestive random early loss ramps up as cross traffic saturates the
+   queue: zero below 70% utilization, then quadratic up to 25% at 98%. *)
+let congestive_loss_probability u =
+  if u <= 0.70 then 0.0
+  else
+    let x = (u -. 0.70) /. 0.28 in
+    0.25 *. x *. x
+
+let transmit t ~rng ~now:_ ~arrival ~bytes =
+  if not t.up then begin
+    t.dropped_down <- t.dropped_down + 1;
+    Dropped_down
+  end
+  else begin
+    let ser = serialization t bytes in
+    let start = Time.max arrival t.busy_until in
+    let wait = Time.diff start arrival in
+    (* The queue holds [queue_pkts] full-size packets' worth of service
+       time regardless of the arriving packet's own size — otherwise a
+       small acknowledgment waiting behind one data packet would already
+       count as overflow. *)
+    let queue_limit = t.queue_pkts * Stdlib.max 1 (serialization t t.mtu) in
+    let early_drop = Rng.bernoulli rng (congestive_loss_probability t.background) in
+    if wait > queue_limit || early_drop then begin
+      t.dropped_queue <- t.dropped_queue + 1;
+      Dropped_queue
+    end
+    else begin
+      t.busy_until <- Time.add start ser;
+      t.accepted <- t.accepted + 1;
+      t.bytes_carried <- t.bytes_carried + bytes;
+      let p_clean = (1.0 -. t.ber) ** float_of_int (bytes * 8) in
+      let corrupted = Rng.bernoulli rng (1.0 -. p_clean) in
+      if corrupted then t.corrupted_count <- t.corrupted_count + 1;
+      Transmitted { departs = Time.add t.busy_until t.propagation; corrupted }
+    end
+  end
+
+let utilization_estimate t ~now =
+  let backlog = Time.diff t.busy_until now in
+  let fg = if backlog <= 0 then 0.0 else Float.min 1.0 (float_of_int backlog /. 1e7) in
+  Float.min 1.0 (t.background +. (fg *. (1.0 -. t.background)))
+
+let queue_delay_estimate t ~now = Time.max 0 (Time.diff t.busy_until now)
+
+let stats t =
+  {
+    accepted = t.accepted;
+    dropped_queue = t.dropped_queue;
+    dropped_down = t.dropped_down;
+    corrupted = t.corrupted_count;
+    bytes_carried = t.bytes_carried;
+  }
+
+let reset_stats t =
+  t.accepted <- 0;
+  t.dropped_queue <- 0;
+  t.dropped_down <- 0;
+  t.corrupted_count <- 0;
+  t.bytes_carried <- 0

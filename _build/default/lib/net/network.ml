@@ -1,0 +1,204 @@
+open Adaptive_sim
+
+type addr = Topology.addr
+
+type 'm recv = {
+  payload : 'm;
+  src : addr;
+  dst : addr;
+  wire_bytes : int;
+  sent_at : Time.t;
+  received_at : Time.t;
+  corrupted : bool;
+}
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped_queue : int;
+  dropped_down : int;
+  dropped_no_route : int;
+  dropped_mtu : int;
+  corrupted : int;
+  bytes_sent : int;
+}
+
+type 'm t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  topology : Topology.t;
+  handlers : (addr, 'm recv -> unit) Hashtbl.t;
+  mutable s_sent : int;
+  mutable s_delivered : int;
+  mutable s_dropped_queue : int;
+  mutable s_dropped_down : int;
+  mutable s_dropped_no_route : int;
+  mutable s_dropped_mtu : int;
+  mutable s_corrupted : int;
+  mutable s_bytes_sent : int;
+}
+
+let create engine ~rng topology =
+  {
+    engine;
+    rng;
+    topology;
+    handlers = Hashtbl.create 16;
+    s_sent = 0;
+    s_delivered = 0;
+    s_dropped_queue = 0;
+    s_dropped_down = 0;
+    s_dropped_no_route = 0;
+    s_dropped_mtu = 0;
+    s_corrupted = 0;
+    s_bytes_sent = 0;
+  }
+
+let engine t = t.engine
+let topology t = t.topology
+let attach t addr handler = Hashtbl.replace t.handlers addr handler
+let detach t addr = Hashtbl.remove t.handlers addr
+
+(* Walk the hop list, reusing cached verdicts for links this packet has
+   already crossed (multicast replication at branch points).  Returns the
+   delivery time and corruption flag, or the drop cause. *)
+type outcome =
+  | Arrives of Time.t * bool
+  | Lost_queue
+  | Lost_down
+  | Lost_mtu
+
+let traverse t ~cache ~bytes hops =
+  let now = Engine.now t.engine in
+  let rec walk arrival corrupted = function
+    | [] -> Arrives (arrival, corrupted)
+    | link :: rest -> (
+      if bytes > Link.mtu link then Lost_mtu
+      else
+        let verdict =
+          match List.assq_opt link !cache with
+          | Some v -> v
+          | None ->
+            let v = Link.transmit link ~rng:t.rng ~now ~arrival ~bytes in
+            cache := (link, v) :: !cache;
+            v
+        in
+        match verdict with
+        | Link.Transmitted { departs; corrupted = c } ->
+          walk departs (corrupted || c) rest
+        | Link.Dropped_queue -> Lost_queue
+        | Link.Dropped_down -> Lost_down)
+  in
+  walk now false hops
+
+let deliver t ~src ~dst ~bytes ~sent_at payload outcome =
+  match outcome with
+  | Lost_queue -> t.s_dropped_queue <- t.s_dropped_queue + 1
+  | Lost_down -> t.s_dropped_down <- t.s_dropped_down + 1
+  | Lost_mtu -> t.s_dropped_mtu <- t.s_dropped_mtu + 1
+  | Arrives (at, corrupted) ->
+    if corrupted then t.s_corrupted <- t.s_corrupted + 1;
+    ignore
+      (Engine.schedule t.engine ~at (fun () ->
+           match Hashtbl.find_opt t.handlers dst with
+           | None -> ()
+           | Some handler ->
+             t.s_delivered <- t.s_delivered + 1;
+             handler
+               {
+                 payload;
+                 src;
+                 dst;
+                 wire_bytes = bytes;
+                 sent_at;
+                 received_at = at;
+                 corrupted;
+               }))
+
+let send_on_cache t ~cache ~src ~dst ~bytes payload =
+  match Topology.route t.topology ~src ~dst with
+  | None -> t.s_dropped_no_route <- t.s_dropped_no_route + 1
+  | Some hops ->
+    let sent_at = Engine.now t.engine in
+    deliver t ~src ~dst ~bytes ~sent_at payload (traverse t ~cache ~bytes hops)
+
+let send t ~src ~dst ~bytes payload =
+  if bytes <= 0 then invalid_arg "Network.send: non-positive size";
+  t.s_sent <- t.s_sent + 1;
+  t.s_bytes_sent <- t.s_bytes_sent + bytes;
+  send_on_cache t ~cache:(ref []) ~src ~dst ~bytes payload
+
+let multicast t ~src ~dsts ~bytes payload =
+  if bytes <= 0 then invalid_arg "Network.multicast: non-positive size";
+  t.s_sent <- t.s_sent + 1;
+  t.s_bytes_sent <- t.s_bytes_sent + bytes;
+  let cache = ref [] in
+  List.iter (fun dst -> send_on_cache t ~cache ~src ~dst ~bytes payload) dsts
+
+let stats t =
+  {
+    sent = t.s_sent;
+    delivered = t.s_delivered;
+    dropped_queue = t.s_dropped_queue;
+    dropped_down = t.s_dropped_down;
+    dropped_no_route = t.s_dropped_no_route;
+    dropped_mtu = t.s_dropped_mtu;
+    corrupted = t.s_corrupted;
+    bytes_sent = t.s_bytes_sent;
+  }
+
+let reset_stats t =
+  t.s_sent <- 0;
+  t.s_delivered <- 0;
+  t.s_dropped_queue <- 0;
+  t.s_dropped_down <- 0;
+  t.s_dropped_no_route <- 0;
+  t.s_dropped_mtu <- 0;
+  t.s_corrupted <- 0;
+  t.s_bytes_sent <- 0;
+  List.iter Link.reset_stats (Topology.links t.topology)
+
+type hop_state = {
+  link_name : string;
+  bandwidth : float;
+  utilization : float;
+  cross_traffic : float;
+  queue_delay : Time.t;
+  hop_ber : float;
+  hop_mtu : int;
+  up : bool;
+}
+
+let path_state t ~src ~dst =
+  match Topology.route t.topology ~src ~dst with
+  | None -> []
+  | Some hops ->
+    let now = Engine.now t.engine in
+    let snapshot link =
+      {
+        link_name = Link.name link;
+        bandwidth = Link.bandwidth_bps link;
+        utilization = Link.utilization_estimate link ~now;
+        cross_traffic = Link.background_utilization link;
+        queue_delay = Link.queue_delay_estimate link ~now;
+        hop_ber = Link.ber link;
+        hop_mtu = Link.mtu link;
+        up = Link.is_up link;
+      }
+    in
+    List.map snapshot hops
+
+let one_way_estimate hops bytes =
+  List.fold_left
+    (fun acc link ->
+      Time.add acc
+        (Time.add (Link.propagation link)
+           (Time.of_rate ~bits:(bytes * 8) ~bps:(Link.bandwidth_bps link))))
+    Time.zero hops
+
+let rtt_estimate t ~src ~dst ~bytes =
+  match (Topology.route t.topology ~src ~dst, Topology.route t.topology ~src:dst ~dst:src) with
+  | Some fwd, Some back ->
+    Some (Time.add (one_way_estimate fwd bytes) (one_way_estimate back bytes))
+  | Some fwd, None -> Some (Time.add (one_way_estimate fwd bytes) (one_way_estimate fwd bytes))
+  | None, _ -> None

@@ -1,0 +1,101 @@
+(** The network substrate: unicast and multicast packet delivery.
+
+    The network is parametric in the transport PDU type ['m], so the
+    transport system above it defines its own headers while the network
+    charges realistic wire costs: per-hop queueing, serialization at the
+    congestion-scaled rate, propagation, queue-overflow loss and bit-error
+    corruption.  Oversized packets (beyond the path MTU) are dropped and
+    counted — segmentation is the transport's job, sized during MANTTS
+    negotiation.
+
+    Multicast replicates at branch points: each physical link on the
+    union of the receivers' routes carries the packet {e once}, which is
+    exactly the resource the paper's reliable-multicast configuration
+    exploits against an N-unicast baseline. *)
+
+open Adaptive_sim
+
+type addr = Topology.addr
+(** Host address. *)
+
+type 'm recv = {
+  payload : 'm;  (** The PDU as sent. *)
+  src : addr;  (** Sender address. *)
+  dst : addr;  (** This receiver's address. *)
+  wire_bytes : int;  (** Size charged on the wire. *)
+  sent_at : Time.t;  (** When the sender injected the packet. *)
+  received_at : Time.t;  (** Delivery time at this receiver. *)
+  corrupted : bool;  (** A bit error occurred on some hop; whether anyone
+                         notices is up to the error-detection mechanism. *)
+}
+(** Delivery record handed to a host's receive handler. *)
+
+type 'm t
+(** A network carrying PDUs of type ['m]. *)
+
+val create : Engine.t -> rng:Rng.t -> Topology.t -> 'm t
+(** Build a network over a topology, drawing loss/corruption randomness
+    from [rng] and scheduling deliveries on the engine. *)
+
+val engine : 'm t -> Engine.t
+(** The engine deliveries are scheduled on. *)
+
+val topology : 'm t -> Topology.t
+(** The underlying topology. *)
+
+val attach : 'm t -> addr -> ('m recv -> unit) -> unit
+(** Register the receive handler for a host (replacing any previous
+    one). *)
+
+val detach : 'm t -> addr -> unit
+(** Remove a host's handler; subsequent deliveries to it are dropped. *)
+
+val send : 'm t -> src:addr -> dst:addr -> bytes:int -> 'm -> unit
+(** Inject a [bytes]-byte packet now.  Delivery (or silent loss) follows
+    from the route's link models.  No route, an oversized packet, or a
+    detached destination count as drops. *)
+
+val multicast : 'm t -> src:addr -> dsts:addr list -> bytes:int -> 'm -> unit
+(** Inject one packet toward every destination, paying each shared link
+    once (replication happens where routes diverge). *)
+
+type stats = {
+  sent : int;  (** Packets injected (multicast counts once). *)
+  delivered : int;  (** Deliveries executed (per receiver). *)
+  dropped_queue : int;  (** Lost to queue overflow. *)
+  dropped_down : int;  (** Lost to failed links. *)
+  dropped_no_route : int;  (** No route to destination. *)
+  dropped_mtu : int;  (** Exceeded path MTU. *)
+  corrupted : int;  (** Delivered with bit errors. *)
+  bytes_sent : int;  (** Total bytes injected. *)
+}
+(** Network-wide counters. *)
+
+val stats : 'm t -> stats
+(** Read the counters. *)
+
+val reset_stats : 'm t -> unit
+(** Zero the network counters and every link's counters. *)
+
+type hop_state = {
+  link_name : string;
+  bandwidth : float;  (** Raw channel speed, bits/s. *)
+  utilization : float;  (** Estimated total load in [\[0,1\]]. *)
+  cross_traffic : float;  (** Background (cross-traffic) share of the
+                              load — the congestion signal reconfiguration
+                              policies react to, as opposed to the
+                              session's own queueing. *)
+  queue_delay : Time.t;  (** Current queueing delay estimate. *)
+  hop_ber : float;  (** Bit-error rate. *)
+  hop_mtu : int;  (** MTU in bytes. *)
+  up : bool;  (** Link is forwarding. *)
+}
+(** Snapshot of one hop, as sampled by the MANTTS network monitor. *)
+
+val path_state : 'm t -> src:addr -> dst:addr -> hop_state list
+(** Per-hop snapshot of the current route ([[]] when unrouted). *)
+
+val rtt_estimate : 'm t -> src:addr -> dst:addr -> bytes:int -> Time.t option
+(** Crude round-trip estimate for a [bytes]-byte packet and an equal-size
+    reply on the reverse route, ignoring queueing.  Used to seed
+    retransmission timers before any measurement exists. *)

@@ -1,0 +1,51 @@
+(** Candidate-path routing with automatic failover.
+
+    §4.1.2's implicit-reconfiguration triggers include "intermediate
+    switching node failure" and "routing changes" — this module supplies
+    the routing half: each host pair carries an ordered list of candidate
+    paths, and a periodic monitor keeps the best {e live} candidate
+    installed in the {!Topology}.  When a hop on the active path fails the
+    route moves to the next live candidate (e.g. terrestrial → satellite);
+    when a better candidate recovers, traffic fails back.  The MANTTS
+    session monitors then observe the change through their
+    [Route_changed] and delay conditions and adapt the transport
+    configuration. *)
+
+open Adaptive_sim
+
+type t
+(** A routing table over one topology. *)
+
+val create : Engine.t -> Topology.t -> t
+(** Routing state for a topology. *)
+
+val set_candidates :
+  t -> src:Topology.addr -> dst:Topology.addr -> Link.t list list -> unit
+(** Register the ordered candidate paths for one direction (most
+    preferred first; must be non-empty, as must each path).  Immediately
+    installs the first live candidate (or the first candidate when none
+    is fully live). *)
+
+val set_symmetric_candidates :
+  t -> a:Topology.addr -> b:Topology.addr -> Link.t list list -> unit
+(** Register the same candidates for both directions; reverse paths use
+    fresh full-duplex mirror links (see
+    {!Topology.set_symmetric_route}). *)
+
+val active_index : t -> src:Topology.addr -> dst:Topology.addr -> int option
+(** Which candidate is currently installed (0 = most preferred). *)
+
+val reevaluate : t -> unit
+(** Scan every registered pair once, installing the best live candidate
+    where it differs from the active one. *)
+
+val monitor : ?every:Time.t -> t -> Engine.Timer.timer
+(** Run {!reevaluate} periodically (default every 250 ms) — the routing
+    protocol's convergence loop.  Cancel the returned timer to stop. *)
+
+val failovers : t -> int
+(** Route changes applied since creation (failovers and failbacks). *)
+
+val log : t -> (Time.t * Topology.addr * Topology.addr * int) list
+(** Every route change, oldest first: time, src, dst, new candidate
+    index. *)

@@ -1,0 +1,66 @@
+open Adaptive_sim
+
+type addr = int
+
+type t = {
+  mutable names : string list; (* reversed registration order *)
+  routes : (addr * addr, Link.t list) Hashtbl.t;
+}
+
+let create () = { names = []; routes = Hashtbl.create 16 }
+
+let add_host t name =
+  let addr = List.length t.names in
+  t.names <- name :: t.names;
+  addr
+
+let host_name t addr =
+  let n = List.length t.names in
+  if addr < 0 || addr >= n then raise Not_found;
+  List.nth t.names (n - 1 - addr)
+
+let hosts t = List.mapi (fun i name -> (i, name)) (List.rev t.names)
+
+let set_route t ~src ~dst hops =
+  if hops = [] then invalid_arg "Topology.set_route: empty route";
+  Hashtbl.replace t.routes (src, dst) hops
+
+(* Full duplex: the reverse direction gets its own transmitter and queue. *)
+let mirror_link l =
+  Link.create
+    ~name:(Link.name l ^ "~rev")
+    ~bandwidth_bps:(Link.bandwidth_bps l) ~propagation:(Link.propagation l)
+    ~queue_pkts:(Link.queue_capacity l) ~ber:(Link.ber l) ~mtu:(Link.mtu l) ()
+
+let set_symmetric_route t ~a ~b hops =
+  set_route t ~src:a ~dst:b hops;
+  set_route t ~src:b ~dst:a (List.rev_map mirror_link hops)
+
+let route t ~src ~dst = Hashtbl.find_opt t.routes (src, dst)
+
+let on_route t ~src ~dst f =
+  match route t ~src ~dst with
+  | None -> None
+  | Some hops -> Some (f hops)
+
+let path_mtu t ~src ~dst =
+  on_route t ~src ~dst (fun hops ->
+      List.fold_left (fun acc l -> min acc (Link.mtu l)) max_int hops)
+
+let path_propagation t ~src ~dst =
+  on_route t ~src ~dst (fun hops ->
+      List.fold_left (fun acc l -> Time.add acc (Link.propagation l)) Time.zero hops)
+
+let bottleneck_bps t ~src ~dst =
+  on_route t ~src ~dst (fun hops ->
+      List.fold_left (fun acc l -> Float.min acc (Link.bandwidth_bps l)) infinity hops)
+
+let links t =
+  let seen = ref [] in
+  Hashtbl.iter
+    (fun _ hops ->
+      List.iter
+        (fun l -> if not (List.memq l !seen) then seen := l :: !seen)
+        hops)
+    t.routes;
+  List.rev !seen

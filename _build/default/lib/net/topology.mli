@@ -1,0 +1,58 @@
+(** Hosts and routes.
+
+    A topology names the end systems and records, for each ordered host
+    pair, the current route: the list of {!Link.t} hops a packet crosses.
+    Routes are mutable so that experiments can model routing changes
+    (e.g. §4.1.2's terrestrial-to-satellite failover) with
+    {!set_route}. *)
+
+open Adaptive_sim
+
+type addr = int
+(** A host address. *)
+
+type t
+(** A topology instance. *)
+
+val create : unit -> t
+(** An empty topology. *)
+
+val add_host : t -> string -> addr
+(** Register a host and return its address. *)
+
+val host_name : t -> addr -> string
+(** Name of a registered host.  Raises [Not_found] on unknown address. *)
+
+val hosts : t -> (addr * string) list
+(** All hosts in registration order. *)
+
+val set_route : t -> src:addr -> dst:addr -> Link.t list -> unit
+(** Install (or replace) the route from [src] to [dst].  The empty list is
+    rejected. *)
+
+val set_symmetric_route : t -> a:addr -> b:addr -> Link.t list -> unit
+(** Install the hop list from [a] to [b], and a reverse route from [b] to
+    [a] built from fresh {e mirror} links with identical parameters (links
+    are full-duplex: each direction has its own queue and transmitter).
+    Callers keep handles only to the forward links — congestion or
+    failure injected there affects the [a]→[b] direction, which is what
+    experiments drive. *)
+
+val route : t -> src:addr -> dst:addr -> Link.t list option
+(** Current route, if one is installed. *)
+
+val path_mtu : t -> src:addr -> dst:addr -> int option
+(** Smallest hop MTU along the current route. *)
+
+val path_propagation : t -> src:addr -> dst:addr -> Time.t option
+(** Sum of hop propagation delays along the current route. *)
+
+val bottleneck_bps : t -> src:addr -> dst:addr -> float option
+(** Smallest hop bandwidth along the current route. *)
+
+val links : t -> Link.t list
+(** Every distinct link referenced by some route. *)
+
+val mirror_link : Link.t -> Link.t
+(** A fresh link with the same parameters (the reverse half of a
+    full-duplex hop). *)

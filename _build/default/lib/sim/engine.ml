@@ -1,0 +1,123 @@
+type event = { mutable live : bool; action : unit -> unit }
+
+type t = {
+  mutable clock : Time.t;
+  queue : event Heap.t;
+  mutable live_count : int;
+  mutable fired : int;
+}
+
+type handle = t * event
+
+let create () = { clock = Time.zero; queue = Heap.create (); live_count = 0; fired = 0 }
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then invalid_arg "Engine.schedule: event in the past";
+  let e = { live = true; action = f } in
+  Heap.push t.queue ~key:at e;
+  t.live_count <- t.live_count + 1;
+  (t, e)
+
+let schedule_after t ~delay f = schedule t ~at:(Time.add t.clock delay) f
+
+let cancel (t, e) =
+  if e.live then begin
+    e.live <- false;
+    t.live_count <- t.live_count - 1
+  end
+
+let is_pending (_, e) = e.live
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, e) ->
+    if e.live then begin
+      e.live <- false;
+      t.live_count <- t.live_count - 1;
+      t.clock <- at;
+      t.fired <- t.fired + 1;
+      e.action ();
+      true
+    end
+    else step t
+
+(* Discard cancelled entries so the head of the queue is always the next
+   event that will actually fire — otherwise a cancelled entry's timestamp
+   could let [run ~until] step into an event beyond the limit. *)
+let rec next_live_at t =
+  match Heap.peek t.queue with
+  | None -> None
+  | Some (at, e) -> if e.live then Some at else (ignore (Heap.pop t.queue); next_live_at t)
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with None -> max_int | Some n -> n) in
+  let continue () =
+    !budget > 0
+    &&
+    match next_live_at t with
+    | None -> false
+    | Some at -> (
+      match until with None -> true | Some limit -> at <= limit)
+  in
+  while continue () do
+    if step t then decr budget
+  done;
+  match until with
+  | Some limit when t.clock < limit && !budget > 0 -> t.clock <- limit
+  | Some _ | None -> ()
+
+let pending_events t = t.live_count
+let events_fired t = t.fired
+
+let cancel_handle = cancel
+
+module Timer = struct
+  type timer = {
+    engine : t;
+    mutable handle : handle option;
+    mutable period : Time.t option;
+    mutable count : int;
+    callback : unit -> unit;
+  }
+
+  let rec arm timer delay =
+    let h =
+      schedule_after timer.engine ~delay (fun () ->
+          timer.handle <- None;
+          timer.count <- timer.count + 1;
+          (match timer.period with
+          | Some interval -> arm timer interval
+          | None -> ());
+          timer.callback ())
+    in
+    timer.handle <- Some h
+
+  let one_shot engine ~delay f =
+    let timer = { engine; handle = None; period = None; count = 0; callback = f } in
+    arm timer delay;
+    timer
+
+  let periodic engine ~interval f =
+    if interval <= 0 then invalid_arg "Timer.periodic: non-positive interval";
+    let timer =
+      { engine; handle = None; period = Some interval; count = 0; callback = f }
+    in
+    arm timer interval;
+    timer
+
+  let cancel timer =
+    (match timer.handle with Some h -> cancel_handle h | None -> ());
+    timer.handle <- None;
+    timer.period <- None
+
+  let reschedule timer ~delay =
+    (match timer.handle with Some h -> cancel_handle h | None -> ());
+    arm timer delay
+
+  let is_active timer =
+    match timer.handle with Some h -> is_pending h | None -> false
+
+  let expirations timer = timer.count
+end

@@ -1,0 +1,77 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the simulated clock and an event queue.  Everything in
+    the reproduction — packet arrivals, retransmission timers, congestion
+    phase changes, application traffic — runs as events scheduled here.
+    Events at the same instant fire in scheduling order, so runs are fully
+    deterministic.
+
+    The {!Timer} submodule is the analog of the paper's [TKO_Event] class:
+    one-shot or periodic timers that can be scheduled, cancelled, and
+    rescheduled ([TKO_Event::schedule] / [expire] / [cancel]). *)
+
+type t
+(** A simulation engine instance. *)
+
+type handle
+(** A cancellable reference to a scheduled event. *)
+
+val create : unit -> t
+(** Fresh engine with the clock at {!Time.zero} and no pending events. *)
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val schedule : t -> at:Time.t -> (unit -> unit) -> handle
+(** [schedule t ~at f] arranges for [f ()] to run at simulated time [at].
+    Scheduling in the past raises [Invalid_argument]. *)
+
+val schedule_after : t -> delay:Time.t -> (unit -> unit) -> handle
+(** [schedule_after t ~delay f] is [schedule t ~at:(now t + delay) f]. *)
+
+val cancel : handle -> unit
+(** Prevent the event from firing.  Cancelling a fired or already-cancelled
+    event is a no-op. *)
+
+val is_pending : handle -> bool
+(** [true] until the event fires or is cancelled. *)
+
+val step : t -> bool
+(** Run the earliest pending event, advancing the clock to it.  Returns
+    [false] when no event is pending. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Run events in time order until the queue is empty, the clock would
+    pass [until], or [max_events] have fired. *)
+
+val pending_events : t -> int
+(** Number of scheduled (uncancelled) events. *)
+
+val events_fired : t -> int
+(** Total events executed since creation. *)
+
+(** One-shot and periodic timers — the [TKO_Event] analog. *)
+module Timer : sig
+  type timer
+  (** A timer bound to an engine. *)
+
+  val one_shot : t -> delay:Time.t -> (unit -> unit) -> timer
+  (** Fire once after [delay]. *)
+
+  val periodic : t -> interval:Time.t -> (unit -> unit) -> timer
+  (** Fire every [interval] until cancelled.  [interval] must be
+      positive. *)
+
+  val cancel : timer -> unit
+  (** Stop the timer; idempotent. *)
+
+  val reschedule : timer -> delay:Time.t -> unit
+  (** Cancel any pending expiry and arm the timer to fire once after
+      [delay] (for periodic timers the period resumes afterwards). *)
+
+  val is_active : timer -> bool
+  (** [true] while the timer still has a pending expiry. *)
+
+  val expirations : timer -> int
+  (** Number of times the timer has fired. *)
+end

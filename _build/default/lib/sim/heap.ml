@@ -1,0 +1,84 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { arr = [||]; size = 0; next_seq = 0 }
+
+let is_empty h = h.size = 0
+let length h = h.size
+
+(* [less a b] orders by key, then insertion sequence for FIFO tie-break. *)
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h e =
+  let cap = Array.length h.arr in
+  if h.size = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let na = Array.make ncap e in
+    Array.blit h.arr 0 na 0 h.size;
+    h.arr <- na
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h.arr.(i) h.arr.(parent) then begin
+      let tmp = h.arr.(i) in
+      h.arr.(i) <- h.arr.(parent);
+      h.arr.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+  if r < h.size && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(!smallest);
+    h.arr.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h ~key value =
+  let e = { key; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  grow h e;
+  h.arr.(h.size) <- e;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let e = h.arr.(0) in
+    Some (e.key, e.value)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.arr.(0) <- h.arr.(h.size);
+      sift_down h 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let clear h =
+  h.size <- 0;
+  h.arr <- [||]
+
+let rec drain h ~f =
+  match pop h with
+  | None -> ()
+  | Some (k, v) ->
+    f k v;
+    drain h ~f

@@ -1,0 +1,33 @@
+(** Imperative binary min-heap keyed by integer priorities.
+
+    Used as the event queue of the discrete-event {!Engine}.  Ties are
+    broken by insertion order so that events scheduled for the same instant
+    fire first-in first-out, which keeps simulations deterministic. *)
+
+type 'a t
+(** A heap holding values of type ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [true] iff [h] holds no element. *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val push : 'a t -> key:int -> 'a -> unit
+(** [push h ~key v] inserts [v] with priority [key]. *)
+
+val peek : 'a t -> (int * 'a) option
+(** [peek h] is the minimum-key binding, without removing it. *)
+
+val pop : 'a t -> (int * 'a) option
+(** [pop h] removes and returns the minimum-key binding.  Among equal keys,
+    the earliest-pushed binding is returned first. *)
+
+val clear : 'a t -> unit
+(** Remove every element. *)
+
+val drain : 'a t -> f:(int -> 'a -> unit) -> unit
+(** [drain h ~f] pops every element in priority order, applying [f]. *)

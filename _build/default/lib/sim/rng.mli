@@ -1,0 +1,57 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    Every source of randomness in the simulator (traffic generators, loss
+    processes, congestion dynamics) draws from an {!t}.  The generator is
+    SplitMix64: fast, statistically adequate for simulation, and
+    {e splittable} — [split] derives an independent stream, so concurrent
+    model components can be seeded from one master seed without
+    correlating, and every experiment is reproducible from its seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] is a fresh generator determined by [seed]. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    independent of the remainder of [t]'s stream. *)
+
+val copy : t -> t
+(** [copy t] is a generator that will produce the same stream as [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val geometric : t -> p:float -> int
+(** Number of Bernoulli([p]) failures before the first success; [>= 0]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normally distributed sample (Box–Muller). *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto sample — heavy-tailed; used for bursty traffic sizes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

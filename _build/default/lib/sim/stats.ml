@@ -1,0 +1,121 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+  reservoir : float array;
+  mutable stored : int;
+  rng : Rng.t;
+}
+
+let create ?(reservoir = 8192) ?(seed = 0x5747) () =
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    sum = 0.0;
+    mn = infinity;
+    mx = neg_infinity;
+    reservoir = Array.make reservoir 0.0;
+    stored = 0;
+    rng = Rng.create seed;
+  }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  let cap = Array.length t.reservoir in
+  if t.stored < cap then begin
+    t.reservoir.(t.stored) <- x;
+    t.stored <- t.stored + 1
+  end
+  else
+    (* Vitter's algorithm R keeps a uniform sample of the stream. *)
+    let j = Rng.int t.rng t.n in
+    if j < cap then t.reservoir.(j) <- x
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then nan else t.mean
+let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min_value t = if t.n = 0 then nan else t.mn
+let max_value t = if t.n = 0 then nan else t.mx
+
+let quantile t q =
+  if t.stored = 0 then nan
+  else begin
+    let xs = Array.sub t.reservoir 0 t.stored in
+    Array.sort Float.compare xs;
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let pos = q *. float_of_int (t.stored - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    if lo = hi then xs.(lo)
+    else
+      let w = pos -. float_of_int lo in
+      (xs.(lo) *. (1.0 -. w)) +. (xs.(hi) *. w)
+  end
+
+let merge a b =
+  let t = create ~reservoir:(Array.length a.reservoir) () in
+  let feed src = Array.iter (add t) (Array.sub src.reservoir 0 src.stored) in
+  feed a;
+  feed b;
+  (* Correct the exact moments, which reservoirs would only approximate. *)
+  t.n <- a.n + b.n;
+  t.sum <- a.sum +. b.sum;
+  if t.n > 0 then begin
+    let na = float_of_int a.n and nb = float_of_int b.n in
+    let delta = b.mean -. a.mean in
+    let nm = ((na *. a.mean) +. (nb *. b.mean)) /. (na +. nb) in
+    t.mean <- nm;
+    t.m2 <- a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. (na +. nb))
+  end;
+  t.mn <- Float.min a.mn b.mn;
+  t.mx <- Float.max a.mx b.mx;
+  t
+
+let clear t =
+  t.n <- 0;
+  t.mean <- 0.0;
+  t.m2 <- 0.0;
+  t.sum <- 0.0;
+  t.mn <- infinity;
+  t.mx <- neg_infinity;
+  t.stored <- 0
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summarize (t : t) =
+  {
+    n = t.n;
+    mean = mean t;
+    stddev = stddev t;
+    min = min_value t;
+    max = max_value t;
+    p50 = quantile t 0.50;
+    p95 = quantile t 0.95;
+    p99 = quantile t 0.99;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g" s.n
+    s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max

@@ -1,0 +1,65 @@
+(** Streaming statistics accumulators.
+
+    UNITES stores one {!t} per metric.  The accumulator keeps exact count,
+    mean and variance (Welford's algorithm), exact min/max, and a bounded
+    reservoir sample from which quantiles are estimated, so memory stays
+    constant no matter how many samples a long simulation produces. *)
+
+type t
+(** A mutable statistics accumulator. *)
+
+val create : ?reservoir:int -> ?seed:int -> unit -> t
+(** [create ()] is an empty accumulator.  [reservoir] bounds the number of
+    retained samples used for quantile estimation (default 8192). *)
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val count : t -> int
+(** Number of observations recorded. *)
+
+val total : t -> float
+(** Sum of all observations. *)
+
+val mean : t -> float
+(** Arithmetic mean; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] with fewer than two observations. *)
+
+val stddev : t -> float
+(** Square root of {!variance}. *)
+
+val min_value : t -> float
+(** Smallest observation; [nan] when empty. *)
+
+val max_value : t -> float
+(** Largest observation; [nan] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] estimates the [q]-quantile ([0 <= q <= 1]) from the
+    reservoir; [nan] when empty. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator summarizing both inputs. *)
+
+val clear : t -> unit
+(** Forget every observation. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+(** Immutable snapshot of an accumulator. *)
+
+val summarize : t -> summary
+(** Snapshot the accumulator. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** One-line printer for a summary. *)

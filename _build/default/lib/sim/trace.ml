@@ -1,0 +1,37 @@
+type entry = { at : Time.t; category : string; detail : string }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  log : entry Queue.t;
+  capacity : int;
+}
+
+let create ?(log_capacity = 4096) () =
+  { counters = Hashtbl.create 32; log = Queue.create (); capacity = log_capacity }
+
+let count_by t name n =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.counters name (ref n)
+
+let count t name = count_by t name 1
+
+let event t ~at ~category ~detail =
+  count t category;
+  if t.capacity > 0 then begin
+    if Queue.length t.log >= t.capacity then ignore (Queue.pop t.log);
+    Queue.push { at; category; detail } t.log
+  end
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let entries t = List.of_seq (Queue.to_seq t.log)
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Queue.clear t.log

@@ -1,0 +1,38 @@
+(** Lightweight event tracing and counting.
+
+    UNITES' whitebox instrumentation is built on trace points: named
+    counters plus an optional bounded log of recent events.  Counters are
+    always cheap; the event log can be switched off entirely so that
+    instrumentation overhead experiments can compare both modes. *)
+
+type t
+(** A trace sink. *)
+
+type entry = { at : Time.t; category : string; detail : string }
+(** One logged event. *)
+
+val create : ?log_capacity:int -> unit -> t
+(** [create ()] makes a sink.  [log_capacity] bounds the retained event log
+    (default 4096; 0 disables logging while keeping counters). *)
+
+val count : t -> string -> unit
+(** Increment the named counter by one. *)
+
+val count_by : t -> string -> int -> unit
+(** Increment the named counter by [n]. *)
+
+val event : t -> at:Time.t -> category:string -> detail:string -> unit
+(** Increment the category counter and, if logging is enabled, append an
+    entry (oldest entries are dropped once capacity is reached). *)
+
+val counter : t -> string -> int
+(** Current value of the named counter (0 if never incremented). *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val entries : t -> entry list
+(** Retained log entries, oldest first. *)
+
+val clear : t -> unit
+(** Reset counters and log. *)

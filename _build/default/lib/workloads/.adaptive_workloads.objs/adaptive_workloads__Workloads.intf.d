@@ -1,0 +1,1 @@
+lib/workloads/workloads.mli: Adaptive_core Adaptive_sim Engine Mantts Qos Rng Session Time Tsc

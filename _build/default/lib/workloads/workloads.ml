@@ -1,0 +1,319 @@
+open Adaptive_sim
+open Adaptive_core
+
+type app =
+  | Voice_conversation
+  | Teleconferencing
+  | Video_compressed
+  | Video_raw
+  | Manufacturing_control
+  | File_transfer
+  | Telnet
+  | Oltp
+  | Remote_file_service
+
+let all =
+  [
+    Voice_conversation;
+    Teleconferencing;
+    Video_compressed;
+    Video_raw;
+    Manufacturing_control;
+    File_transfer;
+    Telnet;
+    Oltp;
+    Remote_file_service;
+  ]
+
+let name = function
+  | Voice_conversation -> "Voice Conversation"
+  | Teleconferencing -> "Tele-Conferencing"
+  | Video_compressed -> "Full-Motion Video (comp)"
+  | Video_raw -> "Full-Motion Video (raw)"
+  | Manufacturing_control -> "Manufacturing Control"
+  | File_transfer -> "File Transfer"
+  | Telnet -> "TELNET"
+  | Oltp -> "On-Line Transaction Processing"
+  | Remote_file_service -> "Remote File Service"
+
+let qos = function
+  | Voice_conversation ->
+    {
+      Qos.default with
+      Qos.avg_bps = 64e3;
+      peak_bps = 64e3;
+      max_latency = Some (Time.ms 200);
+      max_jitter = Some (Time.ms 15);
+      loss_tolerance = 0.05;
+      ordered = false;
+      duplicate_sensitive = false;
+      isochronous = true;
+      interactive = true;
+      realtime = true;
+      duration = Some (Time.minutes 3);
+    }
+  | Teleconferencing ->
+    {
+      Qos.avg_bps = 512e3;
+      peak_bps = 1.5e6;
+      max_latency = Some (Time.ms 250);
+      max_jitter = Some (Time.ms 20);
+      loss_tolerance = 0.02;
+      ordered = false;
+      duplicate_sensitive = false;
+      isochronous = true;
+      interactive = true;
+      realtime = true;
+      multicast = true;
+      priority = true;
+      duration = Some (Time.minutes 30);
+    }
+  | Video_compressed ->
+    {
+      Qos.avg_bps = 6e6;
+      peak_bps = 24e6;
+      max_latency = Some (Time.ms 300);
+      max_jitter = Some (Time.ms 40);
+      loss_tolerance = 0.02;
+      ordered = false;
+      duplicate_sensitive = false;
+      isochronous = true;
+      interactive = false;
+      realtime = true;
+      multicast = true;
+      priority = true;
+      duration = Some (Time.minutes 60);
+    }
+  | Video_raw ->
+    {
+      Qos.avg_bps = 120e6;
+      peak_bps = 140e6;
+      max_latency = Some (Time.ms 300);
+      max_jitter = Some (Time.ms 10);
+      loss_tolerance = 0.02;
+      ordered = false;
+      duplicate_sensitive = false;
+      isochronous = true;
+      interactive = false;
+      realtime = true;
+      multicast = true;
+      priority = true;
+      duration = Some (Time.minutes 60);
+    }
+  | Manufacturing_control ->
+    {
+      Qos.avg_bps = 400e3;
+      peak_bps = 1e6;
+      max_latency = Some (Time.ms 50);
+      max_jitter = None;
+      loss_tolerance = 0.001;
+      ordered = true;
+      duplicate_sensitive = true;
+      realtime = true;
+      isochronous = false;
+      interactive = false;
+      multicast = true;
+      priority = true;
+      duration = Some (Time.minutes 480);
+    }
+  | File_transfer ->
+    {
+      Qos.default with
+      Qos.avg_bps = 2e6;
+      peak_bps = 2.4e6;
+      max_latency = None;
+      max_jitter = None;
+      loss_tolerance = 0.0;
+      ordered = true;
+      duplicate_sensitive = true;
+      duration = Some (Time.minutes 2);
+    }
+  | Telnet ->
+    {
+      Qos.default with
+      Qos.avg_bps = 200.0;
+      peak_bps = 2e3;
+      max_latency = Some (Time.ms 250);
+      max_jitter = Some (Time.ms 400);
+      loss_tolerance = 0.0;
+      ordered = true;
+      duplicate_sensitive = true;
+      interactive = true;
+      priority = true;
+      duration = Some (Time.minutes 60);
+    }
+  | Oltp ->
+    {
+      Qos.default with
+      Qos.avg_bps = 20e3;
+      peak_bps = 200e3;
+      max_latency = Some (Time.ms 300);
+      max_jitter = Some (Time.ms 500);
+      loss_tolerance = 0.0;
+      ordered = true;
+      duplicate_sensitive = true;
+      interactive = true;
+      duration = Some (Time.minutes 120);
+    }
+  | Remote_file_service ->
+    {
+      Qos.default with
+      Qos.avg_bps = 80e3;
+      peak_bps = 1e6;
+      max_latency = Some (Time.ms 350);
+      max_jitter = Some (Time.ms 500);
+      loss_tolerance = 0.0;
+      ordered = true;
+      duplicate_sensitive = true;
+      interactive = true;
+      multicast = true;
+      duration = Some (Time.minutes 120);
+    }
+
+let expected_tsc = function
+  | Voice_conversation | Teleconferencing -> Tsc.Interactive_isochronous
+  | Video_compressed | Video_raw -> Tsc.Distributional_isochronous
+  | Manufacturing_control -> Tsc.Realtime_non_isochronous
+  | File_transfer | Telnet | Oltp | Remote_file_service ->
+    Tsc.Non_realtime_non_isochronous
+
+let multicast_receivers = function
+  | Teleconferencing -> 4
+  | Video_compressed | Video_raw -> 3
+  | Manufacturing_control -> 2
+  | Remote_file_service -> 2
+  | Voice_conversation | File_transfer | Telnet | Oltp -> 1
+
+type driver = {
+  engine : Engine.t;
+  rng : Rng.t;
+  session : Session.t;
+  stop_at : Time.t;
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+let messages_sent d = d.messages
+let bytes_sent d = d.bytes
+
+let submit d bytes =
+  if
+    Engine.now d.engine <= d.stop_at
+    && Session.state d.session <> Session.Closed
+    && Session.state d.session <> Session.Closing
+  then begin
+    d.messages <- d.messages + 1;
+    d.bytes <- d.bytes + bytes;
+    Session.send d.session ~bytes ()
+  end
+
+let rec every d ~interval ~bytes () =
+  if Engine.now d.engine < d.stop_at then begin
+    submit d (bytes ());
+    ignore (Engine.schedule_after d.engine ~delay:interval (every d ~interval ~bytes))
+  end
+
+(* Talkspurt on/off source: exponential spurts and gaps, periodic frames
+   while talking. *)
+let talkspurt d ~frame_bytes ~frame_every ~mean_on ~mean_off =
+  let rec spurt () =
+    if Engine.now d.engine < d.stop_at then begin
+      let dur = Time.sec (Rng.exponential d.rng ~mean:(Time.to_sec mean_on)) in
+      let until = Time.add (Engine.now d.engine) dur in
+      let rec frame () =
+        if Engine.now d.engine < Time.min until d.stop_at then begin
+          submit d frame_bytes;
+          ignore (Engine.schedule_after d.engine ~delay:frame_every frame)
+        end
+        else begin
+          let gap = Time.sec (Rng.exponential d.rng ~mean:(Time.to_sec mean_off)) in
+          ignore (Engine.schedule_after d.engine ~delay:(max 1 gap) spurt)
+        end
+      in
+      frame ()
+    end
+  in
+  spurt ()
+
+(* Closed-loop request/response: the next request leaves a think time
+   after the *complete* response to the previous one arrives. *)
+let request_response d ~request_bytes ~response_bytes ~think ~jitter =
+  let send_request () =
+    if Engine.now d.engine < d.stop_at then submit d request_bytes
+  in
+  let delay () =
+    let base = Time.to_sec think in
+    max 1 (Time.sec (Rng.uniform d.rng (0.5 *. base) ((1.0 +. jitter) *. base)))
+  in
+  ignore
+    (Engine.schedule_after d.engine ~delay:(Time.ms 1) (fun () -> send_request ()));
+  let prev = ref 0 in
+  let rec poll () =
+    if Engine.now d.engine < d.stop_at then begin
+      let responses = Session.bytes_delivered d.session / response_bytes in
+      if responses > !prev then begin
+        prev := responses;
+        ignore (Engine.schedule_after d.engine ~delay:(delay ()) send_request)
+      end;
+      ignore (Engine.schedule_after d.engine ~delay:(Time.ms 5) poll)
+    end
+  in
+  poll ()
+
+let drive engine rng ~session app ~stop_at =
+  let d = { engine; rng; session; stop_at; messages = 0; bytes = 0 } in
+  (match app with
+  | Voice_conversation ->
+    talkspurt d ~frame_bytes:160 ~frame_every:(Time.ms 20) ~mean_on:(Time.sec 1.0)
+      ~mean_off:(Time.sec 1.35)
+  | Teleconferencing ->
+    talkspurt d ~frame_bytes:1280 ~frame_every:(Time.ms 20) ~mean_on:(Time.sec 2.0)
+      ~mean_off:(Time.sec 1.0)
+  | Video_compressed ->
+    let bytes () =
+      let mean = 6e6 /. 8.0 /. 30.0 in
+      let v = Rng.pareto rng ~shape:2.5 ~scale:(mean *. 0.6) in
+      max 256 (min 100_000 (int_of_float v))
+    in
+    every d ~interval:(Time.ms 33) ~bytes ()
+  | Video_raw ->
+    every d ~interval:(Time.ms 33) ~bytes:(fun () -> 500_000) ()
+  | Manufacturing_control ->
+    every d ~interval:(Time.ms 10) ~bytes:(fun () -> 256) ()
+  | File_transfer ->
+    (* One bulk message; the session segments and paces it. *)
+    submit d 10_000_000
+  | Telnet ->
+    let rec keystroke () =
+      if Engine.now engine < stop_at then begin
+        submit d (Rng.int_in rng 1 4);
+        let gap = Time.sec (Rng.exponential rng ~mean:0.5) in
+        ignore (Engine.schedule_after engine ~delay:(max 1 gap) keystroke)
+      end
+    in
+    keystroke ()
+  | Oltp ->
+    request_response d ~request_bytes:256 ~response_bytes:2048 ~think:(Time.ms 100)
+      ~jitter:1.0
+  | Remote_file_service ->
+    request_response d ~request_bytes:128 ~response_bytes:8192 ~think:(Time.ms 200)
+      ~jitter:1.0);
+  d
+
+let install_server app entity =
+  match app with
+  | Telnet ->
+    Mantts.set_app_handler entity (fun session d ->
+        if Session.state session = Session.Established then
+          Session.send session ~bytes:(max 1 d.Session.bytes) ())
+  | Oltp ->
+    Mantts.set_app_handler entity (fun session _ ->
+        if Session.state session = Session.Established then
+          Session.send session ~bytes:2048 ())
+  | Remote_file_service ->
+    Mantts.set_app_handler entity (fun session _ ->
+        if Session.state session = Session.Established then
+          Session.send session ~bytes:8192 ())
+  | Voice_conversation | Teleconferencing | Video_compressed | Video_raw
+  | Manufacturing_control | File_transfer ->
+    Mantts.set_app_handler entity (fun _ _ -> ())

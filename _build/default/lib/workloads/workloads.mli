@@ -1,0 +1,60 @@
+(** Application workload generators — the nine rows of Table 1.
+
+    Each application carries (a) the quantitative/qualitative QoS profile
+    that Table 1 grades, (b) the service class the paper assigns it (used
+    to validate the Stage I classifier), and (c) a traffic generator that
+    drives a session with the corresponding arrival process: talkspurt
+    voice, constant/variable bit-rate video frames, periodic control
+    commands, bulk transfer, keystrokes, and closed-loop
+    request/response. *)
+
+open Adaptive_sim
+open Adaptive_core
+
+type app =
+  | Voice_conversation
+  | Teleconferencing
+  | Video_compressed  (** Full-motion video, compressed (VBR). *)
+  | Video_raw  (** Full-motion video, uncompressed (CBR). *)
+  | Manufacturing_control
+  | File_transfer
+  | Telnet
+  | Oltp  (** On-line transaction processing. *)
+  | Remote_file_service
+
+val all : app list
+(** The nine applications in Table 1 row order. *)
+
+val name : app -> string
+(** Display name as printed in Table 1. *)
+
+val qos : app -> Qos.t
+(** The application's QoS requirements. *)
+
+val expected_tsc : app -> Tsc.t
+(** The service class Table 1 assigns — the classifier must agree. *)
+
+val multicast_receivers : app -> int
+(** How many receivers the app's canonical scenario uses (1 for
+    unicast). *)
+
+type driver
+(** A running traffic generator bound to a session. *)
+
+val drive :
+  Engine.t -> Rng.t -> session:Session.t -> app -> stop_at:Time.t -> driver
+(** Start generating the application's sending pattern on [session] until
+    [stop_at].  Closed-loop applications (Telnet, OLTP, RFS) need
+    {!install_server} on the responding host to produce replies. *)
+
+val messages_sent : driver -> int
+(** Application messages submitted so far. *)
+
+val bytes_sent : driver -> int
+(** Application bytes submitted so far. *)
+
+val install_server : app -> Mantts.entity -> unit
+(** Install the server-side behaviour for closed-loop applications on the
+    accepting host's MANTTS entity: Telnet echoes, OLTP and RFS answer
+    requests with their response sizes.  For one-way applications this
+    installs a sink. *)

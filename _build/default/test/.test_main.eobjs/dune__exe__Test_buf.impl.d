@@ -1,0 +1,1 @@
+test/test_buf.ml: Adaptive_buf Alcotest Buffer Bytes Char Checksum List Msg Option Pool QCheck2 QCheck_alcotest String

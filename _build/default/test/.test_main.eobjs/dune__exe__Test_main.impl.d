@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_buf Test_core Test_integration Test_mantts Test_mech Test_net Test_payload Test_random Test_session Test_sim Test_workloads

@@ -1,0 +1,1 @@
+test/test_net.ml: Adaptive_net Adaptive_sim Alcotest Congestion Engine Link List Network Option Profiles Rng Routing Time Topology

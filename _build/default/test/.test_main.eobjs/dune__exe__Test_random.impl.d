@@ -1,0 +1,1 @@
+test/test_random.ml: Adaptive_core Adaptive_mech Adaptive_net Adaptive_sim Engine Fun Host Link List Network Option Params Printf QCheck2 QCheck_alcotest Rng Scs Session Time Topology Unites

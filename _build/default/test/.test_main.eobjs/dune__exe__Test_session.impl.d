@@ -1,0 +1,1 @@
+test/test_session.ml: Adaptive_core Adaptive_mech Adaptive_net Adaptive_sim Alcotest Engine Fun Hashtbl Host Link List Network Option Params Pdu Printf Rng Scs Session Stats Time Tko Topology Unites

@@ -1,0 +1,1 @@
+test/test_sim.ml: Adaptive_sim Alcotest Array Engine Float Heap List Option QCheck2 QCheck_alcotest Rng Stats Time Trace

@@ -1,0 +1,259 @@
+(* Tests for the buffer-management substrate: Msg (TKO_Message), Checksum,
+   Pool. *)
+
+open Adaptive_buf
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ Msg *)
+
+let test_msg_create () =
+  let m = Msg.create 100 in
+  check_int "data" 100 (Msg.data_length m);
+  check_int "headers" 0 (Msg.header_length m);
+  check_int "total" 100 (Msg.total_length m);
+  let m2 = Msg.of_string "hello" in
+  check_int "of_string" 5 (Msg.data_length m2);
+  check_str "content" "hello" (Msg.data_to_string m2)
+
+let test_msg_push_pop () =
+  let m = Msg.of_string "payload" in
+  Msg.push m "tcp|";
+  Msg.push m "ip|";
+  Msg.push m "eth|";
+  check_int "header bytes" 11 (Msg.header_length m);
+  check_str "outermost first" "eth|ip|tcp|payload" (Msg.to_string m);
+  Alcotest.(check (option string)) "peek" (Some "eth|") (Msg.peek_header m);
+  Alcotest.(check (option string)) "pop eth" (Some "eth|") (Msg.pop m);
+  Alcotest.(check (option string)) "pop ip" (Some "ip|") (Msg.pop m);
+  Alcotest.(check (option string)) "pop tcp" (Some "tcp|") (Msg.pop m);
+  Alcotest.(check (option string)) "pop empty" None (Msg.pop m);
+  check_int "data untouched" 7 (Msg.data_length m)
+
+let test_msg_split () =
+  let m = Msg.of_string "abcdefghij" in
+  Msg.push m "H";
+  let front, back = Msg.split m 4 in
+  check_str "front data" "abcd" (Msg.data_to_string front);
+  check_str "back data" "efghij" (Msg.data_to_string back);
+  check_int "headers stay with front" 1 (Msg.header_length front);
+  check_int "back headerless" 0 (Msg.header_length back);
+  Alcotest.check_raises "negative" (Invalid_argument "Msg.split: index out of range")
+    (fun () -> ignore (Msg.split m (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Msg.split: index out of range")
+    (fun () -> ignore (Msg.split m 11))
+
+let test_msg_split_edges () =
+  let m = Msg.of_string "xyz" in
+  let a, b = Msg.split m 0 in
+  check_int "empty front" 0 (Msg.data_length a);
+  check_str "full back" "xyz" (Msg.data_to_string b);
+  let c, d = Msg.split m 3 in
+  check_str "full front" "xyz" (Msg.data_to_string c);
+  check_int "empty back" 0 (Msg.data_length d)
+
+let test_msg_fragment_concat () =
+  let m = Msg.of_string "0123456789abcdef" in
+  let frags = Msg.fragment m ~mtu:5 in
+  check_int "fragment count" 4 (List.length frags);
+  Alcotest.(check (list int)) "fragment sizes" [ 5; 5; 5; 1 ]
+    (List.map Msg.data_length frags);
+  let whole = Msg.concat frags in
+  check_str "reassembled" "0123456789abcdef" (Msg.data_to_string whole);
+  Alcotest.check_raises "bad mtu" (Invalid_argument "Msg.fragment: non-positive MTU")
+    (fun () -> ignore (Msg.fragment m ~mtu:0))
+
+let test_msg_copy_sharing () =
+  let base = Bytes.of_string "shared" in
+  let m = Msg.of_bytes base in
+  let c = Msg.copy m in
+  Msg.push c "X";
+  check_int "copy header independent" 0 (Msg.header_length m);
+  check_int "copy has header" 1 (Msg.header_length c);
+  (* Data bytes are shared: mutating the base is visible through both. *)
+  Bytes.set base 0 'S';
+  check_str "original sees change" "Shared" (Msg.data_to_string m);
+  check_str "copy sees change" "Shared" (Msg.data_to_string c)
+
+let test_msg_copy_counters () =
+  Msg.reset_copy_counters ();
+  let m = Msg.of_string "0123456789" in
+  let _frags = Msg.fragment m ~mtu:3 in
+  let _c = Msg.copy m in
+  let _halves = Msg.split m 5 in
+  check_int "logical ops copy nothing" 0 (Msg.physical_copies ());
+  ignore (Msg.data_to_string m);
+  check_int "materialize counts" 1 (Msg.physical_copies ());
+  check_int "bytes counted" 10 (Msg.copied_bytes ());
+  let dst = Bytes.create 10 in
+  Msg.blit_data m dst 0;
+  check_int "blit counts" 2 (Msg.physical_copies ());
+  Msg.reset_copy_counters ();
+  check_int "reset" 0 (Msg.physical_copies ())
+
+let test_msg_iter_data () =
+  let m = Msg.of_string "abcdef" in
+  let _, back = Msg.split m 2 in
+  let collected = Buffer.create 8 in
+  Msg.iter_data back (fun b off len -> Buffer.add_subbytes collected b off len);
+  check_str "iter over segments" "cdef" (Buffer.contents collected)
+
+let prop_fragment_roundtrip =
+  QCheck2.Test.make ~name:"fragment/concat is the identity" ~count:300
+    QCheck2.Gen.(pair (string_size (int_range 0 200)) (int_range 1 32))
+    (fun (s, mtu) ->
+      let m = Msg.of_string s in
+      Msg.data_to_string (Msg.concat (Msg.fragment m ~mtu)) = s)
+
+let prop_split_partition =
+  QCheck2.Test.make ~name:"split partitions the data region" ~count:300
+    QCheck2.Gen.(string_size (int_range 0 100))
+    (fun s ->
+      let n = String.length s / 2 in
+      let m = Msg.of_string s in
+      let a, b = Msg.split m n in
+      Msg.data_to_string a ^ Msg.data_to_string b = s)
+
+let prop_push_pop_roundtrip =
+  QCheck2.Test.make ~name:"push then pop returns headers LIFO" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 10) (string_size (int_range 1 8)))
+    (fun headers ->
+      let m = Msg.of_string "data" in
+      List.iter (Msg.push m) headers;
+      let popped = List.filter_map (fun _ -> Msg.pop m) headers in
+      popped = List.rev headers)
+
+(* ------------------------------------------------------------- Checksum *)
+
+let test_internet_known_vector () =
+  (* RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2, cksum ~220d *)
+  let data = String.init 8 (fun i -> Char.chr (List.nth [ 0x00; 0x01; 0xf2; 0x03; 0xf4; 0xf5; 0xf6; 0xf7 ] i)) in
+  check_int "rfc1071" 0x220D (Checksum.internet data)
+
+let test_internet_odd_length () =
+  let even = Checksum.internet "ab" in
+  let odd = Checksum.internet "ab\000" in
+  check_int "trailing zero pad equivalent" even odd
+
+let test_crc32_known_vector () =
+  Alcotest.(check int32) "check value" 0xCBF43926l (Checksum.crc32 "123456789")
+
+let test_adler32_known_vector () =
+  Alcotest.(check int32) "wikipedia" 0x11E60398l (Checksum.adler32 "Wikipedia")
+
+let test_checksum_detects_flip () =
+  let s = "The quick brown fox jumps over the lazy dog" in
+  let flipped = Bytes.of_string s in
+  Bytes.set flipped 7 (Char.chr (Char.code (Bytes.get flipped 7) lxor 0x40));
+  check_bool "internet detects" true
+    (Checksum.internet s <> Checksum.internet (Bytes.to_string flipped));
+  check_bool "crc detects" true
+    (Checksum.crc32 s <> Checksum.crc32 (Bytes.to_string flipped))
+
+let prop_internet_msg_fragmentation_invariant =
+  QCheck2.Test.make ~name:"internet_msg is invariant under fragmentation" ~count:300
+    QCheck2.Gen.(pair (string_size (int_range 0 128)) (int_range 1 16))
+    (fun (s, mtu) ->
+      let whole = Checksum.internet s in
+      let m = Msg.concat (Msg.fragment (Msg.of_string s) ~mtu) in
+      Checksum.internet_msg m = whole)
+
+let prop_crc32_msg_fragmentation_invariant =
+  QCheck2.Test.make ~name:"crc32_msg is invariant under fragmentation" ~count:300
+    QCheck2.Gen.(pair (string_size (int_range 0 128)) (int_range 1 16))
+    (fun (s, mtu) ->
+      let whole = Checksum.crc32 s in
+      let m = Msg.concat (Msg.fragment (Msg.of_string s) ~mtu) in
+      Checksum.crc32_msg m = whole)
+
+let prop_crc_bit_flip =
+  QCheck2.Test.make ~name:"crc32 detects any single bit flip" ~count:300
+    QCheck2.Gen.(string_size (int_range 1 64))
+    (fun s ->
+      let b = Bytes.of_string s in
+      let i = (String.length s * 7) mod String.length s in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+      Checksum.crc32 s <> Checksum.crc32 (Bytes.to_string b))
+
+(* ------------------------------------------------------------------ Pool *)
+
+let test_pool_alloc_free () =
+  let p = Pool.create ~buffers:2 ~size:64 in
+  check_int "capacity" 2 (Pool.capacity p);
+  check_int "available" 2 (Pool.available p);
+  let a = Option.get (Pool.alloc p) in
+  let _b = Option.get (Pool.alloc p) in
+  check_int "in use" 2 (Pool.in_use p);
+  check_bool "exhausted" true (Pool.alloc p = None);
+  check_int "miss recorded" 1 (Pool.misses p);
+  check_int "allocs recorded" 2 (Pool.allocations p);
+  Pool.free p a;
+  check_int "available again" 1 (Pool.available p);
+  check_bool "realloc works" true (Pool.alloc p <> None)
+
+let test_pool_free_errors () =
+  let p = Pool.create ~buffers:1 ~size:32 in
+  Alcotest.check_raises "wrong size" (Invalid_argument "Pool.free: wrong buffer size")
+    (fun () -> Pool.free p (Bytes.create 16));
+  Alcotest.check_raises "already full" (Invalid_argument "Pool.free: pool already full")
+    (fun () -> Pool.free p (Bytes.create 32))
+
+let test_pool_resize () =
+  let p = Pool.create ~buffers:2 ~size:16 in
+  let a = Option.get (Pool.alloc p) in
+  Pool.resize p ~buffers:5;
+  check_int "grown capacity" 5 (Pool.capacity p);
+  check_int "grown available" 4 (Pool.available p);
+  Pool.resize p ~buffers:1;
+  check_int "shrunk capacity" 1 (Pool.capacity p);
+  check_int "shrunk available" 0 (Pool.available p);
+  check_int "allocated buffer survives" 1 (Pool.in_use p);
+  Pool.free p a;
+  check_int "freed beyond capacity dropped" 1 (Pool.available p)
+
+let test_pool_buffer_size () =
+  let p = Pool.create ~buffers:1 ~size:128 in
+  check_int "size" 128 (Pool.buffer_size p);
+  check_int "buffer length" 128 (Bytes.length (Option.get (Pool.alloc p)))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "buf.msg",
+      [
+        Alcotest.test_case "create and lengths" `Quick test_msg_create;
+        Alcotest.test_case "header push/pop" `Quick test_msg_push_pop;
+        Alcotest.test_case "split" `Quick test_msg_split;
+        Alcotest.test_case "split edges" `Quick test_msg_split_edges;
+        Alcotest.test_case "fragment and concat" `Quick test_msg_fragment_concat;
+        Alcotest.test_case "lazy copy shares payload" `Quick test_msg_copy_sharing;
+        Alcotest.test_case "copy counters" `Quick test_msg_copy_counters;
+        Alcotest.test_case "iter_data" `Quick test_msg_iter_data;
+      ]
+      @ qsuite [ prop_fragment_roundtrip; prop_split_partition; prop_push_pop_roundtrip ]
+    );
+    ( "buf.checksum",
+      [
+        Alcotest.test_case "internet RFC vector" `Quick test_internet_known_vector;
+        Alcotest.test_case "internet odd length" `Quick test_internet_odd_length;
+        Alcotest.test_case "crc32 check value" `Quick test_crc32_known_vector;
+        Alcotest.test_case "adler32 vector" `Quick test_adler32_known_vector;
+        Alcotest.test_case "detects bit flips" `Quick test_checksum_detects_flip;
+      ]
+      @ qsuite
+          [
+            prop_internet_msg_fragmentation_invariant;
+            prop_crc32_msg_fragmentation_invariant;
+            prop_crc_bit_flip;
+          ] );
+    ( "buf.pool",
+      [
+        Alcotest.test_case "alloc and free" `Quick test_pool_alloc_free;
+        Alcotest.test_case "free errors" `Quick test_pool_free_errors;
+        Alcotest.test_case "resize" `Quick test_pool_resize;
+        Alcotest.test_case "buffer size" `Quick test_pool_buffer_size;
+      ] );
+  ]

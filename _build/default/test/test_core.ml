@@ -1,0 +1,599 @@
+(* Tests for the ADAPTIVE core types: Qos, Tsc, Scs, Acd, Unites, Tko. *)
+
+open Adaptive_sim
+open Adaptive_mech
+open Adaptive_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ Qos *)
+
+let test_qos_levels_thresholds () =
+  let q bps = { Qos.default with Qos.avg_bps = bps; peak_bps = bps } in
+  let tl bps = (Qos.levels (q bps)).Qos.throughput in
+  check_str "very-low" "very-low" (Qos.level_to_string (tl 1e3));
+  check_str "low" "low" (Qos.level_to_string (tl 64e3));
+  check_str "mod" "mod" (Qos.level_to_string (tl 2e6));
+  check_str "high" "high" (Qos.level_to_string (tl 10e6));
+  check_str "very-high" "very-high" (Qos.level_to_string (tl 120e6))
+
+let test_qos_burst_ratio () =
+  let q = { Qos.default with Qos.avg_bps = 1e6; peak_bps = 8e6 } in
+  Alcotest.(check (float 1e-9)) "ratio" 8.0 (Qos.burst_ratio q);
+  check_bool "high burst" true ((Qos.levels q).Qos.burst_factor = Qos.High);
+  let steady = { Qos.default with Qos.avg_bps = 1e6; peak_bps = 1e6 } in
+  check_bool "low burst" true ((Qos.levels steady).Qos.burst_factor = Qos.Low)
+
+let test_qos_delay_jitter_levels () =
+  let with_lat l = { Qos.default with Qos.max_latency = l } in
+  check_bool "no bound -> low" true
+    ((Qos.levels (with_lat None)).Qos.delay_sensitivity = Qos.Low);
+  check_bool "tight -> high" true
+    ((Qos.levels (with_lat (Some (Time.ms 100)))).Qos.delay_sensitivity = Qos.High);
+  let with_jit j = { Qos.default with Qos.max_jitter = j } in
+  check_bool "no jitter bound" true
+    ((Qos.levels (with_jit None)).Qos.jitter_sensitivity = Qos.Not_defined);
+  check_bool "tight jitter" true
+    ((Qos.levels (with_jit (Some (Time.ms 10)))).Qos.jitter_sensitivity = Qos.High)
+
+let test_qos_loss_levels () =
+  let with_loss l = { Qos.default with Qos.loss_tolerance = l } in
+  check_bool "none" true
+    ((Qos.levels (with_loss 0.0)).Qos.loss_tolerance_level = Qos.Not_defined);
+  check_bool "low" true ((Qos.levels (with_loss 0.001)).Qos.loss_tolerance_level = Qos.Low);
+  check_bool "mod" true
+    ((Qos.levels (with_loss 0.02)).Qos.loss_tolerance_level = Qos.Moderate);
+  check_bool "high" true
+    ((Qos.levels (with_loss 0.1)).Qos.loss_tolerance_level = Qos.High)
+
+(* ------------------------------------------------------------------ Tsc *)
+
+let test_tsc_classify_quadrants () =
+  let base = Qos.default in
+  let q ~iso ~inter ~rt =
+    { base with Qos.isochronous = iso; interactive = inter; realtime = rt }
+  in
+  check_bool "interactive iso" true
+    (Tsc.classify (q ~iso:true ~inter:true ~rt:true) = Tsc.Interactive_isochronous);
+  check_bool "distributional iso" true
+    (Tsc.classify (q ~iso:true ~inter:false ~rt:true) = Tsc.Distributional_isochronous);
+  check_bool "realtime non-iso" true
+    (Tsc.classify (q ~iso:false ~inter:false ~rt:true) = Tsc.Realtime_non_isochronous);
+  check_bool "non-rt non-iso" true
+    (Tsc.classify (q ~iso:false ~inter:true ~rt:false) = Tsc.Non_realtime_non_isochronous)
+
+let test_tsc_names () =
+  check_int "four classes" 4 (List.length Tsc.all);
+  check_str "name" "Interactive Isochronous" (Tsc.name Tsc.Interactive_isochronous)
+
+let test_tsc_policies () =
+  let voice =
+    {
+      Qos.default with
+      Qos.isochronous = true;
+      interactive = true;
+      loss_tolerance = 0.05;
+    }
+  in
+  let p = Tsc.policies Tsc.Interactive_isochronous voice in
+  check_bool "voice not fully reliable" false p.Tsc.full_reliability;
+  check_bool "voice playout" true p.Tsc.playout_smoothing;
+  check_bool "voice rate paced" true p.Tsc.rate_paced;
+  check_bool "voice fast setup" true p.Tsc.fast_setup;
+  let bulk = Tsc.policies Tsc.Non_realtime_non_isochronous Qos.default in
+  check_bool "bulk reliable" true bulk.Tsc.full_reliability;
+  check_bool "bulk congestion responsive" true bulk.Tsc.congestion_responsive;
+  check_bool "bulk no playout" false bulk.Tsc.playout_smoothing
+
+let prop_tsc_total =
+  QCheck2.Test.make ~name:"classifier is total" ~count:300
+    QCheck2.Gen.(quad bool bool bool bool)
+    (fun (iso, inter, rt, _) ->
+      let q =
+        { Qos.default with Qos.isochronous = iso; interactive = inter; realtime = rt }
+      in
+      List.mem (Tsc.classify q) Tsc.all)
+
+(* ------------------------------------------------------------------ Scs *)
+
+let variant_scs =
+  {
+    Scs.connection = Params.Implicit;
+    transmission = Params.Rate_based { rate_bps = 1234567.0; burst = 3 };
+    congestion = Params.Slow_start { initial = 2; threshold = 9 };
+    detection = Params.Crc32;
+    reporting = Params.Nack_on_gap;
+    recovery = Params.Forward_error_correction { group = 5 };
+    ordering = Params.Unordered;
+    duplicates = Params.Accept_duplicates;
+    delivery = Params.Playout { target = Time.ms 42 };
+    segment_bytes = 777;
+    recv_buffer_segments = 33;
+    priority = 2;
+    initial_rto = Time.ms 123;
+  }
+
+let test_scs_blob_roundtrip () =
+  check_bool "default" true (Scs.of_blob (Scs.to_blob Scs.default) = Some Scs.default);
+  check_bool "variant" true (Scs.of_blob (Scs.to_blob variant_scs) = Some variant_scs);
+  check_bool "equal reflexive" true (Scs.equal variant_scs variant_scs);
+  check_bool "not equal" false (Scs.equal variant_scs Scs.default)
+
+let test_scs_blob_garbage () =
+  check_bool "empty" true (Scs.of_blob "" = None);
+  check_bool "nonsense" true (Scs.of_blob "hello world" = None);
+  check_bool "partial" true (Scs.of_blob "conn=3way" = None)
+
+let test_scs_blob_tolerates_extras () =
+  let blob = "startseq=55;" ^ Scs.to_blob Scs.default in
+  check_bool "extra keys ignored" true (Scs.of_blob blob = Some Scs.default)
+
+let test_scs_component_names () =
+  Alcotest.(check (list string)) "no diff" [] (Scs.component_names Scs.default Scs.default);
+  let changed = { Scs.default with Scs.recovery = Params.Selective_repeat } in
+  Alcotest.(check (list string)) "one diff" [ "recovery" ]
+    (Scs.component_names Scs.default changed);
+  check_bool "many diffs" true
+    (List.length (Scs.component_names Scs.default variant_scs) > 5)
+
+let test_scs_predicates () =
+  check_bool "gbn reliable" true (Scs.reliable Scs.default);
+  check_bool "fec not ARQ-reliable" false (Scs.reliable variant_scs);
+  check_bool "cumack tracks" true (Scs.tracks_peer_feedback Scs.default);
+  check_bool "nack tracks" true (Scs.tracks_peer_feedback variant_scs);
+  let silent = { variant_scs with Scs.reporting = Params.No_report } in
+  check_bool "no report does not track" false (Scs.tracks_peer_feedback silent)
+
+(* ------------------------------------------------------------------ Acd *)
+
+let test_acd_make () =
+  Alcotest.check_raises "no participants" (Invalid_argument "Acd.make: no participants")
+    (fun () -> ignore (Acd.make ~participants:[] ~qos:Qos.default ()));
+  let acd = Acd.make ~participants:[ 1; 2 ] ~qos:Qos.default () in
+  check_int "participants" 2 (List.length acd.Acd.participants);
+  check_bool "default tmc empty" true (acd.Acd.tmc.Acd.collect = []);
+  check_bool "no explicit tsc" true (acd.Acd.explicit_tsc = None)
+
+let test_acd_strings () =
+  check_str "condition" "congestion > 0.60"
+    (Acd.condition_to_string (Acd.Congestion_above 0.6));
+  check_str "action" "switch recovery to srepeat"
+    (Acd.action_to_string (Acd.Switch_recovery Params.Selective_repeat));
+  check_str "rtt" "rtt > 150.00ms" (Acd.condition_to_string (Acd.Rtt_above (Time.ms 150)));
+  check_str "scale" "scale rate by 0.75" (Acd.action_to_string (Acd.Scale_rate 0.75))
+
+let test_acd_table2 () =
+  check_int "five rows" 5 (List.length Acd.table2);
+  let names = List.map (fun (n, _, _) -> n) Acd.table2 in
+  check_bool "has TSA row" true
+    (List.exists (fun n -> n = "Transport Service Adjustment (TSA)") names);
+  check_bool "has TMC row" true
+    (List.exists (fun n -> n = "Transport Measurement Component (TMC)") names)
+
+(* ---------------------------------------------------------------- Unites *)
+
+let test_unites_observe_stats () =
+  let e = Engine.create () in
+  let u = Unites.create e in
+  Unites.register_session u ~id:1 ~name:"s1";
+  Unites.observe u ~session:1 Unites.Throughput 100.0;
+  Unites.observe u ~session:1 Unites.Throughput 200.0;
+  let s = Option.get (Unites.stats u ~session:1 Unites.Throughput) in
+  check_int "n" 2 s.Stats.n;
+  Alcotest.(check (float 1e-9)) "mean" 150.0 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "total" 300.0 (Unites.total u ~session:1 Unites.Throughput);
+  check_bool "absent metric" true (Unites.stats u ~session:1 Unites.Rtt = None);
+  Alcotest.(check (float 1e-9)) "absent total" 0.0 (Unites.total u ~session:1 Unites.Rtt)
+
+let test_unites_whitebox_gating () =
+  let e = Engine.create () in
+  let u = Unites.create ~whitebox:false e in
+  Unites.observe u ~session:1 Unites.Retransmissions 1.0;
+  check_bool "whitebox dropped" true (Unites.stats u ~session:1 Unites.Retransmissions = None);
+  check_int "no samples recorded" 0 (Unites.whitebox_samples u);
+  Unites.observe u ~session:1 Unites.Throughput 5.0;
+  check_bool "blackbox kept" true (Unites.stats u ~session:1 Unites.Throughput <> None);
+  Unites.set_whitebox u true;
+  Unites.observe u ~session:1 Unites.Retransmissions 1.0;
+  check_int "sample counted" 1 (Unites.whitebox_samples u)
+
+let test_unites_metric_kinds () =
+  check_bool "throughput blackbox" true (Unites.metric_kind Unites.Throughput = Unites.Blackbox);
+  check_bool "rtt blackbox" true (Unites.metric_kind Unites.Rtt = Unites.Blackbox);
+  check_bool "retransmissions whitebox" true
+    (Unites.metric_kind Unites.Retransmissions = Unites.Whitebox);
+  check_bool "jitter-ish whitebox" true
+    (Unites.metric_kind Unites.Delivery_latency = Unites.Whitebox);
+  check_bool "jitter whitebox" true (Unites.metric_kind Unites.Jitter = Unites.Whitebox);
+  check_int "all metrics listed" 23 (List.length Unites.all_metrics);
+  (* Names are unique. *)
+  let names = List.map Unites.metric_name Unites.all_metrics in
+  check_int "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_unites_aggregate () =
+  let e = Engine.create () in
+  let u = Unites.create e in
+  Unites.observe u ~session:1 Unites.Rtt 0.1;
+  Unites.observe u ~session:2 Unites.Rtt 0.3;
+  let agg = Option.get (Unites.aggregate u Unites.Rtt) in
+  check_int "combined n" 2 agg.Stats.n;
+  Alcotest.(check (float 1e-9)) "combined total" 0.4 (Unites.aggregate_total u Unites.Rtt)
+
+let test_unites_first_name_wins () =
+  let e = Engine.create () in
+  let u = Unites.create e in
+  Unites.register_session u ~id:9 ~name:"first";
+  Unites.register_session u ~id:9 ~name:"second";
+  Alcotest.(check (list (pair int string))) "first name kept" [ (9, "first") ]
+    (Unites.sessions u)
+
+let string_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_unites_series () =
+  let e = Engine.create () in
+  let u = Unites.create ~bucket:(Time.sec 1.0) e in
+  (* Two observations in bucket 0, one in bucket 2. *)
+  Unites.observe u ~session:1 Unites.Bytes_delivered 100.0;
+  Unites.observe u ~session:1 Unites.Bytes_delivered 50.0;
+  ignore (Engine.schedule e ~at:(Time.sec 2.5) (fun () ->
+      Unites.observe u ~session:1 Unites.Bytes_delivered 25.0));
+  Engine.run e;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "bucketed totals"
+    [ (0, 150.0); (Time.sec 2.0, 25.0) ]
+    (Unites.series u ~session:1 Unites.Bytes_delivered);
+  (* Aggregate merges sessions. *)
+  Unites.observe u ~session:2 Unites.Bytes_delivered 5.0;
+  check_bool "aggregate series sums sessions" true
+    (List.assoc (Time.sec 2.0) (Unites.aggregate_series u Unites.Bytes_delivered)
+     = 25.0 +. 5.0);
+  check_bool "no series for unseen metric" true
+    (Unites.series u ~session:1 Unites.Rtt = [])
+
+let test_unites_report_smoke () =
+  let e = Engine.create () in
+  let u = Unites.create e in
+  Unites.register_session u ~id:1 ~name:"smoke";
+  Unites.count u ~session:1 Unites.Segments_sent;
+  let out = Format.asprintf "%a" Unites.report u in
+  check_bool "mentions session" true (string_contains out "smoke");
+  check_bool "mentions metric" true (string_contains out "segments_sent")
+
+(* ------------------------------------------------------------------ Tko *)
+
+let test_tko_synthesize_components () =
+  let ctx = Tko.synthesize variant_scs in
+  check_bool "rate pacer" true (ctx.Tko.rate <> None);
+  check_bool "cc" true (ctx.Tko.cc <> None);
+  check_bool "fec tx" true (ctx.Tko.fec_tx <> None);
+  check_bool "playout" true (ctx.Tko.playout <> None);
+  let plain = Tko.synthesize Scs.default in
+  check_bool "no pacer" true (plain.Tko.rate = None);
+  check_bool "no cc" true (plain.Tko.cc = None);
+  check_bool "no fec" true (plain.Tko.fec_tx = None);
+  check_bool "no playout" true (plain.Tko.playout = None)
+
+let test_tko_effective_window () =
+  let scs = { Scs.default with Scs.transmission = Params.Sliding_window { window = 10 } } in
+  let ctx = Tko.synthesize scs in
+  check_int "min of window and peer" 7 (Tko.effective_send_window ctx ~peer_window:7);
+  check_int "own window binds" 10 (Tko.effective_send_window ctx ~peer_window:100);
+  let saw = Tko.synthesize { scs with Scs.transmission = Params.Stop_and_wait } in
+  check_int "stop and wait" 1 (Tko.effective_send_window saw ~peer_window:100);
+  let rate =
+    Tko.synthesize
+      { scs with Scs.transmission = Params.Rate_based { rate_bps = 1e6; burst = 4 } }
+  in
+  check_int "rate unbounded" max_int (Tko.effective_send_window rate ~peer_window:1);
+  let cc =
+    Tko.synthesize
+      { scs with Scs.congestion = Params.Slow_start { initial = 2; threshold = 8 } }
+  in
+  check_int "cc binds" 2 (Tko.effective_send_window cc ~peer_window:100)
+
+let test_tko_segue_static_refuses () =
+  let ctx = Tko.synthesize ~binding:(Tko.Static_template "tcp-compatible") Scs.default in
+  match Tko.segue ctx { Scs.default with Scs.recovery = Params.Selective_repeat } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "static template must refuse segue"
+
+let test_tko_segue_preserves_shared_state () =
+  let ctx = Tko.synthesize Scs.default in
+  (* Outstanding segments and RTT history... *)
+  Window.track ctx.Tko.window
+    (Pdu.seg ~seq:0 ~bytes:10 ())
+    ~at:Time.zero;
+  Rtt.observe ctx.Tko.rtt (Time.ms 30);
+  (* ...survive a recovery swap. *)
+  (match Tko.segue ctx { Scs.default with Scs.recovery = Params.Selective_repeat } with
+  | Ok changed -> Alcotest.(check (list string)) "one component" [ "recovery" ] changed
+  | Error e -> Alcotest.fail e);
+  check_int "window preserved" 1 (Window.in_flight ctx.Tko.window);
+  check_int "rtt preserved" 1 (Rtt.samples ctx.Tko.rtt);
+  check_int "segue counted" 1 ctx.Tko.segue_count;
+  check_bool "scs updated" true (ctx.Tko.scs.Scs.recovery = Params.Selective_repeat)
+
+let test_tko_segue_same_scs_noop () =
+  let ctx = Tko.synthesize Scs.default in
+  (match Tko.segue ctx Scs.default with
+  | Ok [] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "identical SCS must be a no-op");
+  check_int "not counted" 0 ctx.Tko.segue_count
+
+let test_tko_segue_rate_keeps_tokens () =
+  let scs =
+    { Scs.default with Scs.transmission = Params.Rate_based { rate_bps = 1e6; burst = 4 } }
+  in
+  let ctx = Tko.synthesize scs in
+  let pacer_before = Option.get ctx.Tko.rate in
+  (match
+     Tko.segue ctx
+       { scs with Scs.transmission = Params.Rate_based { rate_bps = 2e6; burst = 4 } }
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let pacer_after = Option.get ctx.Tko.rate in
+  check_bool "same pacer object" true (pacer_before == pacer_after);
+  Alcotest.(check (float 1.0)) "rate updated" 2e6 (Rate.rate_bps pacer_after)
+
+let test_tko_segue_to_fec_and_back () =
+  let ctx = Tko.synthesize Scs.default in
+  (match
+     Tko.segue ctx
+       { Scs.default with Scs.recovery = Params.Forward_error_correction { group = 4 } }
+   with
+  | Ok _ -> check_bool "fec tx appears" true (ctx.Tko.fec_tx <> None)
+  | Error e -> Alcotest.fail e);
+  match Tko.segue ctx Scs.default with
+  | Ok _ -> check_bool "fec tx removed" true (ctx.Tko.fec_tx = None)
+  | Error e -> Alcotest.fail e
+
+let test_tko_segue_ordering_change_carries_cum_point () =
+  let ctx = Tko.synthesize Scs.default in
+  (* Receive 0..2 in order. *)
+  List.iter
+    (fun i ->
+      ignore
+        (Reorder.offer ctx.Tko.reorder
+           (Pdu.seg ~seq:i ~bytes:1 ())))
+    [ 0; 1; 2 ];
+  (match Tko.segue ctx { Scs.default with Scs.ordering = Params.Unordered } with
+  | Ok changed -> check_bool "ordering changed" true (List.mem "ordering" changed)
+  | Error e -> Alcotest.fail e);
+  check_int "cumulative point carried" 3 (Reorder.expected ctx.Tko.reorder)
+
+let test_tko_templates () =
+  check_int "six templates" 6 (List.length Tko.Templates.names);
+  (match Tko.Templates.find Tko.Templates.tcp_compatible with
+  | Some (Tko.Static_template _, scs) ->
+    check_bool "tcp is gbn" true (scs.Scs.recovery = Params.Go_back_n);
+    check_bool "tcp slow start" true
+      (match scs.Scs.congestion with Params.Slow_start _ -> true | _ -> false)
+  | Some _ -> Alcotest.fail "tcp template must be static"
+  | None -> Alcotest.fail "tcp template missing");
+  (match Tko.Templates.find Tko.Templates.media_stream with
+  | Some (Tko.Reconfigurable_template _, scs) ->
+    check_bool "media is rate paced" true
+      (match scs.Scs.transmission with Params.Rate_based _ -> true | _ -> false)
+  | Some _ -> Alcotest.fail "media template must be reconfigurable"
+  | None -> Alcotest.fail "media template missing");
+  check_bool "unknown" true (Tko.Templates.find "nope" = None)
+
+let test_tko_template_cache_counting () =
+  let hits0 = Tko.Templates.cache_hits () in
+  let misses0 = Tko.Templates.cache_misses () in
+  (match Tko.Templates.find Tko.Templates.bulk_lfn with
+  | Some (_, scs) -> (
+    match Tko.Templates.lookup_scs scs with
+    | Some (_, name) -> check_str "found by scs" Tko.Templates.bulk_lfn name
+    | None -> Alcotest.fail "expected cache hit")
+  | None -> Alcotest.fail "bulk template missing");
+  ignore (Tko.Templates.lookup_scs variant_scs);
+  check_int "hit counted" (hits0 + 1) (Tko.Templates.cache_hits ());
+  check_int "miss counted" (misses0 + 1) (Tko.Templates.cache_misses ())
+
+(* ------------------------------------------------------------ Protograph *)
+
+let test_protograph_edit_ops () =
+  let g = Protograph.create () in
+  check_bool "add" true (Protograph.add_layer g (Protograph.layer "a") = Ok ());
+  check_bool "dup rejected" true
+    (match Protograph.add_layer g (Protograph.layer "a") with Error _ -> true | Ok () -> false);
+  ignore (Protograph.add_layer g (Protograph.layer "b"));
+  ignore (Protograph.add_layer g (Protograph.layer "c"));
+  check_bool "connect" true (Protograph.connect g ~upper:"a" ~lower:"b" = Ok ());
+  check_bool "connect 2" true (Protograph.connect g ~upper:"b" ~lower:"c" = Ok ());
+  check_bool "self edge rejected" true
+    (match Protograph.connect g ~upper:"a" ~lower:"a" with Error _ -> true | Ok () -> false);
+  check_bool "cycle rejected" true
+    (match Protograph.connect g ~upper:"c" ~lower:"a" with Error _ -> true | Ok () -> false);
+  Alcotest.(check (list string)) "lowers" [ "b" ] (Protograph.lowers g "a");
+  Alcotest.(check (list string)) "uppers" [ "b" ] (Protograph.uppers g "c");
+  check_bool "unknown layer rejected" true
+    (match Protograph.connect g ~upper:"a" ~lower:"zz" with Error _ -> true | Ok () -> false)
+
+let test_protograph_path_and_overhead () =
+  let g = Protograph.conventional_stack () in
+  match Protograph.path g ~from_:"application" ~to_:"driver" with
+  | None -> Alcotest.fail "expected a path"
+  | Some stack ->
+    check_int "four layers" 4 (List.length stack);
+    let o = Protograph.stack_overhead stack in
+    check_int "headers" (20 + 20 + 14) o.Protograph.header_total;
+    check_int "trailers" 4 o.Protograph.trailer_total;
+    check_int "copies" 4 o.Protograph.copy_total;
+    check_int "processing" (Time.us 150) o.Protograph.processing
+
+let test_protograph_insert_between () =
+  let g = Protograph.conventional_stack () in
+  let filter = Protograph.layer ~header:8 ~copies:1 ~per_packet:(Time.us 80) "encryption" in
+  check_bool "splice" true
+    (Protograph.insert_between g filter ~upper:"transport" ~lower:"network" = Ok ());
+  Alcotest.(check (list string)) "edge rerouted" [ "encryption" ]
+    (Protograph.lowers g "transport");
+  Alcotest.(check (list string)) "filter feeds network" [ "network" ]
+    (Protograph.lowers g "encryption");
+  (match Protograph.path g ~from_:"application" ~to_:"driver" with
+  | Some stack -> check_int "five layers" 5 (List.length stack)
+  | None -> Alcotest.fail "path lost");
+  check_bool "splice needs an edge" true
+    (match
+       Protograph.insert_between g (Protograph.layer "x") ~upper:"application"
+         ~lower:"driver"
+     with
+    | Error _ -> true
+    | Ok () -> false)
+
+let test_protograph_remove () =
+  let g = Protograph.conventional_stack () in
+  check_bool "remove" true (Protograph.remove_layer g "network" = Ok ());
+  check_bool "path broken" true
+    (Protograph.path g ~from_:"application" ~to_:"driver" = None);
+  Alcotest.(check (list string)) "edges cleaned" [] (Protograph.lowers g "transport");
+  check_bool "absent remove rejected" true
+    (match Protograph.remove_layer g "network" with Error _ -> true | Ok () -> false)
+
+let test_protograph_flat_stack_cheaper () =
+  let conv =
+    Option.get
+      (Protograph.path (Protograph.conventional_stack ()) ~from_:"application"
+         ~to_:"driver")
+  in
+  let flat =
+    Option.get
+      (Protograph.path (Protograph.adaptive_stack ()) ~from_:"application" ~to_:"driver")
+  in
+  let oc = Protograph.stack_overhead conv in
+  let oa = Protograph.stack_overhead flat in
+  check_bool "fewer copies" true (oa.Protograph.copy_total < oc.Protograph.copy_total);
+  check_bool "less processing" true (oa.Protograph.processing < oc.Protograph.processing)
+
+let prop_protograph_acyclic =
+  QCheck2.Test.make ~name:"random edits never create a cycle" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 40) (pair (int_range 0 7) (int_range 0 7)))
+    (fun edges ->
+      let g = Protograph.create () in
+      for i = 0 to 7 do
+        ignore (Protograph.add_layer g (Protograph.layer (string_of_int i)))
+      done;
+      List.iter
+        (fun (u, l) ->
+          ignore (Protograph.connect g ~upper:(string_of_int u) ~lower:(string_of_int l)))
+        edges;
+      (* If any cycle existed, a path from a node to itself through >0
+         edges would exist; connect's guard must have prevented that.
+         Check: no node reaches itself via its lowers. *)
+      List.for_all
+        (fun (l : Protograph.layer) ->
+          let name = l.Protograph.name in
+          not
+            (List.exists
+               (fun child ->
+                 match Protograph.path g ~from_:child ~to_:name with
+                 | Some _ -> true
+                 | None -> false)
+               (Protograph.lowers g name)))
+        (Protograph.layers g))
+
+(* ------------------------------------------------------------------ Lab *)
+
+let test_lab_replicate () =
+  let r = Lab.replicate ~seeds:[ 1; 2; 3; 4 ] (fun ~seed -> float_of_int seed) in
+  check_int "n" 4 r.Lab.n;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 r.Lab.mean;
+  check_bool "half width positive" true (r.Lab.half_width > 0.0);
+  let constant = Lab.replicate ~seeds:[ 7; 8; 9 ] (fun ~seed:_ -> 5.0) in
+  Alcotest.(check (float 1e-9)) "constant mean" 5.0 constant.Lab.mean;
+  Alcotest.(check (float 1e-9)) "constant width" 0.0 constant.Lab.half_width;
+  Alcotest.check_raises "no seeds" (Invalid_argument "Lab.replicate: no seeds")
+    (fun () -> ignore (Lab.replicate ~seeds:[] (fun ~seed:_ -> 0.0)))
+
+let test_lab_distinguishable () =
+  let mk mean half_width = { Lab.n = 5; mean; stddev = 0.0; half_width } in
+  check_bool "separated" true (Lab.distinguishable (mk 10.0 1.0) (mk 15.0 1.0));
+  check_bool "overlapping" false (Lab.distinguishable (mk 10.0 3.0) (mk 15.0 3.0));
+  check_bool "single run has zero width" true
+    ((Lab.replicate ~seeds:[ 42 ] (fun ~seed:_ -> 1.0)).Lab.half_width = 0.0)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "core.qos",
+      [
+        Alcotest.test_case "throughput levels" `Quick test_qos_levels_thresholds;
+        Alcotest.test_case "burst ratio" `Quick test_qos_burst_ratio;
+        Alcotest.test_case "delay and jitter levels" `Quick test_qos_delay_jitter_levels;
+        Alcotest.test_case "loss levels" `Quick test_qos_loss_levels;
+      ] );
+    ( "core.tsc",
+      [
+        Alcotest.test_case "classifier quadrants" `Quick test_tsc_classify_quadrants;
+        Alcotest.test_case "names" `Quick test_tsc_names;
+        Alcotest.test_case "policy bundles" `Quick test_tsc_policies;
+      ]
+      @ qsuite [ prop_tsc_total ] );
+    ( "core.scs",
+      [
+        Alcotest.test_case "blob round trip" `Quick test_scs_blob_roundtrip;
+        Alcotest.test_case "garbage rejected" `Quick test_scs_blob_garbage;
+        Alcotest.test_case "extra keys tolerated" `Quick test_scs_blob_tolerates_extras;
+        Alcotest.test_case "component diff" `Quick test_scs_component_names;
+        Alcotest.test_case "predicates" `Quick test_scs_predicates;
+      ] );
+    ( "core.acd",
+      [
+        Alcotest.test_case "make validation" `Quick test_acd_make;
+        Alcotest.test_case "condition/action strings" `Quick test_acd_strings;
+        Alcotest.test_case "table 2 rows" `Quick test_acd_table2;
+      ] );
+    ( "core.unites",
+      [
+        Alcotest.test_case "observe and stats" `Quick test_unites_observe_stats;
+        Alcotest.test_case "whitebox gating" `Quick test_unites_whitebox_gating;
+        Alcotest.test_case "metric kinds" `Quick test_unites_metric_kinds;
+        Alcotest.test_case "aggregate" `Quick test_unites_aggregate;
+        Alcotest.test_case "first name wins" `Quick test_unites_first_name_wins;
+        Alcotest.test_case "bucketed series" `Quick test_unites_series;
+        Alcotest.test_case "report smoke" `Quick test_unites_report_smoke;
+      ] );
+    ( "core.protograph",
+      [
+        Alcotest.test_case "graph edit operations" `Quick test_protograph_edit_ops;
+        Alcotest.test_case "path and overhead" `Quick test_protograph_path_and_overhead;
+        Alcotest.test_case "insert between" `Quick test_protograph_insert_between;
+        Alcotest.test_case "remove layer" `Quick test_protograph_remove;
+        Alcotest.test_case "flat stack is cheaper" `Quick test_protograph_flat_stack_cheaper;
+      ]
+      @ qsuite [ prop_protograph_acyclic ] );
+    ( "core.lab",
+      [
+        Alcotest.test_case "replicate" `Quick test_lab_replicate;
+        Alcotest.test_case "distinguishable" `Quick test_lab_distinguishable;
+      ] );
+    ( "core.tko",
+      [
+        Alcotest.test_case "synthesize instantiates components" `Quick
+          test_tko_synthesize_components;
+        Alcotest.test_case "effective window" `Quick test_tko_effective_window;
+        Alcotest.test_case "static template refuses segue" `Quick
+          test_tko_segue_static_refuses;
+        Alcotest.test_case "segue preserves shared state" `Quick
+          test_tko_segue_preserves_shared_state;
+        Alcotest.test_case "segue no-op" `Quick test_tko_segue_same_scs_noop;
+        Alcotest.test_case "rate segue keeps token state" `Quick
+          test_tko_segue_rate_keeps_tokens;
+        Alcotest.test_case "segue to FEC and back" `Quick test_tko_segue_to_fec_and_back;
+        Alcotest.test_case "ordering segue carries cum point" `Quick
+          test_tko_segue_ordering_change_carries_cum_point;
+        Alcotest.test_case "templates" `Quick test_tko_templates;
+        Alcotest.test_case "template cache counting" `Quick
+          test_tko_template_cache_counting;
+      ] );
+  ]

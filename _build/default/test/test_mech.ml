@@ -1,0 +1,754 @@
+(* Tests for the protocol mechanism repository: Pdu, Params, Window, Rate,
+   Rtt, Reorder, Fec, Playout, Slowstart, Host. *)
+
+open Adaptive_sim
+open Adaptive_mech
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let seg ?(bytes = 100) ?(stamp = Time.zero) ?(last = false) seq =
+  Pdu.seg ~seq ~bytes ~stamp ~last ()
+
+(* ------------------------------------------------------------------ Pdu *)
+
+let test_pdu_conn_id () =
+  let samples =
+    [
+      Pdu.Data { conn = 7; seg = seg 0; retransmit = false; tx_stamp = Time.zero };
+      Pdu.Parity
+        { conn = 7; group_start = 0; group_len = 2; covered = [ seg 0; seg 1 ];
+          parity = None };
+      Pdu.Ack { conn = 7; cum = 1; window = 4; sack = []; echo = Time.zero };
+      Pdu.Nack { conn = 7; missing = [ 3 ] };
+      Pdu.Syn { conn = 7; blob = "b"; first = None };
+      Pdu.Syn_ack { conn = 7; accepted = true; blob = "b" };
+      Pdu.Ack_of_syn { conn = 7 };
+      Pdu.Fin { conn = 7; graceful = true };
+      Pdu.Fin_ack { conn = 7 };
+      Pdu.Signal { conn = 7; blob = "s" };
+      Pdu.Signal_ack { conn = 7; blob = "r" };
+    ]
+  in
+  List.iter (fun p -> check_int "conn id" 7 (Pdu.conn_id p)) samples
+
+let test_pdu_wire_bytes () =
+  let data =
+    Pdu.Data { conn = 1; seg = seg ~bytes:500 0; retransmit = false; tx_stamp = Time.zero }
+  in
+  check_int "data wire" (32 + 500) (Pdu.wire_bytes data);
+  let ack =
+    Pdu.Ack { conn = 1; cum = 5; window = 8; sack = [ 7; 9 ]; echo = Time.ms 3 }
+  in
+  check_int "ack wire" (24 + 8) (Pdu.wire_bytes ack);
+  let parity =
+    Pdu.Parity
+      { conn = 1; group_start = 0; group_len = 2;
+        covered = [ seg ~bytes:300 0; seg ~bytes:400 1 ]; parity = None }
+  in
+  (* Parity payload is the max covered size; each covered entry costs a
+     16-byte descriptor. *)
+  check_int "parity wire" (16 + 32 + 400) (Pdu.wire_bytes parity);
+  let syn = Pdu.Syn { conn = 1; blob = "abcd"; first = None } in
+  check_int "syn wire" 28 (Pdu.wire_bytes syn)
+
+let test_pdu_describe () =
+  Alcotest.(check string) "data" "data#3"
+    (Pdu.describe (Pdu.Data { conn = 1; seg = seg 3; retransmit = false; tx_stamp = Time.zero }));
+  Alcotest.(check string) "rtx" "data#3(rtx)"
+    (Pdu.describe (Pdu.Data { conn = 1; seg = seg 3; retransmit = true; tx_stamp = Time.zero }));
+  Alcotest.(check string) "ack" "ack<5"
+    (Pdu.describe (Pdu.Ack { conn = 1; cum = 5; window = 1; sack = []; echo = Time.zero }))
+
+(* ---------------------------------------------------------------- Params *)
+
+let roundtrip to_s of_s v = of_s (to_s v) = Some v
+
+let test_params_roundtrip () =
+  let open Params in
+  check_bool "conn" true
+    (List.for_all (roundtrip connection_to_string connection_of_string)
+       [ Implicit; Two_way; Three_way ]);
+  check_bool "tx" true
+    (List.for_all (roundtrip transmission_to_string transmission_of_string)
+       [
+         Stop_and_wait;
+         Sliding_window { window = 17 };
+         Rate_based { rate_bps = 1500000.0; burst = 4 };
+       ]);
+  check_bool "cc" true
+    (List.for_all (roundtrip congestion_window_to_string congestion_window_of_string)
+       [ No_congestion_control; Slow_start { initial = 2; threshold = 16 } ]);
+  check_bool "det" true
+    (List.for_all (roundtrip detection_to_string detection_of_string)
+       [ No_detection; Internet_checksum; Crc32 ]);
+  check_bool "rep" true
+    (List.for_all (roundtrip reporting_to_string reporting_of_string)
+       [
+         No_report;
+         Cumulative_ack { delay = Time.ms 2 };
+         Selective_ack { delay = Time.zero };
+         Nack_on_gap;
+       ]);
+  check_bool "rec" true
+    (List.for_all (roundtrip recovery_to_string recovery_of_string)
+       [
+         No_recovery;
+         Go_back_n;
+         Selective_repeat;
+         Forward_error_correction { group = 8 };
+       ]);
+  check_bool "ord" true
+    (List.for_all (roundtrip ordering_to_string ordering_of_string) [ Unordered; Ordered ]);
+  check_bool "dup" true
+    (List.for_all (roundtrip duplicates_to_string duplicates_of_string)
+       [ Accept_duplicates; Drop_duplicates ]);
+  check_bool "del" true
+    (List.for_all (roundtrip delivery_to_string delivery_of_string)
+       [ As_available; Playout { target = Time.ms 80 } ])
+
+let test_params_garbage () =
+  check_bool "bad conn" true (Params.connection_of_string "nonsense" = None);
+  check_bool "bad tx" true (Params.transmission_of_string "window:" = None);
+  check_bool "bad rec" true (Params.recovery_of_string "fec" = None);
+  check_bool "bad del" true (Params.delivery_of_string "playout:x" = None)
+
+(* ---------------------------------------------------------------- Window *)
+
+let test_window_track_ack () =
+  let w = Window.create () in
+  check_bool "empty" true (Window.is_empty w);
+  List.iter (fun s -> Window.track w s ~at:(Time.ms s.Pdu.seq)) [ seg 0; seg 1; seg 2; seg 3 ];
+  check_int "in flight" 4 (Window.in_flight w);
+  check_int "bytes" 400 (Window.bytes_in_flight w);
+  Alcotest.(check (option int)) "lowest" (Some 0) (Window.lowest_outstanding w);
+  let acked = Window.on_cumulative_ack w ~cum:2 in
+  Alcotest.(check (list int)) "acked in order" [ 0; 1 ]
+    (List.map (fun e -> e.Window.seg.Pdu.seq) acked);
+  check_int "remaining" 2 (Window.in_flight w);
+  Alcotest.(check (option int)) "new lowest" (Some 2) (Window.lowest_outstanding w)
+
+let test_window_sack_queries () =
+  let w = Window.create () in
+  List.iter (fun s -> Window.track w s ~at:Time.zero)
+    [ seg 0; seg 1; seg 2; seg 3; seg 4 ];
+  Window.mark_sacked w [ 1; 3 ];
+  Alcotest.(check (list int)) "gbn set skips sacked" [ 0; 2; 4 ]
+    (List.map (fun s -> s.Pdu.seq) (Window.unsacked_from w 0));
+  Alcotest.(check (list int)) "gbn from 2" [ 2; 4 ]
+    (List.map (fun s -> s.Pdu.seq) (Window.unsacked_from w 2));
+  Alcotest.(check (list int)) "selective missing" [ 2 ]
+    (List.map (fun s -> s.Pdu.seq) (Window.unsacked_missing w [ 1; 2; 3 ]));
+  check_bool "oldest unsacked" true
+    ((Option.get (Window.oldest_unsacked w)).Window.seg.Pdu.seq = 0);
+  Window.mark_sacked w [ 0 ];
+  check_bool "oldest skips sacked" true
+    ((Option.get (Window.oldest_unsacked w)).Window.seg.Pdu.seq = 2)
+
+let test_window_touch () =
+  let w = Window.create () in
+  Window.track w (seg 5) ~at:(Time.ms 1);
+  Window.touch w 5 ~at:(Time.ms 9);
+  let e = Option.get (Window.find w 5) in
+  check_int "retries" 1 e.Window.retries;
+  check_int "sent_at updated" (Time.ms 9) e.Window.sent_at;
+  Window.touch w 99 ~at:Time.zero (* unknown: no-op *)
+
+let prop_window_conservation =
+  QCheck2.Test.make ~name:"in_flight = tracked - cumulatively acked" ~count:200
+    QCheck2.Gen.(pair (int_range 1 60) (int_range 0 70))
+    (fun (n, cum) ->
+      let w = Window.create () in
+      for i = 0 to n - 1 do
+        Window.track w (seg i) ~at:Time.zero
+      done;
+      let acked = Window.on_cumulative_ack w ~cum in
+      Window.in_flight w = n - List.length acked
+      && List.length acked = min n (max 0 cum))
+
+(* ------------------------------------------------------------------ Rate *)
+
+let test_rate_burst_then_paced () =
+  let r = Rate.create ~rate_bps:8000.0 ~burst_bytes:1000 in
+  (* Burst allowance: first 1000 bytes go immediately. *)
+  check_int "immediate" 0 (Rate.earliest_send r ~now:Time.zero ~bytes:1000);
+  Rate.commit r ~at:Time.zero ~bytes:1000;
+  (* Now empty: 500 bytes need 500*8/8000 = 0.5 s. *)
+  check_int "paced" (Time.sec 0.5) (Rate.earliest_send r ~now:Time.zero ~bytes:500);
+  (* Tokens refill over time. *)
+  check_int "after refill" (Time.sec 1.0)
+    (Rate.earliest_send r ~now:(Time.sec 1.0) ~bytes:1000)
+
+let test_rate_set_rate () =
+  let r = Rate.create ~rate_bps:8000.0 ~burst_bytes:100 in
+  Rate.commit r ~at:Time.zero ~bytes:100;
+  Rate.set_rate r ~rate_bps:16000.0;
+  Alcotest.(check (float 1.0)) "rate changed" 16000.0 (Rate.rate_bps r);
+  (* 100 bytes at 16 kb/s = 50 ms. *)
+  check_int "faster pacing" (Time.ms 50) (Rate.earliest_send r ~now:Time.zero ~bytes:100);
+  Alcotest.check_raises "bad rate" (Invalid_argument "Rate.set_rate: non-positive rate")
+    (fun () -> Rate.set_rate r ~rate_bps:0.0)
+
+let test_rate_burst_cap () =
+  let r = Rate.create ~rate_bps:8000.0 ~burst_bytes:200 in
+  (* Long idle does not accumulate more than the burst. *)
+  check_int "bounded burst" (Time.sec 100.0)
+    (Rate.earliest_send r ~now:(Time.sec 100.0) ~bytes:200);
+  Rate.commit r ~at:(Time.sec 100.0) ~bytes:200;
+  check_bool "but not more" true
+    (Rate.earliest_send r ~now:(Time.sec 100.0) ~bytes:201 > Time.sec 100.0)
+
+(* ------------------------------------------------------------------- Rtt *)
+
+let test_rtt_first_sample () =
+  let r = Rtt.create ~initial_rto:(Time.sec 2.0) () in
+  check_int "initial rto" (Time.sec 2.0) (Rtt.rto r);
+  check_bool "no srtt" true (Rtt.srtt r = None);
+  Rtt.observe r (Time.ms 100);
+  check_int "srtt = sample" (Time.ms 100) (Option.get (Rtt.srtt r));
+  check_int "rttvar = sample/2" (Time.ms 50) (Option.get (Rtt.rttvar r));
+  check_int "samples" 1 (Rtt.samples r)
+
+let test_rtt_convergence () =
+  let r = Rtt.create () in
+  for _ = 1 to 50 do
+    Rtt.observe r (Time.ms 80)
+  done;
+  let srtt = Option.get (Rtt.srtt r) in
+  check_bool "converged" true (abs (srtt - Time.ms 80) < Time.ms 2);
+  (* Constant samples: variance floor keeps RTO sane. *)
+  check_bool "rto >= srtt + floor" true (Rtt.rto r >= srtt + Time.ms 10)
+
+let test_rtt_backoff () =
+  let r = Rtt.create () in
+  Rtt.observe r (Time.ms 100);
+  let base = Rtt.rto r in
+  Rtt.on_timeout r;
+  check_int "doubled" (min (Time.sec 60.0) (2 * base)) (Rtt.rto r);
+  Rtt.on_timeout r;
+  check_int "doubled again" (min (Time.sec 60.0) (4 * base)) (Rtt.rto r);
+  Rtt.observe r (Time.ms 100);
+  (* The new sample also shrinks the variance, so just check the backoff
+     multiplier is gone. *)
+  check_bool "sample resets backoff" true (Rtt.rto r <= base)
+
+let test_rtt_clamps () =
+  let r = Rtt.create () in
+  Rtt.observe r (Time.us 1);
+  check_bool "min clamp" true (Rtt.rto r >= Time.ms 10);
+  let r2 = Rtt.create () in
+  Rtt.observe r2 (Time.sec 100.0);
+  check_bool "max clamp" true (Rtt.rto r2 <= Time.sec 60.0)
+
+(* --------------------------------------------------------------- Reorder *)
+
+let mk_reorder ?start ?(ordering = Params.Ordered) ?(duplicates = Params.Drop_duplicates)
+    () =
+  Reorder.create ?start ~ordering ~duplicates ()
+
+let delivered = function
+  | Reorder.Deliver segs -> List.map (fun s -> s.Pdu.seq) segs
+  | Reorder.Buffered | Reorder.Duplicate -> []
+
+let test_reorder_in_order () =
+  let r = mk_reorder () in
+  Alcotest.(check (list int)) "0" [ 0 ] (delivered (Reorder.offer r (seg 0)));
+  Alcotest.(check (list int)) "1" [ 1 ] (delivered (Reorder.offer r (seg 1)));
+  check_int "expected" 2 (Reorder.expected r);
+  check_int "highest" 1 (Reorder.highest_seen r);
+  Alcotest.(check (list int)) "no gaps" [] (Reorder.missing r)
+
+let test_reorder_out_of_order () =
+  let r = mk_reorder () in
+  check_bool "2 buffered" true (Reorder.offer r (seg 2) = Reorder.Buffered);
+  check_bool "1 buffered" true (Reorder.offer r (seg 1) = Reorder.Buffered);
+  Alcotest.(check (list int)) "gap" [ 0 ] (Reorder.missing r);
+  Alcotest.(check (list int)) "sack" [ 1; 2 ] (Reorder.sack_list r);
+  check_int "buffered count" 2 (Reorder.buffered_count r);
+  Alcotest.(check (list int)) "run released" [ 0; 1; 2 ]
+    (delivered (Reorder.offer r (seg 0)));
+  check_int "expected" 3 (Reorder.expected r)
+
+let test_reorder_duplicates () =
+  let r = mk_reorder () in
+  ignore (Reorder.offer r (seg 0));
+  check_bool "dup dropped" true (Reorder.offer r (seg 0) = Reorder.Duplicate);
+  let r2 = mk_reorder ~duplicates:Params.Accept_duplicates () in
+  ignore (Reorder.offer r2 (seg 0));
+  Alcotest.(check (list int)) "dup accepted" [ 0 ] (delivered (Reorder.offer r2 (seg 0)))
+
+let test_reorder_unordered () =
+  let r = mk_reorder ~ordering:Params.Unordered () in
+  Alcotest.(check (list int)) "5 released immediately" [ 5 ]
+    (delivered (Reorder.offer r (seg 5)));
+  Alcotest.(check (list int)) "gaps tracked" [ 0; 1; 2; 3; 4 ] (Reorder.missing r);
+  check_int "no ordered buffering" 0 (Reorder.buffered_count r);
+  check_bool "dup still detected" true (Reorder.offer r (seg 5) = Reorder.Duplicate)
+
+let test_reorder_start_offset () =
+  let r = mk_reorder ~start:100 () in
+  check_int "expected at start" 100 (Reorder.expected r);
+  Alcotest.(check (list int)) "delivery from start" [ 100 ]
+    (delivered (Reorder.offer r (seg 100)))
+
+let test_reorder_advance_past_gap () =
+  let r = mk_reorder () in
+  ignore (Reorder.offer r (seg 0));
+  ignore (Reorder.offer r (seg 3));
+  ignore (Reorder.offer r (seg 4));
+  let skipped, released = Reorder.advance_past_gap r in
+  check_int "skipped 1 and 2" 2 skipped;
+  Alcotest.(check (list int)) "released run" [ 3; 4 ]
+    (List.map (fun s -> s.Pdu.seq) released);
+  check_int "expected past run" 5 (Reorder.expected r);
+  check_bool "no-op without gap" true (Reorder.advance_past_gap r = (0, []))
+
+let prop_reorder_permutation =
+  QCheck2.Test.make ~name:"any arrival order delivers 0..n-1 in order exactly once"
+    ~count:300
+    QCheck2.Gen.(int_range 1 40 >>= fun n -> pair (return n) (shuffle_l (List.init n Fun.id)))
+    (fun (n, order) ->
+      let r = mk_reorder () in
+      let out = ref [] in
+      List.iter
+        (fun s ->
+          match Reorder.offer r (seg s) with
+          | Reorder.Deliver segs ->
+            out := List.rev_append (List.map (fun x -> x.Pdu.seq) segs) !out
+          | Reorder.Buffered | Reorder.Duplicate -> ())
+        order;
+      List.rev !out = List.init n Fun.id)
+
+let prop_reorder_dups_never_delivered_twice =
+  QCheck2.Test.make ~name:"drop-duplicates never delivers a seq twice" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 80) (int_bound 15))
+    (fun arrivals ->
+      let r = mk_reorder ~ordering:Params.Unordered () in
+      let counts = Hashtbl.create 16 in
+      List.iter
+        (fun s ->
+          match Reorder.offer r (seg s) with
+          | Reorder.Deliver segs ->
+            List.iter
+              (fun x ->
+                Hashtbl.replace counts x.Pdu.seq
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt counts x.Pdu.seq)))
+              segs
+          | Reorder.Buffered | Reorder.Duplicate -> ())
+        arrivals;
+      Hashtbl.fold (fun _ c acc -> acc && c = 1) counts true)
+
+(* ------------------------------------------------------------------- Fec *)
+
+let test_fec_sender_groups () =
+  let s = Fec.Sender.create ~group:3 in
+  check_bool "no parity yet" true (Fec.Sender.push s (seg 0) = None);
+  check_bool "still none" true (Fec.Sender.push s (seg 1) = None);
+  check_int "pending" 2 (Fec.Sender.pending s);
+  (match Fec.Sender.push s (seg 2) with
+  | Some covered ->
+    Alcotest.(check (list int)) "covers group" [ 0; 1; 2 ]
+      (List.map (fun x -> x.Pdu.seq) covered)
+  | None -> Alcotest.fail "expected parity");
+  check_int "reset" 0 (Fec.Sender.pending s);
+  ignore (Fec.Sender.push s (seg 3));
+  (match Fec.Sender.flush s with
+  | Some covered ->
+    Alcotest.(check (list int)) "partial flush" [ 3 ]
+      (List.map (fun x -> x.Pdu.seq) covered)
+  | None -> Alcotest.fail "expected flush");
+  check_bool "empty flush" true (Fec.Sender.flush s = None);
+  Alcotest.check_raises "group >= 2"
+    (Invalid_argument "Fec.Sender.create: group must be >= 2") (fun () ->
+      ignore (Fec.Sender.create ~group:1))
+
+let test_fec_receiver_single_loss () =
+  let r = Fec.Receiver.create () in
+  ignore (Fec.Receiver.on_data r (seg 0));
+  ignore (Fec.Receiver.on_data r (seg 2));
+  (* Seq 1 lost; parity arrives. *)
+  let recovered = Fec.Receiver.on_parity r ~covered:[ seg 0; seg 1; seg 2 ] ~parity:None in
+  Alcotest.(check (list int)) "recovered 1" [ 1 ]
+    (List.map (fun s -> s.Pdu.seq) recovered);
+  check_int "count" 1 (Fec.Receiver.recovered r);
+  check_int "no pending" 0 (Fec.Receiver.pending_groups r)
+
+let test_fec_receiver_double_loss_then_arrival () =
+  let r = Fec.Receiver.create () in
+  ignore (Fec.Receiver.on_data r (seg 0));
+  (* 1 and 2 missing: parity can't resolve yet. *)
+  check_bool "unresolved" true
+    (Fec.Receiver.on_parity r ~covered:[ seg 0; seg 1; seg 2 ] ~parity:None = []);
+  check_int "parked" 1 (Fec.Receiver.pending_groups r);
+  (* 1 arrives late: 2 becomes recoverable. *)
+  let recovered = Fec.Receiver.on_data r (seg 1) in
+  Alcotest.(check (list int)) "2 reconstructed" [ 2 ]
+    (List.map (fun s -> s.Pdu.seq) recovered);
+  check_int "group resolved" 0 (Fec.Receiver.pending_groups r)
+
+let test_fec_receiver_complete_group () =
+  let r = Fec.Receiver.create () in
+  List.iter (fun i -> ignore (Fec.Receiver.on_data r (seg i))) [ 0; 1; 2 ];
+  check_bool "nothing to recover" true
+    (Fec.Receiver.on_parity r ~covered:[ seg 0; seg 1; seg 2 ] ~parity:None = []);
+  check_int "no pending group" 0 (Fec.Receiver.pending_groups r)
+
+let prop_fec_single_loss_per_group_always_recovers =
+  QCheck2.Test.make ~name:"one loss per group is always reconstructed" ~count:200
+    QCheck2.Gen.(pair (int_range 2 8) (int_range 0 7))
+    (fun (group, lost_ix) ->
+      let lost_ix = lost_ix mod group in
+      let r = Fec.Receiver.create () in
+      for i = 0 to group - 1 do
+        if i <> lost_ix then ignore (Fec.Receiver.on_data r (seg i))
+      done;
+      let covered = List.init group (fun i -> seg i) in
+      let recovered = Fec.Receiver.on_parity r ~covered ~parity:None in
+      List.map (fun s -> s.Pdu.seq) recovered = [ lost_ix ])
+
+(* --------------------------------------------------------------- Playout *)
+
+let test_playout_early_and_late () =
+  let p = Playout.create ~target:(Time.ms 50) in
+  (match Playout.offer p ~app_stamp:Time.zero ~arrival:(Time.ms 20) with
+  | Playout.Release_at at -> check_int "release at playout point" (Time.ms 50) at
+  | Playout.Late _ -> Alcotest.fail "should not be late");
+  (match Playout.offer p ~app_stamp:Time.zero ~arrival:(Time.ms 70) with
+  | Playout.Late by -> check_int "lateness" (Time.ms 20) by
+  | Playout.Release_at _ -> Alcotest.fail "should be late");
+  check_int "released" 1 (Playout.released p);
+  check_int "discarded" 1 (Playout.discarded p)
+
+let test_playout_set_target () =
+  let p = Playout.create ~target:(Time.ms 10) in
+  Playout.set_target p (Time.ms 100);
+  check_int "target updated" (Time.ms 100) (Playout.target p);
+  match Playout.offer p ~app_stamp:Time.zero ~arrival:(Time.ms 50) with
+  | Playout.Release_at at -> check_int "uses new target" (Time.ms 100) at
+  | Playout.Late _ -> Alcotest.fail "should fit new target"
+
+let test_playout_boundary () =
+  let p = Playout.create ~target:(Time.ms 50) in
+  match Playout.offer p ~app_stamp:Time.zero ~arrival:(Time.ms 50) with
+  | Playout.Release_at at -> check_int "exactly on time" (Time.ms 50) at
+  | Playout.Late _ -> Alcotest.fail "boundary counts as on time"
+
+(* ------------------------------------------------------------- Slowstart *)
+
+let test_slowstart_growth () =
+  let cc = Slowstart.create ~initial:1 ~threshold:8 in
+  check_int "initial" 1 (Slowstart.window cc);
+  for _ = 1 to 7 do
+    Slowstart.on_ack cc
+  done;
+  check_int "exponential to threshold" 8 (Slowstart.window cc);
+  (* Above threshold growth is ~1/cwnd per ack: 9 acks ≈ +1 window. *)
+  for _ = 1 to 9 do
+    Slowstart.on_ack cc
+  done;
+  let w = Slowstart.window cc in
+  check_bool "additive afterwards" true (w = 9);
+  (* Whole extra round trip of acks for the next increment. *)
+  for _ = 1 to 9 do
+    Slowstart.on_ack cc
+  done;
+  check_int "one per round trip" 10 (Slowstart.window cc)
+
+let test_slowstart_loss () =
+  let cc = Slowstart.create ~initial:2 ~threshold:64 in
+  for _ = 1 to 30 do
+    Slowstart.on_ack cc
+  done;
+  let before = Slowstart.window cc in
+  Slowstart.on_loss cc;
+  check_int "window collapses" 2 (Slowstart.window cc);
+  check_int "threshold halves" (max 2 (before / 2)) (Slowstart.threshold cc);
+  check_int "loss counted" 1 (Slowstart.losses cc);
+  Alcotest.check_raises "bad args" (Invalid_argument "Slowstart.create") (fun () ->
+      ignore (Slowstart.create ~initial:0 ~threshold:1))
+
+(* ------------------------------------------------------------------ Host *)
+
+let test_host_costs () =
+  let e = Engine.create () in
+  let h = Host.create ~per_packet:(Time.us 100) ~per_byte_copy:(Time.ns 10) ~copies:2 e in
+  (* 1000 bytes, 2 copies at 10ns = 20 us + 100 us fixed = 120 us. *)
+  check_int "first completes" (Time.us 120) (Host.process h ~bytes:1000 ());
+  (* Second packet queues behind the first. *)
+  check_int "second queues" (Time.us 240) (Host.process h ~bytes:1000 ());
+  check_int "packets" 2 (Host.packets h);
+  check_int "accumulated" (Time.us 240) (Host.total_busy h)
+
+let test_host_extra_and_copies () =
+  let e = Engine.create () in
+  let h = Host.create ~per_packet:Time.zero ~per_byte_copy:(Time.ns 10) ~copies:1 e in
+  check_int "extra charged" (Time.us 20)
+    (Host.process h ~bytes:1000 ~extra:(Time.us 10) ());
+  Host.set_copies h 3;
+  check_int "copies raised" 3 (Host.copies h);
+  check_int "triple copy cost" (Time.us 50) (Host.process h ~bytes:1000 ())
+
+let test_host_zero_cost () =
+  let e = Engine.create () in
+  let h = Host.zero_cost e in
+  check_int "free" 0 (Host.process h ~bytes:1_000_000 ());
+  check_int "still free" 0 (Host.process h ~bytes:1_000_000 ())
+
+let test_host_idle_gap () =
+  let e = Engine.create () in
+  let h = Host.create ~per_packet:(Time.us 10) ~per_byte_copy:Time.zero ~copies:0 e in
+  ignore (Host.process h ~bytes:1 ());
+  (* Advance simulated time past the busy period. *)
+  ignore (Engine.schedule e ~at:(Time.ms 1) (fun () -> ()));
+  Engine.run e;
+  check_int "starts at now when idle" (Time.ms 1 + Time.us 10)
+    (Host.process h ~bytes:1 ())
+
+(* ----------------------------------------------------------------- Codec *)
+
+let sample_pdus =
+  [
+    Pdu.Data
+      { conn = 9; seg = Pdu.seg ~seq:3 ~bytes:5
+            ~payload:(Adaptive_buf.Msg.of_string "hello") ~stamp:(Time.ms 7)
+            ~last:true (); retransmit = true; tx_stamp = Time.ms 9 };
+    Pdu.Parity
+      { conn = 9; group_start = 4; group_len = 2;
+        covered = [ seg ~bytes:3 4; seg ~bytes:3 5 ];
+        parity = Some (Adaptive_buf.Msg.of_string "xyz") };
+    Pdu.Ack { conn = 9; cum = 17; window = 32; sack = [ 19; 21; 25 ]; echo = Time.us 11 };
+    Pdu.Nack { conn = 9; missing = [ 17; 18 ] };
+    Pdu.Syn { conn = 9; blob = "conn=2way"; first = None };
+    Pdu.Syn
+      { conn = 9; blob = "x";
+        first =
+          Some
+            (Pdu.Data
+               { conn = 9; seg = seg ~bytes:2 0; retransmit = false; tx_stamp = Time.zero }) };
+    Pdu.Syn_ack { conn = 9; accepted = false; blob = "no" };
+    Pdu.Ack_of_syn { conn = 9 };
+    Pdu.Fin { conn = 9; graceful = true };
+    Pdu.Fin { conn = 9; graceful = false };
+    Pdu.Fin_ack { conn = 9 };
+    Pdu.Signal { conn = 9; blob = "scs!whatever" };
+    Pdu.Signal_ack { conn = 9; blob = "ok" };
+  ]
+
+let metadata_equal a b =
+  (* Compare everything except payload identity (codec materializes
+     zero-filled payloads for payload-less segments). *)
+  let strip_data = function
+    | Pdu.Data { conn; seg = s; retransmit; tx_stamp } ->
+      Pdu.Data { conn; seg = Pdu.strip_payload s; retransmit; tx_stamp }
+    | p -> p
+  in
+  let strip = function
+    | Pdu.Data _ as p -> strip_data p
+    | Pdu.Parity { conn; group_start; group_len; covered; parity = _ } ->
+      Pdu.Parity
+        { conn; group_start; group_len;
+          covered = List.map Pdu.strip_payload covered; parity = None }
+    | Pdu.Syn { conn; blob; first = Some inner } ->
+      Pdu.Syn { conn; blob; first = Some (strip_data inner) }
+    | p -> p
+  in
+  strip a = strip b
+
+let test_codec_roundtrip_samples () =
+  List.iter
+    (fun pdu ->
+      let wire = Codec.encode pdu in
+      check_int (Pdu.describe pdu ^ " length") (Pdu.wire_bytes pdu) (String.length wire);
+      match Codec.decode wire with
+      | Ok back -> check_bool (Pdu.describe pdu ^ " roundtrip") true (metadata_equal pdu back)
+      | Error e -> Alcotest.fail (Pdu.describe pdu ^ ": " ^ Codec.error_to_string e))
+    sample_pdus
+
+let test_codec_payload_roundtrip () =
+  let text = "the quick brown fox" in
+  let pdu =
+    Pdu.Data
+      { conn = 1;
+        seg = Pdu.seg ~seq:0 ~bytes:(String.length text)
+            ~payload:(Adaptive_buf.Msg.of_string text) ();
+        retransmit = false;
+        tx_stamp = Time.us 77 }
+  in
+  match Codec.decode (Codec.encode pdu) with
+  | Ok (Pdu.Data { seg = s; _ }) ->
+    (match s.Pdu.payload with
+    | Some m -> Alcotest.(check string) "payload bytes" text (Adaptive_buf.Msg.data_to_string m)
+    | None -> Alcotest.fail "payload lost")
+  | Ok _ | Error _ -> Alcotest.fail "decode failed"
+
+let test_codec_detects_damage () =
+  let pdu = Pdu.Ack { conn = 2; cum = 5; window = 8; sack = [ 7 ]; echo = Time.ms 1 } in
+  let wire = Bytes.of_string (Codec.encode pdu) in
+  Bytes.set wire 9 (Char.chr (Char.code (Bytes.get wire 9) lxor 0x10));
+  (match Codec.decode (Bytes.to_string wire) with
+  | Error Codec.Bad_checksum -> ()
+  | Ok _ -> Alcotest.fail "damage must be caught"
+  | Error e -> Alcotest.fail (Codec.error_to_string e));
+  (* The unchecked path parses it anyway — the no-detection behaviour. *)
+  match Codec.decode_unchecked (Bytes.to_string wire) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("unchecked: " ^ Codec.error_to_string e)
+
+let test_codec_rejects_garbage () =
+  check_bool "short" true (Codec.decode "abc" = Error Codec.Truncated);
+  let bogus = Bytes.make 16 '\000' in
+  Bytes.set_uint8 bogus 0 99;
+  check_bool "bad type" true
+    (match Codec.decode_unchecked (Bytes.to_string bogus) with
+    | Error (Codec.Bad_type 99) -> true
+    | _ -> false);
+  (* A data header promising more payload than present. *)
+  let pdu =
+    Pdu.Data { conn = 1; seg = seg ~bytes:100 0; retransmit = false; tx_stamp = Time.zero }
+  in
+  let wire = Codec.encode pdu in
+  check_bool "truncated payload" true
+    (Codec.decode_unchecked (String.sub wire 0 30) = Error Codec.Truncated)
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"codec roundtrips arbitrary data/ack/nack PDUs" ~count:300
+    QCheck2.Gen.(
+      let* kind = int_range 0 2 in
+      let* conn = int_range 0 0xFFFF in
+      let* a = int_range 0 100000 in
+      let* b = int_range 0 1000 in
+      let* text = string_size ~gen:printable (int_range 0 64) in
+      return (kind, conn, a, b, text))
+    (fun (kind, conn, a, b, text) ->
+      let pdu =
+        match kind with
+        | 0 ->
+          Pdu.Data
+            { conn;
+              seg = Pdu.seg ~seq:a ~bytes:(String.length text)
+                  ~payload:(Adaptive_buf.Msg.of_string text) ~stamp:b ();
+              retransmit = b mod 2 = 0;
+              tx_stamp = a + b }
+        | 1 -> Pdu.Ack { conn; cum = a; window = b; sack = [ a + 1; a + 3 ]; echo = b }
+        | _ -> Pdu.Nack { conn; missing = [ a; a + 2; a + 9 ] }
+      in
+      let wire = Codec.encode pdu in
+      String.length wire = Pdu.wire_bytes pdu
+      &&
+      match Codec.decode wire with
+      | Ok back -> metadata_equal pdu back
+      | Error _ -> false)
+
+let prop_codec_decode_never_raises =
+  QCheck2.Test.make ~name:"decode of arbitrary bytes returns, never raises" ~count:500
+    QCheck2.Gen.(string_size (int_range 0 64))
+    (fun junk ->
+      (match Codec.decode junk with Ok _ | Error _ -> true)
+      && match Codec.decode_unchecked junk with Ok _ | Error _ -> true)
+
+let prop_codec_bitflip_detected =
+  QCheck2.Test.make ~name:"any single bit flip in a data PDU is caught" ~count:300
+    QCheck2.Gen.(pair (string_size ~gen:printable (int_range 1 40)) (int_range 0 10_000))
+    (fun (text, flip) ->
+      let pdu =
+        Pdu.Data
+          { conn = 5;
+            seg = Pdu.seg ~seq:1 ~bytes:(String.length text)
+                ~payload:(Adaptive_buf.Msg.of_string text) ();
+            retransmit = false;
+            tx_stamp = Time.us 3 }
+      in
+      let wire = Bytes.of_string (Codec.encode pdu) in
+      let bit = flip mod (8 * Bytes.length wire) in
+      let byte = bit / 8 in
+      Bytes.set wire byte (Char.chr (Char.code (Bytes.get wire byte) lxor (1 lsl (bit mod 8))));
+      match Codec.decode (Bytes.to_string wire) with
+      | Error Codec.Bad_checksum -> true
+      | Error _ -> true (* structural fields damaged: also caught *)
+      | Ok _ -> false)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "mech.pdu",
+      [
+        Alcotest.test_case "conn id" `Quick test_pdu_conn_id;
+        Alcotest.test_case "wire bytes" `Quick test_pdu_wire_bytes;
+        Alcotest.test_case "describe" `Quick test_pdu_describe;
+      ] );
+    ( "mech.codec",
+      [
+        Alcotest.test_case "sample roundtrips + exact sizes" `Quick
+          test_codec_roundtrip_samples;
+        Alcotest.test_case "payload bytes roundtrip" `Quick test_codec_payload_roundtrip;
+        Alcotest.test_case "trailer checksum detects damage" `Quick
+          test_codec_detects_damage;
+        Alcotest.test_case "garbage rejected" `Quick test_codec_rejects_garbage;
+      ]
+      @ qsuite
+          [ prop_codec_roundtrip; prop_codec_decode_never_raises; prop_codec_bitflip_detected ]
+    );
+    ( "mech.params",
+      [
+        Alcotest.test_case "string round trips" `Quick test_params_roundtrip;
+        Alcotest.test_case "garbage rejected" `Quick test_params_garbage;
+      ] );
+    ( "mech.window",
+      [
+        Alcotest.test_case "track and cumulative ack" `Quick test_window_track_ack;
+        Alcotest.test_case "sack queries" `Quick test_window_sack_queries;
+        Alcotest.test_case "touch retries" `Quick test_window_touch;
+      ]
+      @ qsuite [ prop_window_conservation ] );
+    ( "mech.rate",
+      [
+        Alcotest.test_case "burst then paced" `Quick test_rate_burst_then_paced;
+        Alcotest.test_case "live rate change" `Quick test_rate_set_rate;
+        Alcotest.test_case "burst cap" `Quick test_rate_burst_cap;
+      ] );
+    ( "mech.rtt",
+      [
+        Alcotest.test_case "first sample" `Quick test_rtt_first_sample;
+        Alcotest.test_case "convergence" `Quick test_rtt_convergence;
+        Alcotest.test_case "timeout backoff" `Quick test_rtt_backoff;
+        Alcotest.test_case "clamps" `Quick test_rtt_clamps;
+      ] );
+    ( "mech.reorder",
+      [
+        Alcotest.test_case "in order" `Quick test_reorder_in_order;
+        Alcotest.test_case "out of order" `Quick test_reorder_out_of_order;
+        Alcotest.test_case "duplicates" `Quick test_reorder_duplicates;
+        Alcotest.test_case "unordered mode" `Quick test_reorder_unordered;
+        Alcotest.test_case "start offset" `Quick test_reorder_start_offset;
+        Alcotest.test_case "advance past gap" `Quick test_reorder_advance_past_gap;
+      ]
+      @ qsuite [ prop_reorder_permutation; prop_reorder_dups_never_delivered_twice ] );
+    ( "mech.fec",
+      [
+        Alcotest.test_case "sender groups" `Quick test_fec_sender_groups;
+        Alcotest.test_case "single loss recovery" `Quick test_fec_receiver_single_loss;
+        Alcotest.test_case "double loss resolves late" `Quick
+          test_fec_receiver_double_loss_then_arrival;
+        Alcotest.test_case "complete group" `Quick test_fec_receiver_complete_group;
+      ]
+      @ qsuite [ prop_fec_single_loss_per_group_always_recovers ] );
+    ( "mech.playout",
+      [
+        Alcotest.test_case "early and late" `Quick test_playout_early_and_late;
+        Alcotest.test_case "target adjustment" `Quick test_playout_set_target;
+        Alcotest.test_case "boundary" `Quick test_playout_boundary;
+      ] );
+    ( "mech.slowstart",
+      [
+        Alcotest.test_case "growth phases" `Quick test_slowstart_growth;
+        Alcotest.test_case "multiplicative decrease" `Quick test_slowstart_loss;
+      ] );
+    ( "mech.host",
+      [
+        Alcotest.test_case "serial cost model" `Quick test_host_costs;
+        Alcotest.test_case "extra work and copies" `Quick test_host_extra_and_copies;
+        Alcotest.test_case "zero cost" `Quick test_host_zero_cost;
+        Alcotest.test_case "idle restart" `Quick test_host_idle_gap;
+      ] );
+  ]

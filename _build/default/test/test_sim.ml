@@ -1,0 +1,453 @@
+(* Tests for the simulation substrate: Time, Heap, Rng, Stats, Engine,
+   Trace. *)
+
+open Adaptive_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float msg ~eps expected actual = Alcotest.(check (float eps)) msg expected actual
+
+(* ------------------------------------------------------------------ Time *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time.us 1);
+  check_int "ms" 1_000_000 (Time.ms 1);
+  check_int "sec" 1_500_000_000 (Time.sec 1.5);
+  check_int "minutes" 120_000_000_000 (Time.minutes 2);
+  check_float "to_sec" ~eps:1e-12 0.002 (Time.to_sec (Time.ms 2));
+  check_float "to_ms" ~eps:1e-9 2.5 (Time.to_ms (Time.us 2500));
+  check_float "to_us" ~eps:1e-9 3.0 (Time.to_us (Time.ns 3000))
+
+let test_time_arith () =
+  check_int "add" 30 (Time.add 10 20);
+  check_int "diff" (-10) (Time.diff 10 20);
+  check_int "max" 20 (Time.max 10 20);
+  check_int "min" 10 (Time.min 10 20);
+  check_bool "compare" true (Time.compare 1 2 < 0)
+
+let test_time_of_rate () =
+  (* 8000 bits at 1 Mb/s = 8 ms *)
+  check_int "1Mbps" (Time.ms 8) (Time.of_rate ~bits:8000 ~bps:1e6);
+  (* 12000 bits at 10 Mb/s = 1.2 ms *)
+  check_int "10Mbps" 1_200_000 (Time.of_rate ~bits:12000 ~bps:10e6);
+  Alcotest.check_raises "zero rate" (Invalid_argument "Time.of_rate: non-positive rate")
+    (fun () -> ignore (Time.of_rate ~bits:1 ~bps:0.0))
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "123ns" (Time.to_string 123);
+  Alcotest.(check string) "us" "12.30us" (Time.to_string 12_300);
+  Alcotest.(check string) "ms" "1.50ms" (Time.to_string 1_500_000);
+  Alcotest.(check string) "s" "2.000s" (Time.to_string 2_000_000_000)
+
+(* ------------------------------------------------------------------ Heap *)
+
+let test_heap_basic () =
+  let h = Heap.create () in
+  check_bool "empty" true (Heap.is_empty h);
+  Heap.push h ~key:5 "five";
+  Heap.push h ~key:1 "one";
+  Heap.push h ~key:3 "three";
+  check_int "length" 3 (Heap.length h);
+  Alcotest.(check (option (pair int string))) "peek" (Some (1, "one")) (Heap.peek h);
+  Alcotest.(check (option (pair int string))) "pop1" (Some (1, "one")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "pop2" (Some (3, "three")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "pop3" (Some (5, "five")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "pop empty" None (Heap.pop h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~key:7 v) [ "a"; "b"; "c"; "d" ];
+  let order = List.init 4 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "FIFO among equal keys" [ "a"; "b"; "c"; "d" ] order
+
+let test_heap_clear_drain () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h ~key:k k) [ 4; 2; 9; 1 ];
+  let seen = ref [] in
+  Heap.drain h ~f:(fun k _ -> seen := k :: !seen);
+  Alcotest.(check (list int)) "drain sorted" [ 1; 2; 4; 9 ] (List.rev !seen);
+  Heap.push h ~key:1 1;
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorted =
+  QCheck2.Test.make ~name:"heap pops keys in nondecreasing order" ~count:200
+    QCheck2.Gen.(list (int_bound 10_000))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h ~key:k k) keys;
+      let rec collect acc =
+        match Heap.pop h with None -> List.rev acc | Some (k, _) -> collect (k :: acc)
+      in
+      let popped = collect [] in
+      popped = List.sort compare keys)
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 99 and b = Rng.create 99 in
+  let seq_a = List.init 32 (fun _ -> Rng.bits64 a) in
+  let seq_b = List.init 32 (fun _ -> Rng.bits64 b) in
+  check_bool "same seed same stream" true (seq_a = seq_b);
+  let c = Rng.create 100 in
+  let seq_c = List.init 32 (fun _ -> Rng.bits64 c) in
+  check_bool "different seed different stream" false (seq_a = seq_c)
+
+let test_rng_split_copy () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let rest_a = List.init 16 (fun _ -> Rng.bits64 a) in
+  let rest_b = List.init 16 (fun _ -> Rng.bits64 b) in
+  check_bool "split independent" false (rest_a = rest_b);
+  let c = Rng.create 7 in
+  let d = Rng.copy c in
+  check_bool "copy same stream" true
+    (List.init 8 (fun _ -> Rng.bits64 c) = List.init 8 (fun _ -> Rng.bits64 d))
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "int out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.fail "int_in out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "float out of bounds"
+  done;
+  Alcotest.check_raises "non-positive bound"
+    (Invalid_argument "Rng.int: non-positive bound") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 100 do
+    if Rng.bernoulli rng 0.0 then Alcotest.fail "p=0 returned true";
+    if not (Rng.bernoulli rng 1.0) then Alcotest.fail "p=1 returned false"
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 5 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:3.0
+  done;
+  check_float "sample mean near 3.0" ~eps:0.15 3.0 (!sum /. float_of_int n)
+
+let test_rng_geometric () =
+  let rng = Rng.create 6 in
+  check_int "p=1 is 0" 0 (Rng.geometric rng ~p:1.0);
+  for _ = 1 to 500 do
+    if Rng.geometric rng ~p:0.3 < 0 then Alcotest.fail "negative geometric"
+  done;
+  Alcotest.check_raises "bad p" (Invalid_argument "Rng.geometric: p outside (0,1]")
+    (fun () -> ignore (Rng.geometric rng ~p:0.0))
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 8 in
+  let n = 20_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.gaussian rng ~mu:10.0 ~sigma:2.0 in
+    sum := !sum +. v;
+    sq := !sq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  check_float "mean" ~eps:0.1 10.0 mean;
+  check_float "variance" ~eps:0.3 4.0 var
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 13 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let prop_rng_pareto_scale =
+  QCheck2.Test.make ~name:"pareto samples >= scale" ~count:100
+    QCheck2.Gen.(pair (int_range 1 1000) (float_range 1.1 5.0))
+    (fun (seed, shape) ->
+      let rng = Rng.create seed in
+      let v = Rng.pareto rng ~shape ~scale:2.0 in
+      v >= 2.0)
+
+(* ------------------------------------------------------------------ Stats *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_int "count" 8 (Stats.count s);
+  check_float "total" ~eps:1e-9 40.0 (Stats.total s);
+  check_float "mean" ~eps:1e-9 5.0 (Stats.mean s);
+  check_float "variance" ~eps:1e-9 (32.0 /. 7.0) (Stats.variance s);
+  check_float "min" ~eps:1e-9 2.0 (Stats.min_value s);
+  check_float "max" ~eps:1e-9 9.0 (Stats.max_value s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check_bool "mean nan" true (Float.is_nan (Stats.mean s));
+  check_bool "quantile nan" true (Float.is_nan (Stats.quantile s 0.5));
+  check_bool "min nan" true (Float.is_nan (Stats.min_value s))
+
+let test_stats_quantiles () =
+  let s = Stats.create () in
+  for i = 0 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  check_float "p50" ~eps:1.0 50.0 (Stats.quantile s 0.5);
+  check_float "p95" ~eps:1.5 95.0 (Stats.quantile s 0.95);
+  check_float "p0" ~eps:1e-9 0.0 (Stats.quantile s 0.0);
+  check_float "p100" ~eps:1e-9 100.0 (Stats.quantile s 1.0)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.0; 2.0; 3.0 ];
+  List.iter (Stats.add b) [ 10.0; 20.0 ];
+  let m = Stats.merge a b in
+  check_int "merged count" 5 (Stats.count m);
+  check_float "merged total" ~eps:1e-9 36.0 (Stats.total m);
+  check_float "merged mean" ~eps:1e-9 7.2 (Stats.mean m);
+  check_float "merged min" ~eps:1e-9 1.0 (Stats.min_value m);
+  check_float "merged max" ~eps:1e-9 20.0 (Stats.max_value m)
+
+let test_stats_clear () =
+  let s = Stats.create () in
+  Stats.add s 5.0;
+  Stats.clear s;
+  check_int "cleared count" 0 (Stats.count s)
+
+let test_stats_reservoir_bounded () =
+  (* Millions of samples must not blow memory; quantiles stay sane. *)
+  let s = Stats.create ~reservoir:512 () in
+  for i = 1 to 100_000 do
+    Stats.add s (float_of_int (i mod 1000))
+  done;
+  check_int "count" 100_000 (Stats.count s);
+  let q = Stats.quantile s 0.5 in
+  check_bool "median plausible" true (q > 350.0 && q < 650.0)
+
+let prop_stats_mean_bounded =
+  QCheck2.Test.make ~name:"mean lies within [min,max]" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let m = Stats.mean s in
+      m >= Stats.min_value s -. 1e-9 && m <= Stats.max_value s +. 1e-9)
+
+let prop_stats_variance_nonneg =
+  QCheck2.Test.make ~name:"variance is non-negative" ~count:200
+    QCheck2.Gen.(list_size (int_range 2 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      Stats.variance s >= -1e-9)
+
+(* ---------------------------------------------------------------- Engine *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.schedule e ~at:(Time.ms 30) (note "c"));
+  ignore (Engine.schedule e ~at:(Time.ms 10) (note "a"));
+  ignore (Engine.schedule e ~at:(Time.ms 20) (note "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_int "clock at last event" (Time.ms 30) (Engine.now e)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~at:(Time.ms 1) (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO at same instant" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~at:(Time.ms 5) (fun () -> fired := true) in
+  check_bool "pending" true (Engine.is_pending h);
+  Engine.cancel h;
+  check_bool "not pending" false (Engine.is_pending h);
+  Engine.run e;
+  check_bool "cancelled did not fire" false !fired;
+  Engine.cancel h (* idempotent *)
+
+let test_engine_past_raises () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~at:(Time.ms 10) (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: event in the past")
+    (fun () -> ignore (Engine.schedule e ~at:(Time.ms 5) (fun () -> ())))
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  List.iter
+    (fun t -> ignore (Engine.schedule e ~at:t (fun () -> incr count)))
+    [ Time.ms 1; Time.ms 2; Time.ms 50 ];
+  Engine.run e ~until:(Time.ms 10);
+  check_int "only early events" 2 !count;
+  check_int "clock advanced to limit" (Time.ms 10) (Engine.now e);
+  check_int "one pending" 1 (Engine.pending_events e);
+  Engine.run e;
+  check_int "rest ran" 3 !count
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~at:(Time.ms 1) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule_after e ~delay:(Time.ms 1) (fun () ->
+                log := "inner" :: !log))));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check_int "events fired" 2 (Engine.events_fired e)
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  let rec forever () = ignore (Engine.schedule_after e ~delay:1 forever) in
+  forever ();
+  Engine.run e ~max_events:100;
+  check_int "bounded" 100 (Engine.events_fired e)
+
+let test_timer_one_shot () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let timer = Engine.Timer.one_shot e ~delay:(Time.ms 3) (fun () -> incr fired) in
+  check_bool "active" true (Engine.Timer.is_active timer);
+  Engine.run e;
+  check_int "fired once" 1 !fired;
+  check_int "expirations" 1 (Engine.Timer.expirations timer);
+  check_bool "inactive after" false (Engine.Timer.is_active timer)
+
+let test_timer_periodic_cancel () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let timer = Engine.Timer.periodic e ~interval:(Time.ms 10) (fun () -> incr fired) in
+  ignore
+    (Engine.schedule e ~at:(Time.ms 55) (fun () -> Engine.Timer.cancel timer));
+  Engine.run e;
+  check_int "five periods before cancel" 5 !fired;
+  Alcotest.check_raises "bad interval"
+    (Invalid_argument "Timer.periodic: non-positive interval") (fun () ->
+      ignore (Engine.Timer.periodic e ~interval:0 (fun () -> ())))
+
+let test_timer_reschedule () =
+  let e = Engine.create () in
+  let fired_at = ref Time.zero in
+  let timer =
+    Engine.Timer.one_shot e ~delay:(Time.ms 10) (fun () -> fired_at := Engine.now e)
+  in
+  ignore
+    (Engine.schedule e ~at:(Time.ms 5) (fun () ->
+         Engine.Timer.reschedule timer ~delay:(Time.ms 20)));
+  Engine.run e;
+  check_int "fired at rescheduled time" (Time.ms 25) !fired_at;
+  check_int "fired once" 1 (Engine.Timer.expirations timer)
+
+(* ----------------------------------------------------------------- Trace *)
+
+let test_trace_counters () =
+  let tr = Trace.create () in
+  Trace.count tr "x";
+  Trace.count tr "x";
+  Trace.count_by tr "y" 5;
+  check_int "x" 2 (Trace.counter tr "x");
+  check_int "y" 5 (Trace.counter tr "y");
+  check_int "missing" 0 (Trace.counter tr "z");
+  Alcotest.(check (list (pair string int)))
+    "sorted counters"
+    [ ("x", 2); ("y", 5) ]
+    (Trace.counters tr)
+
+let test_trace_log_capacity () =
+  let tr = Trace.create ~log_capacity:3 () in
+  for i = 1 to 5 do
+    Trace.event tr ~at:(Time.ms i) ~category:"ev" ~detail:(string_of_int i)
+  done;
+  let entries = Trace.entries tr in
+  check_int "bounded" 3 (List.length entries);
+  Alcotest.(check (list string)) "oldest dropped" [ "3"; "4"; "5" ]
+    (List.map (fun e -> e.Trace.detail) entries);
+  check_int "counter still exact" 5 (Trace.counter tr "ev");
+  Trace.clear tr;
+  check_int "cleared" 0 (Trace.counter tr "ev")
+
+let test_trace_disabled_log () =
+  let tr = Trace.create ~log_capacity:0 () in
+  Trace.event tr ~at:Time.zero ~category:"ev" ~detail:"d";
+  check_int "no entries" 0 (List.length (Trace.entries tr));
+  check_int "counter works" 1 (Trace.counter tr "ev")
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "sim.time",
+      [
+        Alcotest.test_case "unit conversions" `Quick test_time_units;
+        Alcotest.test_case "arithmetic" `Quick test_time_arith;
+        Alcotest.test_case "of_rate" `Quick test_time_of_rate;
+        Alcotest.test_case "printer" `Quick test_time_pp;
+      ] );
+    ( "sim.heap",
+      [
+        Alcotest.test_case "push/pop ordering" `Quick test_heap_basic;
+        Alcotest.test_case "FIFO tie-break" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "clear and drain" `Quick test_heap_clear_drain;
+      ]
+      @ qsuite [ prop_heap_sorted ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "split and copy" `Quick test_rng_split_copy;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "geometric" `Quick test_rng_geometric;
+        Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+        Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+      ]
+      @ qsuite [ prop_rng_pareto_scale ] );
+    ( "sim.stats",
+      [
+        Alcotest.test_case "basic moments" `Quick test_stats_basic;
+        Alcotest.test_case "empty accumulator" `Quick test_stats_empty;
+        Alcotest.test_case "quantiles" `Quick test_stats_quantiles;
+        Alcotest.test_case "merge" `Quick test_stats_merge;
+        Alcotest.test_case "clear" `Quick test_stats_clear;
+        Alcotest.test_case "bounded reservoir" `Quick test_stats_reservoir_bounded;
+      ]
+      @ qsuite [ prop_stats_mean_bounded; prop_stats_variance_nonneg ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "time ordering" `Quick test_engine_ordering;
+        Alcotest.test_case "same-time FIFO" `Quick test_engine_same_time_fifo;
+        Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "past scheduling raises" `Quick test_engine_past_raises;
+        Alcotest.test_case "run until" `Quick test_engine_run_until;
+        Alcotest.test_case "nested scheduling" `Quick test_engine_nested_schedule;
+        Alcotest.test_case "max events bound" `Quick test_engine_max_events;
+        Alcotest.test_case "one-shot timer" `Quick test_timer_one_shot;
+        Alcotest.test_case "periodic timer and cancel" `Quick test_timer_periodic_cancel;
+        Alcotest.test_case "reschedule" `Quick test_timer_reschedule;
+      ] );
+    ( "sim.trace",
+      [
+        Alcotest.test_case "counters" `Quick test_trace_counters;
+        Alcotest.test_case "log capacity" `Quick test_trace_log_capacity;
+        Alcotest.test_case "disabled log keeps counters" `Quick test_trace_disabled_log;
+      ] );
+  ]
