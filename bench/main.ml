@@ -8,7 +8,11 @@
    or a single experiment:
 
      dune exec bench/main.exe -- --only e3_fec
-     dune exec bench/main.exe -- --list *)
+     dune exec bench/main.exe -- --list
+
+   [--smoke] shrinks the workloads that honor it (e8_engine_scale) so CI
+   can exercise the harness quickly; the [@bench-smoke] dune alias runs
+   exactly that. *)
 
 let registry =
   [
@@ -25,6 +29,7 @@ let registry =
     ("e5_reconfig", Experiments.e5_reconfig);
     ("e6_window", Experiments.e6_window);
     ("e7_replicate", Experiments.e7_replicate);
+    ("e8_engine_scale", Engine_scale.e8_engine_scale);
     ("a1_detection", Ablations.a1_detection);
     ("a2_fec_group", Ablations.a2_fec_group);
     ("a3_ack_delay", Ablations.a3_ack_delay);
@@ -34,6 +39,8 @@ let registry =
 
 let () =
   let args = Array.to_list Sys.argv in
+  let smoke, args = List.partition (String.equal "--smoke") args in
+  if smoke <> [] then Engine_scale.smoke := true;
   match args with
   | _ :: "--list" :: _ ->
     List.iter (fun (id, _) -> print_endline id) registry

@@ -1,0 +1,206 @@
+(* Vendored copy of the original (pre-timer-wheel) simulation engine and
+   its boxed-entry binary heap, kept verbatim as the baseline for the
+   e8_engine_scale allocation/throughput comparison.  The live engine in
+   lib/sim has since moved to a hierarchical timer wheel with flat-array
+   heaps and slot-reusing timers; this module is what it replaced:
+
+   - every [Heap.push] allocates a boxed [entry] record;
+   - every [Heap.pop]/[peek] allocates [Some (key, value)] tuples;
+   - every timer (re)arm allocates a fresh closure and a [Some handle].
+
+   Do not use this outside the benchmark harness. *)
+
+open Adaptive_sim
+
+module Heap = struct
+  type 'a entry = { key : int; seq : int; value : 'a }
+
+  type 'a t = {
+    mutable arr : 'a entry array;
+    mutable size : int;
+    mutable next_seq : int;
+  }
+
+  let create () = { arr = [||]; size = 0; next_seq = 0 }
+
+  let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+  let grow h e =
+    let cap = Array.length h.arr in
+    if h.size = cap then begin
+      let ncap = if cap = 0 then 64 else cap * 2 in
+      let na = Array.make ncap e in
+      Array.blit h.arr 0 na 0 h.size;
+      h.arr <- na
+    end
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if less h.arr.(i) h.arr.(parent) then begin
+        let tmp = h.arr.(i) in
+        h.arr.(i) <- h.arr.(parent);
+        h.arr.(parent) <- tmp;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.size && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+    if r < h.size && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      let tmp = h.arr.(i) in
+      h.arr.(i) <- h.arr.(!smallest);
+      h.arr.(!smallest) <- tmp;
+      sift_down h !smallest
+    end
+
+  let push h ~key value =
+    let e = { key; seq = h.next_seq; value } in
+    h.next_seq <- h.next_seq + 1;
+    grow h e;
+    h.arr.(h.size) <- e;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+
+  let peek h =
+    if h.size = 0 then None
+    else
+      let e = h.arr.(0) in
+      Some (e.key, e.value)
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.arr.(0) <- h.arr.(h.size);
+        sift_down h 0
+      end;
+      Some (top.key, top.value)
+    end
+end
+
+type event = { mutable live : bool; action : unit -> unit }
+
+type t = {
+  mutable clock : Time.t;
+  queue : event Heap.t;
+  mutable live_count : int;
+  mutable fired : int;
+}
+
+type handle = t * event
+
+let create () = { clock = Time.zero; queue = Heap.create (); live_count = 0; fired = 0 }
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then invalid_arg "Seed_engine.schedule: event in the past";
+  let e = { live = true; action = f } in
+  Heap.push t.queue ~key:at e;
+  t.live_count <- t.live_count + 1;
+  (t, e)
+
+let schedule_after t ~delay f = schedule t ~at:(Time.add t.clock delay) f
+
+let cancel (t, e) =
+  if e.live then begin
+    e.live <- false;
+    t.live_count <- t.live_count - 1
+  end
+
+let is_pending (_, e) = e.live
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, e) ->
+    if e.live then begin
+      e.live <- false;
+      t.live_count <- t.live_count - 1;
+      t.clock <- at;
+      t.fired <- t.fired + 1;
+      e.action ();
+      true
+    end
+    else step t
+
+let rec next_live_at t =
+  match Heap.peek t.queue with
+  | None -> None
+  | Some (at, e) -> if e.live then Some at else (ignore (Heap.pop t.queue); next_live_at t)
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with None -> max_int | Some n -> n) in
+  let continue () =
+    !budget > 0
+    &&
+    match next_live_at t with
+    | None -> false
+    | Some at -> (
+      match until with None -> true | Some limit -> at <= limit)
+  in
+  while continue () do
+    if step t then decr budget
+  done;
+  match until with
+  | Some limit when t.clock < limit && !budget > 0 -> t.clock <- limit
+  | Some _ | None -> ()
+
+let pending_events t = t.live_count
+let events_fired t = t.fired
+
+let cancel_handle = cancel
+
+module Timer = struct
+  type timer = {
+    engine : t;
+    mutable handle : handle option;
+    mutable period : Time.t option;
+    mutable count : int;
+    callback : unit -> unit;
+  }
+
+  let rec arm timer delay =
+    let h =
+      schedule_after timer.engine ~delay (fun () ->
+          timer.handle <- None;
+          timer.count <- timer.count + 1;
+          (match timer.period with
+          | Some interval -> arm timer interval
+          | None -> ());
+          timer.callback ())
+    in
+    timer.handle <- Some h
+
+  let one_shot engine ~delay f =
+    let timer = { engine; handle = None; period = None; count = 0; callback = f } in
+    arm timer delay;
+    timer
+
+  let periodic engine ~interval f =
+    if interval <= 0 then invalid_arg "Timer.periodic: non-positive interval";
+    let timer =
+      { engine; handle = None; period = Some interval; count = 0; callback = f }
+    in
+    arm timer interval;
+    timer
+
+  let cancel timer =
+    (match timer.handle with Some h -> cancel_handle h | None -> ());
+    timer.handle <- None;
+    timer.period <- None
+
+  let reschedule timer ~delay =
+    (match timer.handle with Some h -> cancel_handle h | None -> ());
+    arm timer delay
+
+  let is_active timer =
+    match timer.handle with Some h -> is_pending h | None -> false
+
+  let expirations timer = timer.count
+end

@@ -1,5 +1,16 @@
 type segment = { base : Bytes.t; off : int; len : int }
-type t = { mutable headers : string list; mutable data : segment list }
+
+(* [dlen] and [hlen] cache the region lengths.  They stay valid because
+   the segment list is never mutated in place — every operation that
+   changes the data region builds a fresh record (and knows the new
+   length in O(1)) — and the header stack only changes through
+   [push]/[pop], which adjust [hlen] incrementally. *)
+type t = {
+  mutable headers : string list;
+  mutable hlen : int;
+  data : segment list;
+  dlen : int;
+}
 
 let copies_counter = ref 0
 let bytes_counter = ref 0
@@ -15,28 +26,34 @@ let reset_copy_counters () =
   copies_counter := 0;
   bytes_counter := 0
 
-let of_bytes b = { headers = []; data = [ { base = b; off = 0; len = Bytes.length b } ] }
+let of_bytes b =
+  let n = Bytes.length b in
+  { headers = []; hlen = 0; data = [ { base = b; off = 0; len = n } ]; dlen = n }
+
 let create n = of_bytes (Bytes.make n '\000')
 let of_string s = of_bytes (Bytes.of_string s)
+let data_length m = m.dlen
+let header_length m = m.hlen
+let total_length m = m.hlen + m.dlen
 
-let data_length m = List.fold_left (fun acc s -> acc + s.len) 0 m.data
-let header_length m = List.fold_left (fun acc h -> acc + String.length h) 0 m.headers
-let total_length m = header_length m + data_length m
-
-let push m h = m.headers <- h :: m.headers
+let push m h =
+  m.headers <- h :: m.headers;
+  m.hlen <- m.hlen + String.length h
 
 let pop m =
   match m.headers with
   | [] -> None
   | h :: rest ->
     m.headers <- rest;
+    m.hlen <- m.hlen - String.length h;
     Some h
 
 let peek_header m = match m.headers with [] -> None | h :: _ -> Some h
-let copy m = { headers = m.headers; data = m.data }
+
+let copy m = { headers = m.headers; hlen = m.hlen; data = m.data; dlen = m.dlen }
 
 let split m n =
-  if n < 0 || n > data_length m then invalid_arg "Msg.split: index out of range";
+  if n < 0 || n > m.dlen then invalid_arg "Msg.split: index out of range";
   let rec take acc remaining segs =
     if remaining = 0 then (List.rev acc, segs)
     else
@@ -50,21 +67,30 @@ let split m n =
           (List.rev (first :: acc), second :: rest)
   in
   let front, back = take [] n m.data in
-  ({ headers = m.headers; data = front }, { headers = []; data = back })
+  ( { headers = m.headers; hlen = m.hlen; data = front; dlen = n },
+    { headers = []; hlen = 0; data = back; dlen = m.dlen - n } )
 
 let fragment m ~mtu =
   if mtu <= 0 then invalid_arg "Msg.fragment: non-positive MTU";
   let rec cut acc rest =
-    let len = data_length rest in
-    if len = 0 then List.rev acc
-    else if len <= mtu then List.rev ({ headers = []; data = rest.data } :: acc)
+    if rest.dlen = 0 then List.rev acc
+    else if rest.dlen <= mtu then
+      List.rev ({ headers = []; hlen = 0; data = rest.data; dlen = rest.dlen } :: acc)
     else
-      let piece, remainder = split { headers = []; data = rest.data } mtu in
+      let piece, remainder =
+        split { headers = []; hlen = 0; data = rest.data; dlen = rest.dlen } mtu
+      in
       cut (piece :: acc) remainder
   in
-  cut [] { headers = []; data = m.data }
+  cut [] { headers = []; hlen = 0; data = m.data; dlen = m.dlen }
 
-let concat ms = { headers = []; data = List.concat_map (fun m -> m.data) ms }
+let concat ms =
+  {
+    headers = [];
+    hlen = 0;
+    data = List.concat_map (fun m -> m.data) ms;
+    dlen = List.fold_left (fun acc m -> acc + m.dlen) 0 ms;
+  }
 
 let blit_segments segs dst off =
   let pos = ref off in
@@ -75,14 +101,14 @@ let blit_segments segs dst off =
     segs
 
 let data_to_string m =
-  let n = data_length m in
+  let n = m.dlen in
   let b = Bytes.create n in
   blit_segments m.data b 0;
   charge_copy n;
   Bytes.unsafe_to_string b
 
 let to_string m =
-  let hl = header_length m and dl = data_length m in
+  let hl = m.hlen and dl = m.dlen in
   let b = Bytes.create (hl + dl) in
   let pos = ref 0 in
   List.iter
@@ -96,6 +122,6 @@ let to_string m =
 
 let blit_data m dst off =
   blit_segments m.data dst off;
-  charge_copy (data_length m)
+  charge_copy m.dlen
 
 let iter_data m f = List.iter (fun s -> f s.base s.off s.len) m.data

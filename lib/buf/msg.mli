@@ -24,13 +24,16 @@ val of_bytes : Bytes.t -> t
 (** Message sharing (not copying) the given bytes as its data region. *)
 
 val data_length : t -> int
-(** Bytes in the data region. *)
+(** Bytes in the data region.  O(1): the length is cached in the message
+    record (the segment list is never mutated in place, so the cache
+    cannot go stale) rather than re-folded over the segments. *)
 
 val header_length : t -> int
-(** Bytes in the header region (sum of pushed headers). *)
+(** Bytes in the header region (sum of pushed headers).  O(1): maintained
+    incrementally by {!push}/{!pop}. *)
 
 val total_length : t -> int
-(** [header_length m + data_length m] — what goes on the wire. *)
+(** [header_length m + data_length m] — what goes on the wire.  O(1). *)
 
 val push : t -> string -> unit
 (** [push m h] prepends header [h] as the new outermost header.  O(1),

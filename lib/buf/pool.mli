@@ -18,7 +18,8 @@ val capacity : t -> int
 (** Total number of buffers. *)
 
 val available : t -> int
-(** Buffers currently free. *)
+(** Buffers currently free.  O(1): the free count is tracked in a
+    mutable field rather than recomputed from the free list. *)
 
 val in_use : t -> int
 (** Buffers currently allocated. *)
@@ -27,8 +28,10 @@ val alloc : t -> Bytes.t option
 (** Take a buffer, or [None] when exhausted (counted as a miss). *)
 
 val free : t -> Bytes.t -> unit
-(** Return a buffer to the pool.  Raises [Invalid_argument] on a buffer of
-    the wrong size or when the pool is already full. *)
+(** Return a buffer to the pool.  O(1).  Raises [Invalid_argument] on a
+    buffer of the wrong size or when the pool is already full.  A buffer
+    returned while the pool is above capacity (after a shrinking
+    {!resize}) is dropped and counted by {!free_discarded}. *)
 
 val resize : t -> buffers:int -> unit
 (** Change the pool capacity (renegotiated buffer space).  Shrinking below
@@ -40,3 +43,7 @@ val misses : t -> int
 
 val allocations : t -> int
 (** Number of successful allocations since creation. *)
+
+val free_discarded : t -> int
+(** Number of returned buffers dropped because the pool was already at
+    capacity when they came back. *)

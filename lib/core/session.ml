@@ -68,6 +68,7 @@ and t = {
   mutable fin_timer : Engine.Timer.timer option;
   (* receiver half *)
   mutable ack_timer : Engine.Timer.timer option;
+  mutable ack_with_sack : bool; (* read by the persistent ack timer callback *)
   mutable skip_timer : Engine.Timer.timer option;
   mutable nack_timer : Engine.Timer.timer option;
   mutable delivered_segments : int;
@@ -197,23 +198,26 @@ let count_control t = Unites.count (unites t) ~session:t.id Unites.Control_pdus
 
 let cancel_timer = function Some timer -> Engine.Timer.cancel timer | None -> ()
 
+let timer_active = function
+  | Some timer -> Engine.Timer.is_active timer
+  | None -> false
+
 let rec ensure_rtx_armed t =
   (* Timeout-driven behaviour only makes sense when acknowledgments drain
      the in-flight set; NACK-based recovery is receiver-driven. *)
   let needs = Scs.ack_based (scs t) && not (Window.is_empty t.ctx.Tko.window) in
-  if not needs then begin
-    cancel_timer t.rtx_timer;
-    t.rtx_timer <- None
-  end
-  else
-    let active =
-      match t.rtx_timer with Some timer -> Engine.Timer.is_active timer | None -> false
-    in
-    if not active then begin
-      let delay = Rtt.rto t.ctx.Tko.rtt in
+  if not needs then cancel_timer t.rtx_timer
+  else if not (timer_active t.rtx_timer) then begin
+    let delay = Rtt.rto t.ctx.Tko.rtt in
+    (* Each timer keeps one event record and callback for the session's
+       lifetime; re-arming goes through [reschedule] so the constant
+       rtx churn of the send path never allocates. *)
+    match t.rtx_timer with
+    | Some timer -> Engine.Timer.reschedule timer ~delay
+    | None ->
       t.rtx_timer <-
         Some (Engine.Timer.one_shot (engine t) ~delay (fun () -> on_rtx_timeout t))
-    end
+  end
 
 and on_rtx_timeout t =
   if not (Window.is_empty t.ctx.Tko.window) && t.ep_state <> Closed then begin
@@ -365,19 +369,21 @@ and send_syn t =
   arm_syn_timer t
 
 and arm_syn_timer t =
-  cancel_timer t.syn_timer;
   let delay = (scs t).Scs.initial_rto in
-  t.syn_timer <-
-    Some
-      (Engine.Timer.one_shot (engine t) ~delay (fun () ->
-           if t.pending_peers <> [] && t.ep_state <> Closed then begin
-             t.syn_retries <- t.syn_retries + 1;
-             if t.syn_retries > 5 then begin
-               t.ep_state <- Closed;
-               cancel_all_timers t
-             end
-             else send_syn t
-           end))
+  match t.syn_timer with
+  | Some timer -> Engine.Timer.reschedule timer ~delay
+  | None ->
+    t.syn_timer <- Some (Engine.Timer.one_shot (engine t) ~delay (fun () -> on_syn_timeout t))
+
+and on_syn_timeout t =
+  if t.pending_peers <> [] && t.ep_state <> Closed then begin
+    t.syn_retries <- t.syn_retries + 1;
+    if t.syn_retries > 5 then begin
+      t.ep_state <- Closed;
+      cancel_all_timers t
+    end
+    else send_syn t
+  end
 
 and cancel_all_timers t =
   List.iter cancel_timer
@@ -409,14 +415,12 @@ and mark_established t =
 and send_fin t ~graceful =
   count_control t;
   inject t (Pdu.Fin { conn = t.id; graceful });
-  cancel_timer t.fin_timer;
-  t.fin_timer <-
-    Some
-      (Engine.Timer.one_shot (engine t)
-         ~delay:(Rtt.rto t.ctx.Tko.rtt)
-         (fun () ->
-           (* Give up waiting for the Fin_ack after one retry period. *)
-           finish_close t))
+  (* Give up waiting for the Fin_ack after one retry period. *)
+  let delay = Rtt.rto t.ctx.Tko.rtt in
+  (match t.fin_timer with
+  | Some timer -> Engine.Timer.reschedule timer ~delay
+  | None ->
+    t.fin_timer <- Some (Engine.Timer.one_shot (engine t) ~delay (fun () -> finish_close t)))
 
 and finish_close t =
   t.ep_state <- Closed;
@@ -450,13 +454,18 @@ and send_ack_now t ~with_sack =
 
 and schedule_ack t ~delay ~with_sack =
   if delay <= 0 then send_ack_now t ~with_sack
-  else
-    let active =
-      match t.ack_timer with Some timer -> Engine.Timer.is_active timer | None -> false
-    in
-    if not active then
+  else if not (timer_active t.ack_timer) then begin
+    (* The persistent callback reads [ack_with_sack] instead of capturing
+       the flag, so one closure serves every delayed ack. *)
+    t.ack_with_sack <- with_sack;
+    match t.ack_timer with
+    | Some timer -> Engine.Timer.reschedule timer ~delay
+    | None ->
       t.ack_timer <-
-        Some (Engine.Timer.one_shot (engine t) ~delay (fun () -> send_ack_now t ~with_sack))
+        Some
+          (Engine.Timer.one_shot (engine t) ~delay (fun () ->
+               send_ack_now t ~with_sack:t.ack_with_sack))
+  end
 
 and send_nack t missing =
   match missing with
@@ -530,44 +539,50 @@ and arm_skip_timer t =
   let applies =
     (scs t).Scs.ordering = Params.Ordered && not (Scs.reliable (scs t))
   in
-  if applies && Reorder.missing t.ctx.Tko.reorder <> [] then begin
-    let active =
-      match t.skip_timer with Some timer -> Engine.Timer.is_active timer | None -> false
+  if
+    applies
+    && Reorder.missing t.ctx.Tko.reorder <> []
+    && not (timer_active t.skip_timer)
+  then begin
+    let delay =
+      match t.ctx.Tko.playout with
+      | Some playout -> Time.max (Time.ms 5) (2 * Playout.target playout)
+      | None -> (scs t).Scs.initial_rto
     in
-    if not active then begin
-      let delay =
-        match t.ctx.Tko.playout with
-        | Some playout -> Time.max (Time.ms 5) (2 * Playout.target playout)
-        | None -> (scs t).Scs.initial_rto
-      in
-      t.skip_timer <-
-        Some
-          (Engine.Timer.one_shot (engine t) ~delay (fun () ->
-               let skipped, released = Reorder.advance_past_gap t.ctx.Tko.reorder in
-               if skipped > 0 then
-                 Unites.observe (unites t) ~session:t.id Unites.Losses_unrecovered
-                   (float_of_int skipped);
-               List.iter (fun s -> deliver_segment t s ~damaged:false) released;
-               arm_skip_timer t))
-    end
+    match t.skip_timer with
+    | Some timer -> Engine.Timer.reschedule timer ~delay
+    | None ->
+      t.skip_timer <- Some (Engine.Timer.one_shot (engine t) ~delay (fun () -> on_skip_timeout t))
   end
 
+and on_skip_timeout t =
+  let skipped, released = Reorder.advance_past_gap t.ctx.Tko.reorder in
+  if skipped > 0 then
+    Unites.observe (unites t) ~session:t.id Unites.Losses_unrecovered
+      (float_of_int skipped);
+  List.iter (fun s -> deliver_segment t s ~damaged:false) released;
+  arm_skip_timer t
+
 and arm_renack_timer t =
-  if (scs t).Scs.reporting = Params.Nack_on_gap then begin
-    let active =
-      match t.nack_timer with Some timer -> Engine.Timer.is_active timer | None -> false
-    in
-    if (not active) && Reorder.missing t.ctx.Tko.reorder <> [] then
-      t.nack_timer <-
-        Some
-          (Engine.Timer.one_shot (engine t) ~delay:(scs t).Scs.initial_rto (fun () ->
-               if t.ep_state <> Closed then begin
-                 let missing = Reorder.missing t.ctx.Tko.reorder in
-                 if missing <> [] then begin
-                   send_nack t missing;
-                   arm_renack_timer t
-                 end
-               end))
+  if
+    (scs t).Scs.reporting = Params.Nack_on_gap
+    && (not (timer_active t.nack_timer))
+    && Reorder.missing t.ctx.Tko.reorder <> []
+  then begin
+    let delay = (scs t).Scs.initial_rto in
+    match t.nack_timer with
+    | Some timer -> Engine.Timer.reschedule timer ~delay
+    | None ->
+      t.nack_timer <- Some (Engine.Timer.one_shot (engine t) ~delay (fun () -> on_renack_timeout t))
+  end
+
+and on_renack_timeout t =
+  if t.ep_state <> Closed then begin
+    let missing = Reorder.missing t.ctx.Tko.reorder in
+    if missing <> [] then begin
+      send_nack t missing;
+      arm_renack_timer t
+    end
   end
 
 and handle_data t ?(tx_stamp = Time.zero) (recv : Pdu.t Network.recv) (seg : Pdu.seg) =
@@ -716,8 +731,7 @@ and handle_ack t ~cum ~window ~sack ~echo =
     (* Forward progress: re-arm the timer afresh and drop any timeout
        backoff even if the acked segments were retransmissions. *)
     Rtt.reset_backoff ctx.Tko.rtt;
-    cancel_timer t.rtx_timer;
-    t.rtx_timer <- None
+    cancel_timer t.rtx_timer
   end;
   ensure_rtx_armed t;
   pump t
@@ -741,15 +755,16 @@ and try_send_signal t =
 and push_signal t blob =
   count_control t;
   inject t (Pdu.Signal { conn = t.id; blob });
-  cancel_timer t.signal_timer;
-  t.signal_timer <-
-    Some
-      (Engine.Timer.one_shot (engine t)
-         ~delay:(Rtt.rto t.ctx.Tko.rtt)
-         (fun () ->
-           match t.signal_inflight with
-           | Some pending when t.ep_state <> Closed -> push_signal t pending
-           | Some _ | None -> ()))
+  let delay = Rtt.rto t.ctx.Tko.rtt in
+  match t.signal_timer with
+  | Some timer -> Engine.Timer.reschedule timer ~delay
+  | None ->
+    t.signal_timer <- Some (Engine.Timer.one_shot (engine t) ~delay (fun () -> on_signal_timeout t))
+
+and on_signal_timeout t =
+  match t.signal_inflight with
+  | Some pending when t.ep_state <> Closed -> push_signal t pending
+  | Some _ | None -> ()
 
 and handle_signal t blob =
   count_control t;
@@ -758,7 +773,6 @@ and handle_signal t blob =
 
 and handle_signal_ack t blob =
   cancel_timer t.signal_timer;
-  t.signal_timer <- None;
   t.signal_inflight <- None;
   t.on_signal_reply t blob;
   try_send_signal t
@@ -820,6 +834,7 @@ and make_endpoint ~disp ~conn ~ep_name ~binding ~peers ~scs ~start_seq ~on_deliv
       syn_retries = 0;
       fin_timer = None;
       ack_timer = None;
+      ack_with_sack = false;
       skip_timer = None;
       nack_timer = None;
       delivered_segments = 0;

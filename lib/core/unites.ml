@@ -24,6 +24,10 @@ type metric =
   | Reconfigurations
   | Window_size
   | Host_cpu
+  | Sched_events_fired
+  | Sched_timers_rearmed
+  | Sched_cancelled_ratio
+  | Sched_wheel_hit_rate
 
 type kind = Blackbox | Whitebox
 
@@ -33,7 +37,8 @@ let metric_kind = function
   | Bytes_delivered | Retransmissions | Timeouts | Dup_segments | Corrupt_detected
   | Corrupt_delivered | Late_discards | Losses_unrecovered | Fec_parity_sent
   | Fec_recovered | Acks_sent | Nacks_sent | Control_pdus | Reconfigurations
-  | Window_size | Host_cpu -> Whitebox
+  | Window_size | Host_cpu | Sched_events_fired | Sched_timers_rearmed
+  | Sched_cancelled_ratio | Sched_wheel_hit_rate -> Whitebox
 
 let metric_name = function
   | Throughput -> "throughput_bps"
@@ -59,6 +64,10 @@ let metric_name = function
   | Reconfigurations -> "reconfigurations"
   | Window_size -> "window_size"
   | Host_cpu -> "host_cpu_s"
+  | Sched_events_fired -> "sched_events_fired"
+  | Sched_timers_rearmed -> "sched_timers_rearmed"
+  | Sched_cancelled_ratio -> "sched_cancelled_ratio"
+  | Sched_wheel_hit_rate -> "sched_wheel_hit_rate"
 
 let all_metrics =
   [
@@ -85,6 +94,10 @@ let all_metrics =
     Reconfigurations;
     Window_size;
     Host_cpu;
+    Sched_events_fired;
+    Sched_timers_rearmed;
+    Sched_cancelled_ratio;
+    Sched_wheel_hit_rate;
   ]
 
 type t = {
@@ -96,7 +109,15 @@ type t = {
   names : (int, string) Hashtbl.t;
   tmc : (int, metric list) Hashtbl.t; (* per-session whitebox selection *)
   mutable whitebox_count : int;
+  (* last scheduler counter values folded into the repository, so each
+     [sample_scheduler] observes the delta since the previous sample *)
+  mutable sched_fired_seen : int;
+  mutable sched_rearmed_seen : int;
 }
+
+(* Scheduler observations live under a reserved pseudo-session: real
+   connection ids are handed out starting from 1. *)
+let scheduler_session = 0
 
 let create ?(whitebox = true) ?(bucket = Time.sec 1.0) engine =
   {
@@ -108,6 +129,8 @@ let create ?(whitebox = true) ?(bucket = Time.sec 1.0) engine =
     names = Hashtbl.create 16;
     tmc = Hashtbl.create 16;
     whitebox_count = 0;
+    sched_fired_seen = 0;
+    sched_rearmed_seen = 0;
   }
 
 let whitebox_enabled t = t.whitebox
@@ -190,6 +213,25 @@ let sessions t =
 
 let whitebox_samples t = t.whitebox_count
 
+let sample_scheduler t =
+  if t.whitebox then begin
+    register_session t ~id:scheduler_session ~name:"scheduler";
+    let c = Engine.counters t.engine in
+    let d_fired = c.Engine.events_fired - t.sched_fired_seen in
+    let d_rearmed = c.Engine.timers_rearmed - t.sched_rearmed_seen in
+    t.sched_fired_seen <- c.Engine.events_fired;
+    t.sched_rearmed_seen <- c.Engine.timers_rearmed;
+    if d_fired > 0 then
+      observe t ~session:scheduler_session Sched_events_fired (float_of_int d_fired);
+    if d_rearmed > 0 then
+      observe t ~session:scheduler_session Sched_timers_rearmed
+        (float_of_int d_rearmed);
+    observe t ~session:scheduler_session Sched_cancelled_ratio
+      (Engine.cancelled_ratio t.engine);
+    observe t ~session:scheduler_session Sched_wheel_hit_rate
+      (Engine.wheel_hit_rate t.engine)
+  end
+
 let series t ~session m =
   match Hashtbl.find_opt t.buckets (session, m) with
   | None -> []
@@ -212,6 +254,9 @@ let aggregate_series t m =
   |> List.sort compare
 
 let report fmt t =
+  (* Fold the engine's current scheduler counters in so the report always
+     shows scheduler overhead next to the transport metrics. *)
+  sample_scheduler t;
   Format.fprintf fmt "@[<v>UNITES metric repository (t=%a, whitebox=%b)@,"
     Time.pp (Engine.now t.engine) t.whitebox;
   List.iter

@@ -41,6 +41,14 @@ type metric =
   | Reconfigurations  (** Segue operations applied. *)
   | Window_size  (** Effective send window samples. *)
   | Host_cpu  (** Host CPU seconds consumed. *)
+  | Sched_events_fired  (** Engine events executed since the last
+                            scheduler sample. *)
+  | Sched_timers_rearmed  (** Timer re-arms (slot-reusing reschedules)
+                              since the last scheduler sample. *)
+  | Sched_cancelled_ratio  (** Cancelled-but-unswept entries as a
+                               fraction of the queued population. *)
+  | Sched_wheel_hit_rate  (** Fraction of event inserts served by a
+                              timer-wheel slot rather than a heap. *)
 
 type kind = Blackbox | Whitebox
 
@@ -103,6 +111,18 @@ val sessions : t -> (int * string) list
 val whitebox_samples : t -> int
 (** Whitebox observations actually recorded — the instrumentation
     activity the overhead experiment charges for. *)
+
+val scheduler_session : int
+(** Reserved pseudo-session id under which scheduler overhead metrics
+    are recorded (real connection ids start at 1). *)
+
+val sample_scheduler : t -> unit
+(** Fold the engine's whitebox scheduler counters ({!Engine.counters})
+    into the repository under {!scheduler_session}: events fired and
+    timers re-armed since the previous sample, plus the current
+    cancelled-entry ratio and wheel hit rate.  Called automatically by
+    {!report}; experiments can also call it periodically to build the
+    bucketed series.  A no-op while whitebox collection is off. *)
 
 val series : t -> session:int -> metric -> (Time.t * float) list
 (** Per-bucket totals of a session's metric over simulated time, oldest

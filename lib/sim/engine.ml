@@ -1,123 +1,467 @@
-type event = { mutable live : bool; action : unit -> unit }
+(* Discrete-event engine: hierarchical timer wheel + heap tiers.
+
+   Transport workloads arm far more timers than they expire: every
+   in-flight segment re-arms a retransmission timer that is almost always
+   cancelled by an acknowledgment first.  The event queue is therefore
+   organized in three tiers:
+
+   - [ready]   — a small binary heap ordered by (deadline, seq) holding
+                 only events at or below the wheel watermark tick; the
+                 next event to fire is always its root.
+   - wheel     — two levels of 256 slots (2^16 ns ≈ 65 µs ticks, so
+                 level 0 spans ~16.8 ms and level 1 ~4.3 s) of intrusive
+                 doubly-linked lists.  Insert and cancel are O(1); a
+                 cancelled timer is unlinked immediately and never touches
+                 a heap.
+   - [overflow]— a heap for events beyond the wheel horizon.  Cancelled
+                 entries in either heap die lazily and are compacted out
+                 eagerly once they exceed half the heap.
+
+   Events are ordered globally by (deadline, seq) with [seq] assigned at
+   (re)schedule time, so the wheel path fires the exact sequence the pure
+   heap path would — the equivalence property test in [test_sim.ml]
+   checks this on randomized schedule/cancel/reschedule workloads.
+
+   The {!Timer} analog of the paper's [TKO_Event] reuses one event record
+   and one closure per timer across every re-arm, so the rtx/ack timer
+   churn of a session allocates nothing after the timer is created. *)
+
+let slot_bits = 8
+let num_slots = 1 lsl slot_bits
+let slot_mask = num_slots - 1
+let tick_shift = 16
+
+(* Locations an event record can occupy. *)
+let loc_none = -1
+let loc_ready = -2
+let loc_overflow = -3
+
+type event = {
+  mutable deadline : Time.t;
+  mutable seq : int; (* assigned per (re)schedule; global FIFO tie-break *)
+  mutable live : bool;
+  mutable loc : int; (* loc_* or wheel position [level*256 + slot] *)
+  mutable action : unit -> unit;
+  mutable prev : event; (* intrusive wheel-slot list; [nil] when detached *)
+  mutable next : event;
+}
+
+(* Shared sentinel: never linked, never mutated. *)
+let rec nil =
+  { deadline = 0; seq = 0; live = false; loc = loc_none;
+    action = (fun () -> ()); prev = nil; next = nil }
 
 type t = {
   mutable clock : Time.t;
-  queue : event Heap.t;
+  mutable next_seq : int;
+  use_wheel : bool;
+  ready : event Heap.t;
+  mutable ready_dead : int;
+  overflow : event Heap.t;
+  mutable overflow_dead : int;
+  slots : event array; (* [0,256): level 0; [256,512): level 1 *)
+  mutable c0 : int; (* events resident in level 0 *)
+  mutable c1 : int; (* events resident in level 1 *)
+  mutable wtick : int; (* watermark: events at ticks <= wtick are in [ready] *)
   mutable live_count : int;
   mutable fired : int;
+  (* whitebox counters *)
+  mutable rearmed : int;
+  mutable wheel_inserts : int;
+  mutable ready_inserts : int;
+  mutable overflow_inserts : int;
+  mutable wheel_cancels : int;
+  mutable lazy_cancels : int;
+  mutable cascades : int;
+  mutable compactions : int;
 }
 
 type handle = t * event
 
-let create () = { clock = Time.zero; queue = Heap.create (); live_count = 0; fired = 0 }
+let create ?(backend = `Wheel) () =
+  {
+    clock = Time.zero;
+    next_seq = 0;
+    use_wheel = (backend = `Wheel);
+    ready = Heap.create ();
+    ready_dead = 0;
+    overflow = Heap.create ();
+    overflow_dead = 0;
+    slots = Array.make (2 * num_slots) nil;
+    c0 = 0;
+    c1 = 0;
+    wtick = 0;
+    live_count = 0;
+    fired = 0;
+    rearmed = 0;
+    wheel_inserts = 0;
+    ready_inserts = 0;
+    overflow_inserts = 0;
+    wheel_cancels = 0;
+    lazy_cancels = 0;
+    cascades = 0;
+    compactions = 0;
+  }
+
 let now t = t.clock
 
-let schedule t ~at f =
+(* ------------------------------------------------------------ wheel ops *)
+
+let wheel_link t e pos =
+  let head = t.slots.(pos) in
+  e.prev <- nil;
+  e.next <- head;
+  if head != nil then head.prev <- e;
+  t.slots.(pos) <- e;
+  e.loc <- pos
+
+let wheel_unlink t e =
+  let pos = e.loc in
+  if e.prev == nil then t.slots.(pos) <- e.next else e.prev.next <- e.next;
+  if e.next != nil then e.next.prev <- e.prev;
+  e.prev <- nil;
+  e.next <- nil;
+  e.loc <- loc_none;
+  if pos < num_slots then t.c0 <- t.c0 - 1 else t.c1 <- t.c1 - 1
+
+let push_ready t e =
+  Heap.push_seq t.ready ~key:e.deadline ~seq:e.seq e;
+  e.loc <- loc_ready
+
+(* Route a freshly (re)armed event to its tier. *)
+let enqueue t e =
+  if not t.use_wheel then begin
+    push_ready t e;
+    t.ready_inserts <- t.ready_inserts + 1
+  end
+  else begin
+    let tk = Time.ticks e.deadline ~shift:tick_shift in
+    if tk <= t.wtick then begin
+      push_ready t e;
+      t.ready_inserts <- t.ready_inserts + 1
+    end
+    else begin
+      let rel = tk - t.wtick in
+      if rel <= num_slots then begin
+        wheel_link t e (tk land slot_mask);
+        t.c0 <- t.c0 + 1;
+        t.wheel_inserts <- t.wheel_inserts + 1
+      end
+      else if rel <= num_slots * num_slots then begin
+        wheel_link t e (num_slots + ((tk asr slot_bits) land slot_mask));
+        t.c1 <- t.c1 + 1;
+        t.wheel_inserts <- t.wheel_inserts + 1
+      end
+      else begin
+        Heap.push_seq t.overflow ~key:e.deadline ~seq:e.seq e;
+        e.loc <- loc_overflow;
+        t.overflow_inserts <- t.overflow_inserts + 1
+      end
+    end
+  end
+
+(* ------------------------------------------------- cancellation + GC *)
+
+let dead_pending t = t.ready_dead + t.overflow_dead
+
+let compact t heap ~keep_stat =
+  Heap.filter_in_place heap ~f:(fun _key seq e -> e.live && e.seq = seq);
+  t.compactions <- t.compactions + 1;
+  keep_stat ()
+
+let maybe_compact_ready t =
+  if t.ready_dead > 64 && 2 * t.ready_dead > Heap.length t.ready then
+    compact t t.ready ~keep_stat:(fun () -> t.ready_dead <- 0)
+
+let maybe_compact_overflow t =
+  if t.overflow_dead > 64 && 2 * t.overflow_dead > Heap.length t.overflow then
+    compact t t.overflow ~keep_stat:(fun () -> t.overflow_dead <- 0)
+
+let cancel_event t e =
+  if e.live then begin
+    e.live <- false;
+    t.live_count <- t.live_count - 1;
+    if e.loc >= 0 then begin
+      wheel_unlink t e;
+      t.wheel_cancels <- t.wheel_cancels + 1
+    end
+    else if e.loc = loc_ready then begin
+      e.loc <- loc_none;
+      t.ready_dead <- t.ready_dead + 1;
+      t.lazy_cancels <- t.lazy_cancels + 1;
+      maybe_compact_ready t
+    end
+    else if e.loc = loc_overflow then begin
+      e.loc <- loc_none;
+      t.overflow_dead <- t.overflow_dead + 1;
+      t.lazy_cancels <- t.lazy_cancels + 1;
+      maybe_compact_overflow t
+    end
+  end
+
+(* ------------------------------------------------------------- refill *)
+
+let ready_live t = Heap.length t.ready - t.ready_dead
+
+(* Pull overflow entries that have come inside the watermark. *)
+let drain_overflow t =
+  while
+    (not (Heap.is_empty t.overflow))
+    && Time.ticks (Heap.top_key t.overflow) ~shift:tick_shift <= t.wtick
+  do
+    let e = Heap.top_value t.overflow in
+    let sq = Heap.top_seq t.overflow in
+    Heap.drop_top t.overflow;
+    if e.live && e.seq = sq then push_ready t e
+    else t.overflow_dead <- t.overflow_dead - 1
+  done
+
+(* Move every event of an expired level-0 slot into [ready]; all entries
+   of one slot share a single tick, which equals [t.wtick] when called. *)
+let flush_l0_slot t pos =
+  let e = ref t.slots.(pos) in
+  t.slots.(pos) <- nil;
+  while !e != nil do
+    let cur = !e in
+    e := cur.next;
+    cur.prev <- nil;
+    cur.next <- nil;
+    t.c0 <- t.c0 - 1;
+    push_ready t cur
+  done
+
+(* Redistribute the level-1 slot whose 256-tick window starts at
+   [t.wtick]: ticks equal to the watermark go to [ready], the rest fan
+   out into level 0. *)
+let cascade_l1 t =
+  let pos = num_slots + ((t.wtick asr slot_bits) land slot_mask) in
+  let e = ref t.slots.(pos) in
+  t.slots.(pos) <- nil;
+  if !e != nil then t.cascades <- t.cascades + 1;
+  while !e != nil do
+    let cur = !e in
+    e := cur.next;
+    cur.prev <- nil;
+    cur.next <- nil;
+    t.c1 <- t.c1 - 1;
+    let tk = Time.ticks cur.deadline ~shift:tick_shift in
+    if tk <= t.wtick then push_ready t cur
+    else begin
+      wheel_link t cur (tk land slot_mask);
+      t.c0 <- t.c0 + 1
+    end
+  done
+
+(* Advance the watermark until [ready] holds a live event (or nothing is
+   queued outside it).  Each iteration jumps to the next candidate tick:
+   the earliest occupied level-0 slot, the next level-1 cascade boundary,
+   or the earliest overflow entry — whichever comes first. *)
+let refill t =
+  if t.use_wheel then
+    while
+      ready_live t = 0 && (t.c0 > 0 || t.c1 > 0 || not (Heap.is_empty t.overflow))
+    do
+      if t.c0 = 0 && t.c1 = 0 then begin
+        (* Wheels empty: jump straight to the overflow's earliest tick. *)
+        let tk = Time.ticks (Heap.top_key t.overflow) ~shift:tick_shift in
+        if tk > t.wtick then t.wtick <- tk;
+        drain_overflow t
+      end
+      else begin
+        let boundary = ((t.wtick asr slot_bits) + 1) lsl slot_bits in
+        let target = ref boundary in
+        if t.c0 > 0 then begin
+          let d = ref 1 in
+          let limit = boundary - t.wtick in
+          let found = ref 0 in
+          while !found = 0 && !d <= limit do
+            let tk = t.wtick + !d in
+            if t.slots.(tk land slot_mask) != nil then found := tk;
+            incr d
+          done;
+          if !found <> 0 then target := !found
+        end;
+        if not (Heap.is_empty t.overflow) then begin
+          let otk = Time.ticks (Heap.top_key t.overflow) ~shift:tick_shift in
+          if otk < !target then target := otk
+        end;
+        t.wtick <- !target;
+        if !target = boundary then cascade_l1 t;
+        flush_l0_slot t (!target land slot_mask);
+        drain_overflow t
+      end
+    done
+
+(* Deadline of the next live event, or [max_int] when none is pending.
+   Stale heads of [ready] are discarded on the way. *)
+let next_live_deadline t =
+  if ready_live t = 0 then refill t;
+  if ready_live t = 0 then max_int
+  else begin
+    let continue = ref true in
+    while !continue do
+      let e = Heap.top_value t.ready in
+      if e.live && e.seq = Heap.top_seq t.ready then continue := false
+      else begin
+        Heap.drop_top t.ready;
+        t.ready_dead <- t.ready_dead - 1
+      end
+    done;
+    Heap.top_key t.ready
+  end
+
+(* ---------------------------------------------------------- scheduling *)
+
+let schedule_event t e ~at =
   if at < t.clock then invalid_arg "Engine.schedule: event in the past";
-  let e = { live = true; action = f } in
-  Heap.push t.queue ~key:at e;
+  e.deadline <- at;
+  e.seq <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  e.live <- true;
   t.live_count <- t.live_count + 1;
+  enqueue t e
+
+let schedule t ~at f =
+  let e =
+    { deadline = 0; seq = 0; live = false; loc = loc_none; action = f;
+      prev = nil; next = nil }
+  in
+  schedule_event t e ~at;
   (t, e)
 
 let schedule_after t ~delay f = schedule t ~at:(Time.add t.clock delay) f
-
-let cancel (t, e) =
-  if e.live then begin
-    e.live <- false;
-    t.live_count <- t.live_count - 1
-  end
-
+let cancel (t, e) = cancel_event t e
 let is_pending (_, e) = e.live
 
-let rec step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (at, e) ->
-    if e.live then begin
-      e.live <- false;
-      t.live_count <- t.live_count - 1;
-      t.clock <- at;
-      t.fired <- t.fired + 1;
-      e.action ();
-      true
-    end
-    else step t
+let rec pop_live t =
+  let e = Heap.top_value t.ready in
+  let sq = Heap.top_seq t.ready in
+  Heap.drop_top t.ready;
+  if e.live && e.seq = sq then e
+  else begin
+    t.ready_dead <- t.ready_dead - 1;
+    pop_live t
+  end
 
-(* Discard cancelled entries so the head of the queue is always the next
-   event that will actually fire — otherwise a cancelled entry's timestamp
-   could let [run ~until] step into an event beyond the limit. *)
-let rec next_live_at t =
-  match Heap.peek t.queue with
-  | None -> None
-  | Some (at, e) -> if e.live then Some at else (ignore (Heap.pop t.queue); next_live_at t)
+let step t =
+  if ready_live t = 0 then refill t;
+  if ready_live t = 0 then false
+  else begin
+    let e = pop_live t in
+    e.live <- false;
+    e.loc <- loc_none;
+    t.live_count <- t.live_count - 1;
+    t.clock <- e.deadline;
+    t.fired <- t.fired + 1;
+    e.action ();
+    true
+  end
 
 let run ?until ?max_events t =
   let budget = ref (match max_events with None -> max_int | Some n -> n) in
+  let limit = match until with None -> max_int | Some l -> l in
   let continue () =
     !budget > 0
     &&
-    match next_live_at t with
-    | None -> false
-    | Some at -> (
-      match until with None -> true | Some limit -> at <= limit)
+    let at = next_live_deadline t in
+    at <> max_int && at <= limit
   in
   while continue () do
     if step t then decr budget
   done;
   match until with
-  | Some limit when t.clock < limit && !budget > 0 -> t.clock <- limit
+  | Some l when t.clock < l && !budget > 0 -> t.clock <- l
   | Some _ | None -> ()
 
 let pending_events t = t.live_count
 let events_fired t = t.fired
 
-let cancel_handle = cancel
+(* --------------------------------------------------- whitebox counters *)
+
+type counters = {
+  events_fired : int;
+  timers_rearmed : int;
+  wheel_inserts : int;
+  ready_inserts : int;
+  overflow_inserts : int;
+  wheel_cancels : int;
+  lazy_cancels : int;
+  cascades : int;
+  compactions : int;
+  dead_entries : int;
+}
+
+let counters t =
+  {
+    events_fired = t.fired;
+    timers_rearmed = t.rearmed;
+    wheel_inserts = t.wheel_inserts;
+    ready_inserts = t.ready_inserts;
+    overflow_inserts = t.overflow_inserts;
+    wheel_cancels = t.wheel_cancels;
+    lazy_cancels = t.lazy_cancels;
+    cascades = t.cascades;
+    compactions = t.compactions;
+    dead_entries = dead_pending t;
+  }
+
+let wheel_hit_rate (t : t) =
+  let total = t.wheel_inserts + t.ready_inserts + t.overflow_inserts in
+  if total = 0 then 0.0 else float_of_int t.wheel_inserts /. float_of_int total
+
+let cancelled_ratio (t : t) =
+  let queued = Heap.length t.ready + Heap.length t.overflow + t.c0 + t.c1 in
+  if queued = 0 then 0.0 else float_of_int (dead_pending t) /. float_of_int queued
+
+(* -------------------------------------------------------------- timers *)
 
 module Timer = struct
   type timer = {
     engine : t;
-    mutable handle : handle option;
-    mutable period : Time.t option;
+    ev : event;
+    mutable period : Time.t; (* 0 = one-shot *)
     mutable count : int;
     callback : unit -> unit;
   }
 
-  let rec arm timer delay =
-    let h =
-      schedule_after timer.engine ~delay (fun () ->
-          timer.handle <- None;
-          timer.count <- timer.count + 1;
-          (match timer.period with
-          | Some interval -> arm timer interval
-          | None -> ());
-          timer.callback ())
-    in
-    timer.handle <- Some h
+  (* Re-arm the existing event record: fresh seq, no new closure. *)
+  let rearm timer delay =
+    let t = timer.engine in
+    t.rearmed <- t.rearmed + 1;
+    schedule_event t timer.ev ~at:(Time.add t.clock delay)
 
-  let one_shot engine ~delay f =
-    let timer = { engine; handle = None; period = None; count = 0; callback = f } in
-    arm timer delay;
+  let expire timer =
+    timer.count <- timer.count + 1;
+    (* Periodic timers re-arm before the callback runs, so events the
+       callback schedules at the same instant fire after the next tick —
+       same FIFO order as the seed engine. *)
+    if timer.period > 0 then rearm timer timer.period;
+    timer.callback ()
+
+  let make engine ~period ~delay f =
+    let e =
+      { deadline = 0; seq = 0; live = false; loc = loc_none;
+        action = (fun () -> ()); prev = nil; next = nil }
+    in
+    let timer = { engine; ev = e; period; count = 0; callback = f } in
+    e.action <- (fun () -> expire timer);
+    schedule_event engine e ~at:(Time.add engine.clock delay);
     timer
+
+  let one_shot engine ~delay f = make engine ~period:0 ~delay f
 
   let periodic engine ~interval f =
     if interval <= 0 then invalid_arg "Timer.periodic: non-positive interval";
-    let timer =
-      { engine; handle = None; period = Some interval; count = 0; callback = f }
-    in
-    arm timer interval;
-    timer
+    make engine ~period:interval ~delay:interval f
 
   let cancel timer =
-    (match timer.handle with Some h -> cancel_handle h | None -> ());
-    timer.handle <- None;
-    timer.period <- None
+    cancel_event timer.engine timer.ev;
+    timer.period <- 0
 
   let reschedule timer ~delay =
-    (match timer.handle with Some h -> cancel_handle h | None -> ());
-    arm timer delay
+    cancel_event timer.engine timer.ev;
+    rearm timer delay
 
-  let is_active timer =
-    match timer.handle with Some h -> is_pending h | None -> false
-
+  let is_active timer = timer.ev.live
   let expirations timer = timer.count
 end

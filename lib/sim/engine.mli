@@ -6,9 +6,21 @@
     Events at the same instant fire in scheduling order, so runs are fully
     deterministic.
 
+    Internally the queue is a hierarchical timer wheel (O(1) insert and
+    cancel for the short-horizon timers that dominate transport
+    workloads) backed by a binary-heap overflow tier for far-future
+    events; see the implementation notes in [engine.ml] and the
+    "Simulator engine internals" section of DESIGN.md.  The [`Heap]
+    backend bypasses the wheel and runs everything through one heap — it
+    exists as the reference the equivalence property tests compare
+    against.
+
     The {!Timer} submodule is the analog of the paper's [TKO_Event] class:
     one-shot or periodic timers that can be scheduled, cancelled, and
-    rescheduled ([TKO_Event::schedule] / [expire] / [cancel]). *)
+    rescheduled ([TKO_Event::schedule] / [expire] / [cancel]).  A timer
+    owns one event record and one closure for its whole life, so
+    re-arming it — the hot operation of every retransmission and
+    acknowledgment path — allocates nothing. *)
 
 type t
 (** A simulation engine instance. *)
@@ -16,8 +28,10 @@ type t
 type handle
 (** A cancellable reference to a scheduled event. *)
 
-val create : unit -> t
-(** Fresh engine with the clock at {!Time.zero} and no pending events. *)
+val create : ?backend:[ `Wheel | `Heap ] -> unit -> t
+(** Fresh engine with the clock at {!Time.zero} and no pending events.
+    [backend] (default [`Wheel]) selects the queue organization; both
+    fire identical event sequences. *)
 
 val now : t -> Time.t
 (** Current simulated time. *)
@@ -31,7 +45,9 @@ val schedule_after : t -> delay:Time.t -> (unit -> unit) -> handle
 
 val cancel : handle -> unit
 (** Prevent the event from firing.  Cancelling a fired or already-cancelled
-    event is a no-op. *)
+    event is a no-op.  Wheel-resident events are unlinked in O(1);
+    heap-resident ones die lazily and are compacted out once they exceed
+    half their tier. *)
 
 val is_pending : handle -> bool
 (** [true] until the event fires or is cancelled. *)
@@ -50,6 +66,32 @@ val pending_events : t -> int
 val events_fired : t -> int
 (** Total events executed since creation. *)
 
+(** Scheduler whitebox counters, reported through UNITES alongside the
+    transport metrics so experiments can see scheduler overhead. *)
+type counters = {
+  events_fired : int;  (** Events executed. *)
+  timers_rearmed : int;  (** {!Timer} re-arms that reused an event record. *)
+  wheel_inserts : int;  (** Events enqueued into a wheel slot. *)
+  ready_inserts : int;  (** Events enqueued straight into the ready heap. *)
+  overflow_inserts : int;  (** Events beyond the wheel horizon. *)
+  wheel_cancels : int;  (** O(1) unlink cancellations. *)
+  lazy_cancels : int;  (** Cancellations left to die in a heap tier. *)
+  cascades : int;  (** Level-1 slot redistributions into level 0. *)
+  compactions : int;  (** Eager sweeps of cancelled heap entries. *)
+  dead_entries : int;  (** Cancelled entries currently awaiting sweep. *)
+}
+
+val counters : t -> counters
+(** Snapshot of the scheduler's whitebox counters. *)
+
+val wheel_hit_rate : t -> float
+(** Fraction of inserts served by a wheel slot (0 when nothing was
+    inserted) — the wheel-vs-heap hit rate. *)
+
+val cancelled_ratio : t -> float
+(** Cancelled-but-unswept entries as a fraction of the queued population
+    (0 when the queue is empty). *)
+
 (** One-shot and periodic timers — the [TKO_Event] analog. *)
 module Timer : sig
   type timer
@@ -67,7 +109,8 @@ module Timer : sig
 
   val reschedule : timer -> delay:Time.t -> unit
   (** Cancel any pending expiry and arm the timer to fire once after
-      [delay] (for periodic timers the period resumes afterwards). *)
+      [delay] (for periodic timers the period resumes afterwards).
+      Reuses the timer's event record and closure — no allocation. *)
 
   val is_active : timer -> bool
   (** [true] while the timer still has a pending expiry. *)

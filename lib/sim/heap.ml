@@ -1,35 +1,60 @@
-type 'a entry = { key : int; seq : int; value : 'a }
+(* Flat-array binary min-heap.
+
+   Keys, tie-break sequence numbers and values live in three parallel
+   arrays so that a push allocates no per-entry box and a pop on the
+   internal path ([top_key]/[top_value]/[drop_top]) allocates nothing at
+   all.  The option-returning [peek]/[pop] remain as the convenient
+   front door. *)
 
 type 'a t = {
-  mutable arr : 'a entry array;
+  mutable keys : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { arr = [||]; size = 0; next_seq = 0 }
+let create () = { keys = [||]; seqs = [||]; vals = [||]; size = 0; next_seq = 0 }
 
 let is_empty h = h.size = 0
 let length h = h.size
 
-(* [less a b] orders by key, then insertion sequence for FIFO tie-break. *)
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+(* Order by key, then sequence number: equal-key entries come out in
+   ascending [seq] order, which the engine uses for FIFO tie-breaks. *)
+let less h i j =
+  let ki = h.keys.(i) and kj = h.keys.(j) in
+  ki < kj || (ki = kj && h.seqs.(i) < h.seqs.(j))
 
-let grow h e =
-  let cap = Array.length h.arr in
+let swap h i j =
+  let k = h.keys.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.keys.(j) <- k;
+  let s = h.seqs.(i) in
+  h.seqs.(i) <- h.seqs.(j);
+  h.seqs.(j) <- s;
+  let v = h.vals.(i) in
+  h.vals.(i) <- h.vals.(j);
+  h.vals.(j) <- v
+
+let grow h filler =
+  let cap = Array.length h.keys in
   if h.size = cap then begin
     let ncap = if cap = 0 then 64 else cap * 2 in
-    let na = Array.make ncap e in
-    Array.blit h.arr 0 na 0 h.size;
-    h.arr <- na
+    let nk = Array.make ncap 0 and ns = Array.make ncap 0 in
+    let nv = Array.make ncap filler in
+    Array.blit h.keys 0 nk 0 h.size;
+    Array.blit h.seqs 0 ns 0 h.size;
+    Array.blit h.vals 0 nv 0 h.size;
+    h.keys <- nk;
+    h.seqs <- ns;
+    h.vals <- nv
   end
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less h.arr.(i) h.arr.(parent) then begin
-      let tmp = h.arr.(i) in
-      h.arr.(i) <- h.arr.(parent);
-      h.arr.(parent) <- tmp;
+    if less h i parent then begin
+      swap h i parent;
       sift_up h parent
     end
   end
@@ -37,44 +62,90 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.size && less h.arr.(l) h.arr.(!smallest) then smallest := l;
-  if r < h.size && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+  if l < h.size && less h l !smallest then smallest := l;
+  if r < h.size && less h r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = h.arr.(i) in
-    h.arr.(i) <- h.arr.(!smallest);
-    h.arr.(!smallest) <- tmp;
+    swap h i !smallest;
     sift_down h !smallest
   end
 
-let push h ~key value =
-  let e = { key; seq = h.next_seq; value } in
-  h.next_seq <- h.next_seq + 1;
-  grow h e;
-  h.arr.(h.size) <- e;
+let push_seq h ~key ~seq value =
+  grow h value;
+  h.keys.(h.size) <- key;
+  h.seqs.(h.size) <- seq;
+  h.vals.(h.size) <- value;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
-let peek h =
-  if h.size = 0 then None
-  else
-    let e = h.arr.(0) in
-    Some (e.key, e.value)
+let push h ~key value =
+  let seq = h.next_seq in
+  h.next_seq <- h.next_seq + 1;
+  push_seq h ~key ~seq value
+
+let top_key h =
+  if h.size = 0 then invalid_arg "Heap.top_key: empty heap";
+  h.keys.(0)
+
+let top_seq h =
+  if h.size = 0 then invalid_arg "Heap.top_seq: empty heap";
+  h.seqs.(0)
+
+let top_value h =
+  if h.size = 0 then invalid_arg "Heap.top_value: empty heap";
+  h.vals.(0)
+
+let drop_top h =
+  if h.size = 0 then invalid_arg "Heap.drop_top: empty heap";
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.keys.(0) <- h.keys.(h.size);
+    h.seqs.(0) <- h.seqs.(h.size);
+    h.vals.(0) <- h.vals.(h.size);
+    sift_down h 0
+  end;
+  (* Drop the vacated slot's reference so popped entries don't pin their
+     payload (the root's value is live inside the heap anyway). *)
+  if h.size > 0 then h.vals.(h.size) <- h.vals.(0)
+
+let peek h = if h.size = 0 then None else Some (h.keys.(0), h.vals.(0))
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.arr.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.arr.(0) <- h.arr.(h.size);
-      sift_down h 0
-    end;
-    Some (top.key, top.value)
+    let k = h.keys.(0) and v = h.vals.(0) in
+    drop_top h;
+    Some (k, v)
   end
+
+let filter_in_place h ~f =
+  let kept = ref 0 in
+  for i = 0 to h.size - 1 do
+    if f h.keys.(i) h.seqs.(i) h.vals.(i) then begin
+      let j = !kept in
+      if j <> i then begin
+        h.keys.(j) <- h.keys.(i);
+        h.seqs.(j) <- h.seqs.(i);
+        h.vals.(j) <- h.vals.(i)
+      end;
+      incr kept
+    end
+  done;
+  (* Release references past the new end. *)
+  if !kept > 0 then
+    for i = !kept to h.size - 1 do
+      h.vals.(i) <- h.vals.(0)
+    done;
+  h.size <- !kept;
+  (* Floyd heap construction: O(n). *)
+  for i = (h.size / 2) - 1 downto 0 do
+    sift_down h i
+  done
 
 let clear h =
   h.size <- 0;
-  h.arr <- [||]
+  h.keys <- [||];
+  h.seqs <- [||];
+  h.vals <- [||]
 
 let rec drain h ~f =
   match pop h with

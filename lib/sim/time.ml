@@ -15,6 +15,8 @@ let max (a : t) b = Stdlib.max a b
 let min (a : t) b = Stdlib.min a b
 let compare (a : t) b = Stdlib.compare a b
 
+let ticks t ~shift = t asr shift
+
 let of_rate ~bits ~bps =
   if bps <= 0.0 then invalid_arg "Time.of_rate: non-positive rate";
   int_of_float (Float.round (float_of_int bits /. bps *. 1e9))

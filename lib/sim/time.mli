@@ -50,6 +50,10 @@ val min : t -> t -> t
 val compare : t -> t -> int
 (** Total order on instants. *)
 
+val ticks : t -> shift:int -> int
+(** [ticks t ~shift] is the index of the [2^shift]-nanosecond bucket
+    containing [t] — the slot arithmetic of the timer-wheel scheduler. *)
+
 val of_rate : bits:int -> bps:float -> t
 (** [of_rate ~bits ~bps] is the time needed to serialize [bits] bits onto a
     channel of [bps] bits per second. *)

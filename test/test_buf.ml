@@ -177,6 +177,103 @@ let prop_crc_bit_flip =
       Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
       Checksum.crc32 s <> Checksum.crc32 (Bytes.to_string b))
 
+(* Byte-at-a-time reference implementations the word-at-a-time folds in
+   Checksum must agree with. *)
+
+let ref_internet s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    sum := !sum + (Bytes.get_uint8 b !i lsl 8) + Bytes.get_uint8 b (!i + 1);
+    i := !i + 2
+  done;
+  if !i < n then sum := !sum + (Bytes.get_uint8 b !i lsl 8);
+  let s = ref !sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  lnot !s land 0xFFFF
+
+let ref_crc32 s =
+  let poly = 0xEDB88320 in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch ->
+      c := !c lxor Char.code ch;
+      for _ = 0 to 7 do
+        if !c land 1 <> 0 then c := poly lxor (!c lsr 1) else c := !c lsr 1
+      done)
+    s;
+  Int32.of_int (!c lxor 0xFFFFFFFF)
+
+let prop_internet_matches_bytewise_reference =
+  QCheck2.Test.make ~name:"word-at-a-time internet = byte-wise reference"
+    ~count:500
+    QCheck2.Gen.(string_size (int_range 0 300))
+    (fun s -> Checksum.internet s = ref_internet s)
+
+let prop_crc32_matches_bytewise_reference =
+  QCheck2.Test.make ~name:"slicing-by-8 crc32 = byte-wise reference" ~count:500
+    QCheck2.Gen.(string_size (int_range 0 300))
+    (fun s -> Checksum.crc32 s = ref_crc32 s)
+
+let prop_internet_msg_odd_segments =
+  (* Odd-length segments force the cross-boundary carry path. *)
+  QCheck2.Test.make ~name:"internet_msg carries across odd segment splits"
+    ~count:500
+    QCheck2.Gen.(list_size (int_range 0 8) (string_size (int_range 0 33)))
+    (fun pieces ->
+      let m = Msg.concat (List.map Msg.of_string pieces) in
+      Checksum.internet_msg m = ref_internet (String.concat "" pieces))
+
+let prop_crc32_msg_odd_segments =
+  QCheck2.Test.make ~name:"crc32_msg over segments = byte-wise reference"
+    ~count:500
+    QCheck2.Gen.(list_size (int_range 0 8) (string_size (int_range 0 33)))
+    (fun pieces ->
+      let m = Msg.concat (List.map Msg.of_string pieces) in
+      Checksum.crc32_msg m = ref_crc32 (String.concat "" pieces))
+
+(* Cached lengths: [data_length]/[header_length] are O(1) fields now;
+   check they always agree with a recount over the actual regions. *)
+
+let recounted_data_length m =
+  let n = ref 0 in
+  Msg.iter_data m (fun _ _ len -> n := !n + len);
+  !n
+
+let prop_msg_cached_data_length =
+  QCheck2.Test.make ~name:"cached data_length survives split/fragment/concat"
+    ~count:300
+    QCheck2.Gen.(pair (string_size (int_range 0 120)) (int_range 1 17))
+    (fun (s, mtu) ->
+      let m = Msg.of_string s in
+      let n = String.length s in
+      let front, back = Msg.split m (n / 2) in
+      let frags = Msg.fragment m ~mtu in
+      let whole = Msg.concat (front :: back :: frags) in
+      Msg.data_length m = recounted_data_length m
+      && Msg.data_length front = n / 2
+      && Msg.data_length back = n - (n / 2)
+      && List.for_all (fun f -> Msg.data_length f = recounted_data_length f) frags
+      && Msg.data_length whole = 2 * n
+      && Msg.total_length whole = Msg.header_length whole + Msg.data_length whole)
+
+let prop_msg_cached_header_length =
+  QCheck2.Test.make ~name:"cached header_length tracks push/pop" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 12) (string_size (int_range 0 9)))
+    (fun headers ->
+      let m = Msg.of_string "payload" in
+      List.iter (Msg.push m) headers;
+      let full = List.fold_left (fun a h -> a + String.length h) 0 headers in
+      let ok_pushed = Msg.header_length m = full in
+      let popped = match Msg.pop m with None -> 0 | Some h -> String.length h in
+      ok_pushed
+      && Msg.header_length m = full - popped
+      && Msg.header_length (Msg.copy m) = full - popped)
+
 (* ------------------------------------------------------------------ Pool *)
 
 let test_pool_alloc_free () =
@@ -218,6 +315,44 @@ let test_pool_buffer_size () =
   check_int "size" 128 (Pool.buffer_size p);
   check_int "buffer length" 128 (Bytes.length (Option.get (Pool.alloc p)))
 
+let test_pool_free_discarded () =
+  let p = Pool.create ~buffers:2 ~size:8 in
+  let a = Option.get (Pool.alloc p) in
+  let b = Option.get (Pool.alloc p) in
+  Pool.resize p ~buffers:1;
+  check_int "no discards yet" 0 (Pool.free_discarded p);
+  Pool.free p a;
+  check_int "over-capacity return dropped" 1 (Pool.free_discarded p);
+  check_int "not added to free list" 0 (Pool.available p);
+  Pool.free p b;
+  check_int "within-capacity return kept" 1 (Pool.available p);
+  check_int "discard count unchanged" 1 (Pool.free_discarded p)
+
+let test_pool_count_invariant () =
+  (* [available] is a maintained counter; hammer a deterministic
+     alloc/free pattern and check the accounting identity
+     available + in_use = capacity at every step (no resizes, so no
+     discards can occur). *)
+  let p = Pool.create ~buffers:8 ~size:4 in
+  let held = ref [] in
+  for i = 0 to 999 do
+    (if i land 3 <> 0 then
+       match Pool.alloc p with
+       | Some b -> held := b :: !held
+       | None -> ()
+     else
+       match !held with
+       | b :: rest ->
+         held := rest;
+         Pool.free p b
+       | [] -> ());
+    if Pool.available p + Pool.in_use p <> Pool.capacity p then
+      Alcotest.failf "counter drift at step %d: %d free + %d used <> %d cap" i
+        (Pool.available p) (Pool.in_use p) (Pool.capacity p)
+  done;
+  check_int "in_use matches held buffers" (List.length !held) (Pool.in_use p);
+  check_int "no discards without resize" 0 (Pool.free_discarded p)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -233,8 +368,14 @@ let suite =
         Alcotest.test_case "copy counters" `Quick test_msg_copy_counters;
         Alcotest.test_case "iter_data" `Quick test_msg_iter_data;
       ]
-      @ qsuite [ prop_fragment_roundtrip; prop_split_partition; prop_push_pop_roundtrip ]
-    );
+      @ qsuite
+          [
+            prop_fragment_roundtrip;
+            prop_split_partition;
+            prop_push_pop_roundtrip;
+            prop_msg_cached_data_length;
+            prop_msg_cached_header_length;
+          ] );
     ( "buf.checksum",
       [
         Alcotest.test_case "internet RFC vector" `Quick test_internet_known_vector;
@@ -248,6 +389,10 @@ let suite =
             prop_internet_msg_fragmentation_invariant;
             prop_crc32_msg_fragmentation_invariant;
             prop_crc_bit_flip;
+            prop_internet_matches_bytewise_reference;
+            prop_crc32_matches_bytewise_reference;
+            prop_internet_msg_odd_segments;
+            prop_crc32_msg_odd_segments;
           ] );
     ( "buf.pool",
       [
@@ -255,5 +400,9 @@ let suite =
         Alcotest.test_case "free errors" `Quick test_pool_free_errors;
         Alcotest.test_case "resize" `Quick test_pool_resize;
         Alcotest.test_case "buffer size" `Quick test_pool_buffer_size;
+        Alcotest.test_case "over-capacity frees discarded" `Quick
+          test_pool_free_discarded;
+        Alcotest.test_case "free-count accounting invariant" `Quick
+          test_pool_count_invariant;
       ] );
   ]

@@ -207,7 +207,10 @@ let test_unites_metric_kinds () =
   check_bool "jitter-ish whitebox" true
     (Unites.metric_kind Unites.Delivery_latency = Unites.Whitebox);
   check_bool "jitter whitebox" true (Unites.metric_kind Unites.Jitter = Unites.Whitebox);
-  check_int "all metrics listed" 23 (List.length Unites.all_metrics);
+  check_bool "scheduler overhead whitebox" true
+    (Unites.metric_kind Unites.Sched_events_fired = Unites.Whitebox
+    && Unites.metric_kind Unites.Sched_wheel_hit_rate = Unites.Whitebox);
+  check_int "all metrics listed" 27 (List.length Unites.all_metrics);
   (* Names are unique. *)
   let names = List.map Unites.metric_name Unites.all_metrics in
   check_int "unique names" (List.length names)

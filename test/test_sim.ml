@@ -357,6 +357,147 @@ let test_timer_reschedule () =
   check_int "fired at rescheduled time" (Time.ms 25) !fired_at;
   check_int "fired once" 1 (Engine.Timer.expirations timer)
 
+(* ------------------------------------------------- Heap flat-array API *)
+
+let test_heap_explicit_seq () =
+  let h = Heap.create () in
+  Heap.push_seq h ~key:5 ~seq:10 "late";
+  Heap.push_seq h ~key:5 ~seq:2 "early";
+  Heap.push_seq h ~key:1 ~seq:99 "first";
+  check_int "top key" 1 (Heap.top_key h);
+  check_int "top seq" 99 (Heap.top_seq h);
+  Alcotest.(check string) "top value" "first" (Heap.top_value h);
+  Heap.drop_top h;
+  Alcotest.(check string) "seq breaks key tie" "early" (Heap.top_value h);
+  Heap.drop_top h;
+  Alcotest.(check string) "higher seq later" "late" (Heap.top_value h);
+  Heap.drop_top h;
+  Alcotest.check_raises "top_key empty" (Invalid_argument "Heap.top_key: empty heap")
+    (fun () -> ignore (Heap.top_key h));
+  Alcotest.check_raises "drop_top empty" (Invalid_argument "Heap.drop_top: empty heap")
+    (fun () -> Heap.drop_top h)
+
+let test_heap_filter_in_place () =
+  let h = Heap.create () in
+  for k = 19 downto 0 do
+    Heap.push h ~key:k (string_of_int k)
+  done;
+  Heap.filter_in_place h ~f:(fun key _seq _v -> key mod 2 = 0);
+  check_int "kept half" 10 (Heap.length h);
+  let out = ref [] in
+  Heap.drain h ~f:(fun k _v -> out := k :: !out);
+  Alcotest.(check (list int)) "still a heap over survivors"
+    [ 0; 2; 4; 6; 8; 10; 12; 14; 16; 18 ]
+    (List.rev !out);
+  Heap.push h ~key:1 "x";
+  Heap.filter_in_place h ~f:(fun _ _ _ -> false);
+  check_bool "can drop everything" true (Heap.is_empty h)
+
+(* --------------------------------------- Engine wheel/heap equivalence *)
+
+(* A randomized schedule/cancel/reschedule workload whose delays span the
+   wheel's level-0 and level-1 horizons and the overflow heap, with a
+   bias towards identical deadlines so FIFO tie-breaking is exercised.
+   Returns the full fire trace: (timer id, fire time) in order. *)
+let run_random_schedule backend seed =
+  let rng = Rng.create seed in
+  let engine = Engine.create ~backend () in
+  let n = 8 + Rng.int rng 25 in
+  let trace = ref [] in
+  let timers = Array.make n None in
+  let delay () =
+    match Rng.int rng 6 with
+    | 0 -> Time.us (1 + Rng.int rng 64) (* below one wheel tick *)
+    | 1 -> Time.ms (1 + Rng.int rng 10) (* level 0 *)
+    | 2 -> Time.ms (20 * (1 + Rng.int rng 10)) (* level 1 *)
+    | 3 -> Time.sec (float_of_int (1 + Rng.int rng 4)) (* level-1 edge *)
+    | 4 -> Time.sec (float_of_int (5 + Rng.int rng 5)) (* overflow *)
+    | _ -> Time.ms 1 (* tie magnet *)
+  in
+  for i = 0 to n - 1 do
+    let expire () =
+      trace := (i, Engine.now engine) :: !trace;
+      match Rng.int rng 4 with
+      | 0 -> (
+        match timers.(i) with
+        | Some t -> Engine.Timer.reschedule t ~delay:(delay ())
+        | None -> ())
+      | 1 -> (
+        match timers.(Rng.int rng n) with
+        | Some t -> Engine.Timer.cancel t
+        | None -> ())
+      | 2 -> (
+        match timers.(Rng.int rng n) with
+        | Some t -> Engine.Timer.reschedule t ~delay:(delay ())
+        | None -> ())
+      | _ -> ()
+    in
+    timers.(i) <- Some (Engine.Timer.one_shot engine ~delay:(delay ()) expire)
+  done;
+  Engine.run ~max_events:300 engine;
+  (List.rev !trace, Engine.events_fired engine, Engine.pending_events engine)
+
+let prop_engine_backend_equivalence =
+  QCheck2.Test.make
+    ~name:"wheel and heap backends fire the identical event sequence" ~count:1000
+    QCheck2.Gen.int
+    (fun seed ->
+      run_random_schedule `Wheel seed = run_random_schedule `Heap seed)
+
+let test_engine_horizon_order () =
+  (* One deterministic schedule straddling every tier: ready (zero
+     delay), wheel level 0, level 1, a level-1 cascade boundary, and the
+     overflow heap. *)
+  List.iter
+    (fun backend ->
+      let e = Engine.create ~backend () in
+      let log = ref [] in
+      let note tag () = log := tag :: !log in
+      ignore (Engine.schedule_after e ~delay:(Time.sec 10.0) (note "overflow"));
+      ignore (Engine.schedule_after e ~delay:(Time.sec 2.0) (note "level1"));
+      ignore (Engine.schedule_after e ~delay:(Time.ms 100) (note "cascade"));
+      ignore (Engine.schedule_after e ~delay:(Time.ms 1) (note "level0"));
+      ignore (Engine.schedule_after e ~delay:0 (note "ready"));
+      ignore (Engine.schedule_after e ~delay:(Time.ms 1) (note "level0-tie"));
+      Engine.run e;
+      Alcotest.(check (list string))
+        "tiers fire in deadline order"
+        [ "ready"; "level0"; "level0-tie"; "cascade"; "level1"; "overflow" ]
+        (List.rev !log))
+    [ `Wheel; `Heap ]
+
+let test_engine_counters () =
+  let e = Engine.create () in
+  let c0 = Engine.counters e in
+  check_int "starts clean" 0
+    (c0.Engine.events_fired + c0.Engine.wheel_inserts + c0.Engine.lazy_cancels);
+  let near = Engine.schedule_after e ~delay:(Time.ms 1) (fun () -> ()) in
+  let far = Engine.schedule_after e ~delay:(Time.sec 60.0) (fun () -> ()) in
+  ignore (Engine.schedule_after e ~delay:0 (fun () -> ()));
+  let c = Engine.counters e in
+  check_int "wheel insert" 1 c.Engine.wheel_inserts;
+  check_int "overflow insert" 1 c.Engine.overflow_inserts;
+  check_int "ready insert" 1 c.Engine.ready_inserts;
+  Engine.cancel near;
+  Engine.cancel far;
+  let c = Engine.counters e in
+  check_int "wheel cancel is eager" 1 c.Engine.wheel_cancels;
+  check_int "heap cancel is lazy" 1 c.Engine.lazy_cancels;
+  check_int "dead entry awaiting sweep" 1 c.Engine.dead_entries;
+  let hr = Engine.wheel_hit_rate e in
+  check_bool "hit rate in [0,1]" true (hr >= 0.0 && hr <= 1.0);
+  let cr = Engine.cancelled_ratio e in
+  check_bool "cancelled ratio in (0,1]" true (cr > 0.0 && cr <= 1.0);
+  Engine.run e;
+  let c = Engine.counters e in
+  check_int "only the live event fired" 1 c.Engine.events_fired;
+  let timer = Engine.Timer.one_shot e ~delay:(Time.ms 1) (fun () -> ()) in
+  Engine.Timer.reschedule timer ~delay:(Time.ms 2);
+  let c = Engine.counters e in
+  check_int "reschedule counted as rearm" 1 c.Engine.timers_rearmed;
+  Engine.run e;
+  check_int "no dead entries left" 0 (Engine.counters e).Engine.dead_entries
+
 (* ----------------------------------------------------------------- Trace *)
 
 let test_trace_counters () =
@@ -443,7 +584,13 @@ let suite =
         Alcotest.test_case "one-shot timer" `Quick test_timer_one_shot;
         Alcotest.test_case "periodic timer and cancel" `Quick test_timer_periodic_cancel;
         Alcotest.test_case "reschedule" `Quick test_timer_reschedule;
-      ] );
+        Alcotest.test_case "explicit-seq flat heap" `Quick test_heap_explicit_seq;
+        Alcotest.test_case "heap filter_in_place" `Quick test_heap_filter_in_place;
+        Alcotest.test_case "tier ordering across horizons" `Quick
+          test_engine_horizon_order;
+        Alcotest.test_case "whitebox counters" `Quick test_engine_counters;
+      ]
+      @ qsuite [ prop_engine_backend_equivalence ] );
     ( "sim.trace",
       [
         Alcotest.test_case "counters" `Quick test_trace_counters;
