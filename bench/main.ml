@@ -30,6 +30,7 @@ let registry =
     ("e6_window", Experiments.e6_window);
     ("e7_replicate", Experiments.e7_replicate);
     ("e8_engine_scale", Engine_scale.e8_engine_scale);
+    ("e9_chaos", Chaos_bench.e9_chaos);
     ("a1_detection", Ablations.a1_detection);
     ("a2_fec_group", Ablations.a2_fec_group);
     ("a3_ack_delay", Ablations.a3_ack_delay);
@@ -40,7 +41,10 @@ let registry =
 let () =
   let args = Array.to_list Sys.argv in
   let smoke, args = List.partition (String.equal "--smoke") args in
-  if smoke <> [] then Engine_scale.smoke := true;
+  if smoke <> [] then begin
+    Engine_scale.smoke := true;
+    Chaos_bench.smoke := true
+  end;
   match args with
   | _ :: "--list" :: _ ->
     List.iter (fun (id, _) -> print_endline id) registry

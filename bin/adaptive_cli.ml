@@ -119,6 +119,67 @@ let run_scenario app path_fn duration =
   Format.printf "@.%a@." Unites.report stack.Adaptive.unites;
   `Ok ()
 
+(* --------------------------------------------------------------- chaos *)
+
+let run_chaos schedules seed env sabotage =
+  let module Soak = Adaptive_chaos.Soak in
+  let module Invariant = Adaptive_chaos.Invariant in
+  let module Fault = Adaptive_chaos.Fault in
+  let environments =
+    match env with None -> Soak.all_environments | Some e -> [ e ]
+  in
+  Format.printf "chaos soak: %d schedule(s), base seed %d, environments %s%s@."
+    schedules seed
+    (String.concat "," (List.map Soak.environment_name environments))
+    (if sabotage then ", sabotage enabled" else "");
+  let progress i (o : Soak.outcome) =
+    Format.printf
+      "  run %3d  seed=%-6d env=%-9s faults=%2d recovered=%2d failovers=%2d \
+       switches=%2d delivered=%5d  %s@."
+      i o.Soak.o_seed
+      (Soak.environment_name o.Soak.o_env)
+      o.Soak.o_injected
+      (List.length o.Soak.o_recoveries)
+      o.Soak.o_failovers o.Soak.o_switches o.Soak.o_delivered
+      (if Soak.ok o then "ok" else "VIOLATION")
+  in
+  let report = Soak.soak ~sabotage ~environments ~progress ~seed ~schedules () in
+  let injected =
+    List.fold_left (fun acc o -> acc + o.Soak.o_injected) 0 report.Soak.r_outcomes
+  in
+  Format.printf "@.%d run(s), %d fault(s) injected, %d failure(s)@."
+    report.Soak.r_runs injected
+    (List.length report.Soak.r_failures);
+  List.iter
+    (fun cls ->
+      let ttrs =
+        List.concat_map
+          (fun o ->
+            List.filter_map
+              (fun (c, ttr) -> if c = cls then Some ttr else None)
+              o.Soak.o_recoveries)
+          report.Soak.r_outcomes
+      in
+      if ttrs <> [] then
+        let n = List.length ttrs in
+        let mean = List.fold_left ( +. ) 0.0 ttrs /. float_of_int n in
+        let worst = List.fold_left Float.max 0.0 ttrs in
+        Format.printf "  %-16s %3d recovered, time-to-recover mean %.3fs worst %.3fs@."
+          (Fault.class_name cls) n mean worst)
+    Fault.all_classes;
+  List.iter
+    (fun ((o : Soak.outcome), (s : Soak.shrink_result)) ->
+      Format.printf "@.FAILURE:@.%a@." Soak.pp_repro o;
+      List.iter
+        (fun v -> Format.printf "  %a@." Invariant.pp_violation v)
+        o.Soak.o_violations;
+      Format.printf "shrunk %d -> %d fault(s) in %d re-run(s); minimal repro:@.%a@."
+        s.Soak.s_original
+        (List.length s.Soak.s_minimal)
+        s.Soak.s_runs Soak.pp_repro s.Soak.s_outcome)
+    report.Soak.r_failures;
+  if report.Soak.r_failures = [] then `Ok () else `Error (false, "invariant violations found")
+
 (* ------------------------------------------------------------- cmdliner *)
 
 open Cmdliner
@@ -166,6 +227,48 @@ let duration_arg =
     & opt float 5.0
     & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc:"Simulated traffic duration.")
 
+let env_conv =
+  let parse s =
+    match Adaptive_chaos.Soak.environment_of_name s with
+    | Some e -> Ok e
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown environment %S (campus, internet, satellite)" s))
+  in
+  let print fmt e =
+    Format.pp_print_string fmt (Adaptive_chaos.Soak.environment_name e)
+  in
+  Arg.conv (parse, print)
+
+let schedules_arg =
+  Arg.(
+    value
+    & opt int 25
+    & info [ "schedules" ] ~docv:"N" ~doc:"Randomized fault schedules to run.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int 4242
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed; run $(i,i) uses SEED+$(i,i).")
+
+let env_arg =
+  Arg.(
+    value
+    & opt (some env_conv) None
+    & info [ "e"; "env" ] ~docv:"ENV"
+        ~doc:"Restrict to one environment (default: cycle through all three).")
+
+let sabotage_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "sabotage" ]
+        ~doc:
+          "Plant a violation on every ber_burst application — self-test of \
+           detection and shrinking.")
+
 let apps_cmd =
   Cmd.v (Cmd.info "apps" ~doc:"List the Table 1 application workloads")
     Term.(const list_apps $ const ())
@@ -185,10 +288,18 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Simulate the application over the network and report")
     Term.(ret (const run_scenario $ app_arg $ network_arg $ duration_arg))
 
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run randomized fault-injection soaks with invariant checking; shrink \
+          and print a minimal repro for any violation")
+    Term.(ret (const run_chaos $ schedules_arg $ seed_arg $ env_arg $ sabotage_arg))
+
 let main =
   Cmd.group
     (Cmd.info "adaptive_cli" ~version:"1.0"
        ~doc:"The ADAPTIVE transport system reproduction")
-    [ apps_cmd; networks_cmd; classify_cmd; run_cmd ]
+    [ apps_cmd; networks_cmd; classify_cmd; run_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

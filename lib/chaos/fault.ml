@@ -1,0 +1,345 @@
+open Adaptive_sim
+open Adaptive_net
+open Adaptive_mech
+open Adaptive_core
+
+type fault_class =
+  | Link_down
+  | Ber_burst
+  | Route_flap
+  | Partition
+  | Congestion_storm
+  | Host_stall
+  | Mtu_shrink
+  | Branch_down
+
+let all_classes =
+  [
+    Link_down;
+    Ber_burst;
+    Route_flap;
+    Partition;
+    Congestion_storm;
+    Host_stall;
+    Mtu_shrink;
+    Branch_down;
+  ]
+
+let class_name = function
+  | Link_down -> "link_down"
+  | Ber_burst -> "ber_burst"
+  | Route_flap -> "route_flap"
+  | Partition -> "partition"
+  | Congestion_storm -> "congestion_storm"
+  | Host_stall -> "host_stall"
+  | Mtu_shrink -> "mtu_shrink"
+  | Branch_down -> "branch_down"
+
+let class_index c =
+  let rec scan i = function
+    | [] -> assert false
+    | c' :: rest -> if c' = c then i else scan (i + 1) rest
+  in
+  scan 0 all_classes
+
+type fault = {
+  cls : fault_class;
+  start : Time.t;
+  duration : Time.t;
+  target : int;
+  intensity : float;
+}
+
+type schedule = fault list
+
+let pp_fault fmt f =
+  Format.fprintf fmt "%s@%a+%a tgt=%d i=%.3f" (class_name f.cls) Time.pp f.start
+    Time.pp f.duration f.target f.intensity
+
+let pp_schedule fmt s =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_fault)
+    s
+
+(* ------------------------------------------------------------------ *)
+(* Random schedule generation *)
+
+(* Expected faults of each class over the generation window — the Poisson
+   arrival intensity, kept low enough that a run sees a handful of faults
+   rather than a permanent storm. *)
+let expected_count = function
+  | Link_down -> 0.8
+  | Ber_burst -> 1.0
+  | Route_flap -> 0.6
+  | Partition -> 0.5
+  | Congestion_storm -> 1.0
+  | Host_stall -> 0.8
+  | Mtu_shrink -> 0.6
+  | Branch_down -> 0.5
+
+let min_duration = Time.ms 200
+
+let duration_cap cls max_duration =
+  match cls with
+  (* Partitions black-hole everything, so cap them harder: healing within
+     the ARQ backoff envelope keeps the liveness bound meaningful. *)
+  | Partition -> Time.min max_duration (Time.ms 1500)
+  | _ -> max_duration
+
+let random_schedule ~rng ?(classes = all_classes) ?(first = Time.ms 1500)
+    ?(last = Time.sec 12.0) ?(max_duration = Time.ms 2500) () =
+  if last < first then invalid_arg "Fault.random_schedule: last < first";
+  let window = Time.diff last first in
+  let faults = ref [] in
+  List.iter
+    (fun cls ->
+      let mean_gap = Time.to_sec window /. expected_count cls in
+      let rec arrivals at =
+        let gap = Time.sec (Rng.exponential rng ~mean:mean_gap) in
+        let at = Time.add at (Time.max (Time.ms 1) gap) in
+        if at <= last then begin
+          let cap = Time.max min_duration (duration_cap cls max_duration) in
+          let duration = Rng.int_in rng min_duration cap in
+          let target = Rng.int rng 8 in
+          let intensity = Rng.float rng 1.0 in
+          faults := { cls; start = at; duration; target; intensity } :: !faults;
+          arrivals at
+        end
+      in
+      arrivals first)
+    classes;
+  List.sort
+    (fun a b ->
+      compare
+        (a.start, class_index a.cls, a.target)
+        (b.start, class_index b.cls, b.target))
+    !faults
+
+(* ------------------------------------------------------------------ *)
+(* Installation *)
+
+type link_base = { b_up : bool; b_ber : float; b_mtu : int; b_background : float }
+
+type injector = {
+  engine : Engine.t;
+  env : env;
+  trace : Trace.t option;
+  unites : Unites.t option;
+  on_apply : (fault -> unit) option;
+  base : (Link.t * link_base) list;  (* physical identity *)
+  mutable injected_count : int;
+  mutable active_count : int;
+  mutable last_heal_at : Time.t option;
+  mutable pending : (Time.t * fault_class) list;  (* heals awaiting a delivery *)
+  mutable recovered : (fault_class * float) list;  (* newest first *)
+}
+
+and env = {
+  links : Link.t list;
+  tail_links : Link.t list;
+  hosts : Host.t list;
+  routing : Routing.t option;
+}
+
+let dedup_links lists =
+  let seen = ref [] in
+  List.iter
+    (List.iter (fun l -> if not (List.memq l !seen) then seen := l :: !seen))
+    lists;
+  List.rev !seen
+
+let partition_set env =
+  match env.routing with
+  | Some r -> dedup_links [ env.links; Routing.links r ]
+  | None -> dedup_links [ env.links ]
+
+let base_of inj link =
+  match List.assq_opt link inj.base with
+  | Some b -> b
+  | None ->
+    (* A link that appeared after install (should not happen); treat its
+       current state as base. *)
+    {
+      b_up = Link.is_up link;
+      b_ber = Link.ber link;
+      b_mtu = Link.mtu link;
+      b_background = Link.background_utilization link;
+    }
+
+let restore_up inj link =
+  if (base_of inj link).b_up then Link.repair link else Link.fail link
+
+let pick list target =
+  match list with
+  | [] -> None
+  | _ -> Some (List.nth list (target mod List.length list))
+
+let target_link inj f = pick inj.env.links f.target
+
+let target_tail inj f =
+  match pick inj.env.tail_links f.target with
+  | Some l -> Some l
+  | None -> target_link inj f
+
+let target_host inj f = pick inj.env.hosts f.target
+
+let stall_of intensity = Time.us (500 + int_of_float (intensity *. 19_500.0))
+
+let apply inj f =
+  (match f.cls with
+  | Link_down -> Option.iter Link.fail (target_link inj f)
+  | Branch_down -> Option.iter Link.fail (target_tail inj f)
+  | Ber_burst ->
+    Option.iter
+      (fun l ->
+        Link.set_ber l ((base_of inj l).b_ber +. 1e-6 +. (f.intensity *. 4.9e-5)))
+      (target_link inj f)
+  | Route_flap -> Option.iter Link.fail (target_link inj f)
+  | Partition -> List.iter Link.fail (partition_set inj.env)
+  | Congestion_storm ->
+    Option.iter
+      (fun l -> Link.set_background_utilization l (0.80 +. (0.18 *. f.intensity)))
+      (target_link inj f)
+  | Host_stall ->
+    Option.iter (fun h -> Host.set_stall h (stall_of f.intensity)) (target_host inj f)
+  | Mtu_shrink ->
+    Option.iter
+      (fun l ->
+        let divisor = 2 + int_of_float (f.intensity *. 4.0) in
+        Link.set_mtu l (max 256 ((base_of inj l).b_mtu / divisor)))
+      (target_link inj f));
+  inj.injected_count <- inj.injected_count + 1;
+  inj.active_count <- inj.active_count + 1;
+  let at = Engine.now inj.engine in
+  Option.iter
+    (fun trace ->
+      Trace.event trace ~at
+        ~category:("chaos.fault." ^ class_name f.cls)
+        ~detail:(Format.asprintf "tgt=%d i=%.3f dur=%a" f.target f.intensity
+                   Time.pp f.duration))
+    inj.trace;
+  Option.iter
+    (fun u -> Unites.count u ~session:Unites.chaos_session Unites.Faults_injected)
+    inj.unites;
+  Option.iter (fun g -> g f) inj.on_apply
+
+let heal inj f =
+  (match f.cls with
+  | Link_down | Route_flap | Branch_down ->
+    Option.iter (restore_up inj)
+      (if f.cls = Branch_down then target_tail inj f else target_link inj f)
+  | Ber_burst ->
+    Option.iter (fun l -> Link.set_ber l (base_of inj l).b_ber) (target_link inj f)
+  | Partition -> List.iter (restore_up inj) (partition_set inj.env)
+  | Congestion_storm ->
+    Option.iter
+      (fun l -> Link.set_background_utilization l (base_of inj l).b_background)
+      (target_link inj f)
+  | Host_stall ->
+    Option.iter (fun h -> Host.set_stall h Time.zero) (target_host inj f)
+  | Mtu_shrink ->
+    Option.iter (fun l -> Link.set_mtu l (base_of inj l).b_mtu) (target_link inj f));
+  inj.active_count <- inj.active_count - 1;
+  let at = Engine.now inj.engine in
+  inj.last_heal_at <- Some at;
+  inj.pending <- (at, f.cls) :: inj.pending
+
+(* Route flaps pre-expand into individual toggle events so that shrinking
+   a flap's duration deterministically removes toggles. *)
+let flap_period intensity = Time.ms (80 + int_of_float (intensity *. 160.0))
+
+let install ~engine ?trace ?unites ?on_apply env schedule =
+  let targets =
+    dedup_links
+      [
+        env.links;
+        env.tail_links;
+        (match env.routing with Some r -> Routing.links r | None -> []);
+      ]
+  in
+  let base =
+    List.map
+      (fun l ->
+        ( l,
+          {
+            b_up = Link.is_up l;
+            b_ber = Link.ber l;
+            b_mtu = Link.mtu l;
+            b_background = Link.background_utilization l;
+          } ))
+      targets
+  in
+  let inj =
+    {
+      engine;
+      env;
+      trace;
+      unites;
+      on_apply;
+      base;
+      injected_count = 0;
+      active_count = 0;
+      last_heal_at = None;
+      pending = [];
+      recovered = [];
+    }
+  in
+  Option.iter
+    (fun u -> Unites.register_session u ~id:Unites.chaos_session ~name:"chaos")
+    unites;
+  let now = Engine.now engine in
+  List.iter
+    (fun f ->
+      let start = Time.max now f.start in
+      let stop = Time.add start (Time.max (Time.ms 1) f.duration) in
+      ignore (Engine.schedule engine ~at:start (fun () -> apply inj f));
+      (match f.cls with
+      | Route_flap ->
+        (* Toggle between start and stop; odd toggles repair, even fail.
+           The final heal restores base state regardless of parity. *)
+        let period = flap_period f.intensity in
+        let rec toggles k =
+          let at = Time.add start (k * period) in
+          if at < stop then begin
+            ignore
+              (Engine.schedule engine ~at (fun () ->
+                   Option.iter
+                     (fun l -> if k mod 2 = 1 then Link.repair l else Link.fail l)
+                     (target_link inj f)));
+            toggles (k + 1)
+          end
+        in
+        toggles 1
+      | _ -> ());
+      ignore (Engine.schedule engine ~at:stop (fun () -> heal inj f)))
+    schedule;
+  inj
+
+let injected inj = inj.injected_count
+let active inj = inj.active_count
+let last_heal inj = inj.last_heal_at
+
+let note_delivery inj ~at =
+  match inj.pending with
+  | [] -> ()
+  | pending ->
+    let credited, remaining =
+      List.partition (fun (h, _) -> h <= at) pending
+    in
+    (* [pending] is newest first; credit oldest first for a stable
+       recovery order. *)
+    List.iter
+      (fun (h, cls) ->
+        let ttr = Time.to_sec (Time.diff at h) in
+        inj.recovered <- (cls, ttr) :: inj.recovered;
+        Option.iter
+          (fun trace -> Trace.count trace ("chaos.recover." ^ class_name cls))
+          inj.trace;
+        Option.iter
+          (fun u ->
+            Unites.observe u ~session:Unites.chaos_session Unites.Fault_recovery ttr)
+          inj.unites)
+      (List.rev credited);
+    inj.pending <- remaining
+
+let recoveries inj = List.rev inj.recovered

@@ -1,0 +1,97 @@
+(** The chaos soak runner.
+
+    Builds a complete two-session ADAPTIVE stack over one of three
+    interoperation environments, installs a fault schedule and the
+    invariant checker, runs it to quiescence and reports the outcome —
+    including the run's replay signature (seed, environment, schedule
+    and FNV-1a trace hash).  Equal seeds produce equal schedules and
+    equal trace hashes.
+
+    When a run violates an invariant, {!shrink} greedily reduces its
+    schedule — dropping faults one at a time, then halving durations —
+    to a minimal still-failing repro. *)
+
+open Adaptive_sim
+
+type environment = Campus | Internet | Satellite
+
+val all_environments : environment list
+val environment_name : environment -> string
+val environment_of_name : string -> environment option
+
+val schedule_of_seed : env:environment -> seed:int -> Fault.schedule
+(** The schedule a seeded run draws: an independent generator seeded
+    from [(seed, env)], so the stack's own randomness never perturbs the
+    fault pattern. *)
+
+type outcome = {
+  o_seed : int;
+  o_env : environment;
+  o_schedule : Fault.schedule;
+  o_violations : Invariant.violation list;
+  o_hash : int64;  (** FNV-1a hash over the run's trace stream. *)
+  o_dropped : int;  (** Trace entries evicted by the bounded log. *)
+  o_injected : int;  (** Faults actually applied. *)
+  o_recoveries : (Fault.fault_class * float) list;
+      (** Observed time-to-recover samples, seconds, oldest first. *)
+  o_failovers : int;  (** Routing failovers + failbacks. *)
+  o_delivered : int;  (** Application deliveries across both sessions. *)
+  o_switches : int;  (** MANTTS component switches applied. *)
+  o_unites : string;
+      (** The run's formatted UNITES report — per-fault-class counters,
+          recovery-time statistics and the trace's dropped-entry count. *)
+}
+
+val ok : outcome -> bool
+(** No invariant violated. *)
+
+val run_schedule :
+  ?sabotage:bool -> env:environment -> seed:int -> Fault.schedule -> outcome
+(** One deterministic run of an explicit schedule.  [sabotage] (default
+    false) plants an {!Invariant.Injected_sabotage} violation whenever a
+    {!Fault.Ber_burst} fault is applied — the self-test hook proving the
+    detection and shrinking machinery end to end. *)
+
+val run_one : ?sabotage:bool -> env:environment -> seed:int -> unit -> outcome
+(** [run_schedule] of {!schedule_of_seed}. *)
+
+type shrink_result = {
+  s_original : int;  (** Faults in the failing schedule. *)
+  s_minimal : Fault.schedule;  (** Smallest still-failing schedule. *)
+  s_runs : int;  (** Re-executions the search spent. *)
+  s_outcome : outcome;  (** The minimal schedule's run. *)
+}
+
+val shrink :
+  ?sabotage:bool -> env:environment -> seed:int -> Fault.schedule -> shrink_result
+(** Greedy shrink of a failing schedule: repeated drop-one-fault passes
+    to a fixed point, then per-fault duration halving (floor 100 ms).
+    The input schedule must fail; every intermediate candidate is
+    re-executed with the same seed and environment. *)
+
+val pp_repro : Format.formatter -> outcome -> unit
+(** The minimal replayable repro block: seed, environment, trace hash
+    and the schedule, one fault per line. *)
+
+type report = {
+  r_runs : int;
+  r_outcomes : outcome list;  (** Every run, in execution order. *)
+  r_failures : (outcome * shrink_result) list;
+      (** Each failing run with its shrunk repro. *)
+}
+
+val soak :
+  ?sabotage:bool ->
+  ?environments:environment list ->
+  ?progress:(int -> outcome -> unit) ->
+  seed:int ->
+  schedules:int ->
+  unit ->
+  report
+(** Run [schedules] seeded runs — seed [seed + i], environment cycling
+    through [environments] (default {!all_environments}) — shrinking
+    every failure. *)
+
+val duration : Time.t
+(** How long each run's applications generate traffic (16 s); the
+    engine runs a further liveness-bound tail beyond this. *)

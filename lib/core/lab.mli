@@ -13,6 +13,8 @@
 type replication = {
   n : int;  (** Replicas run. *)
   mean : float;  (** Sample mean of the measured quantity. *)
+  median : float;  (** Sample median — a robust center when a fault-heavy
+                       replica skews the distribution. *)
   stddev : float;  (** Sample standard deviation. *)
   half_width : float;  (** ~95% confidence half-width
                            ([2 sd / sqrt n]; 0 for n < 2). *)
@@ -20,7 +22,8 @@ type replication = {
 
 val replicate : seeds:int list -> (seed:int -> float) -> replication
 (** Run the scenario once per seed and summarize.  [seeds] must be
-    non-empty. *)
+    non-empty and duplicate-free — a repeated seed would silently count
+    the same deterministic replica twice ([Invalid_argument]). *)
 
 val default_seeds : int list
 (** Five fixed seeds used by the replication experiments. *)

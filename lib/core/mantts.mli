@@ -115,3 +115,8 @@ val adaptations : t -> (Time.t * int * string) list
 
 val monitor_interval : Time.t
 (** How often session monitors sample conditions (100 ms). *)
+
+val reconfigure_cooldown : Time.t
+(** Minimum spacing a session monitor enforces between the component
+    switches it applies (500 ms) — the anti-flapping debounce the chaos
+    invariant checker holds MANTTS to. *)

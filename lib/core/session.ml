@@ -29,6 +29,9 @@ type dispatcher = {
   by_conn : (int, t) Hashtbl.t;
   mutable acceptor :
     (src:Network.addr -> conn:int -> proposal:Scs.t option -> accept_decision) option;
+  mutable d_tap : (t -> delivery -> unit) option;
+      (* Invoked on every application delivery, before the endpoint's own
+         [on_deliver] — the chaos invariant monitors' observation point. *)
 }
 
 and accept_decision =
@@ -503,7 +506,7 @@ and deliver_segment t (seg : Pdu.seg) ~damaged =
         Some (Adaptive_buf.Msg.of_bytes b)
       | p, _ -> p
     in
-    t.on_deliver t
+    let d =
       {
         seq = seg.Pdu.seq;
         bytes = seg.Pdu.seg_bytes;
@@ -512,14 +515,20 @@ and deliver_segment t (seg : Pdu.seg) ~damaged =
         damaged;
         payload;
       }
+    in
+    (match t.disp.d_tap with Some tap -> tap t d | None -> ());
+    t.on_deliver t d
   in
   match t.ctx.Tko.playout with
   | None -> release (now t)
   | Some playout -> (
     match Playout.offer playout ~app_stamp:seg.Pdu.app_stamp ~arrival:(now t) with
     | Playout.Release_at at ->
-      if at <= now t then release (now t)
-      else ignore (Engine.schedule (engine t) ~at (fun () -> release at))
+      (* Always go through the event queue: same-instant events fire in
+         scheduling order, so releases reach the application in offer
+         order even when release points collide. *)
+      let at = Time.max at (now t) in
+      ignore (Engine.schedule (engine t) ~at (fun () -> release at))
     | Playout.Late _ -> Unites.count (unites t) ~session:t.id Unites.Late_discards)
 
 (* Returns [true] when the segment was a duplicate. *)
@@ -1005,6 +1014,7 @@ module Dispatcher = struct
         d_unites = unites;
         by_conn = Hashtbl.create 16;
         acceptor = None;
+        d_tap = None;
       }
     in
     Network.attach net addr (fun recv ->
@@ -1041,6 +1051,7 @@ module Dispatcher = struct
   let engine d = d.d_engine
   let network d = d.net
   let set_acceptor d f = d.acceptor <- Some f
+  let set_delivery_tap d f = d.d_tap <- Some f
   let endpoints d = Hashtbl.fold (fun _ ep acc -> ep :: acc) d.by_conn []
 end
 

@@ -72,6 +72,13 @@ module Dispatcher : sig
       accept with a default configuration (§4.1.1's "reasonable values
       for default configurations"). *)
 
+  val set_delivery_tap : dispatcher -> (t -> delivery -> unit) -> unit
+  (** Install an observer invoked on {e every} application delivery at
+      this host, just before the endpoint's own [on_deliver] callback.
+      The chaos invariant monitors use this to check ordering,
+      exactly-once and corruption-detection properties without touching
+      application wiring. *)
+
   val endpoints : dispatcher -> t list
   (** Live endpoints at this host. *)
 end

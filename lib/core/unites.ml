@@ -28,6 +28,8 @@ type metric =
   | Sched_timers_rearmed
   | Sched_cancelled_ratio
   | Sched_wheel_hit_rate
+  | Faults_injected
+  | Fault_recovery
 
 type kind = Blackbox | Whitebox
 
@@ -38,7 +40,8 @@ let metric_kind = function
   | Corrupt_delivered | Late_discards | Losses_unrecovered | Fec_parity_sent
   | Fec_recovered | Acks_sent | Nacks_sent | Control_pdus | Reconfigurations
   | Window_size | Host_cpu | Sched_events_fired | Sched_timers_rearmed
-  | Sched_cancelled_ratio | Sched_wheel_hit_rate -> Whitebox
+  | Sched_cancelled_ratio | Sched_wheel_hit_rate | Faults_injected
+  | Fault_recovery -> Whitebox
 
 let metric_name = function
   | Throughput -> "throughput_bps"
@@ -68,6 +71,8 @@ let metric_name = function
   | Sched_timers_rearmed -> "sched_timers_rearmed"
   | Sched_cancelled_ratio -> "sched_cancelled_ratio"
   | Sched_wheel_hit_rate -> "sched_wheel_hit_rate"
+  | Faults_injected -> "faults_injected"
+  | Fault_recovery -> "fault_recovery_s"
 
 let all_metrics =
   [
@@ -98,6 +103,8 @@ let all_metrics =
     Sched_timers_rearmed;
     Sched_cancelled_ratio;
     Sched_wheel_hit_rate;
+    Faults_injected;
+    Fault_recovery;
   ]
 
 type t = {
@@ -113,11 +120,16 @@ type t = {
      [sample_scheduler] observes the delta since the previous sample *)
   mutable sched_fired_seen : int;
   mutable sched_rearmed_seen : int;
+  mutable trace : Trace.t option;
 }
 
 (* Scheduler observations live under a reserved pseudo-session: real
    connection ids are handed out starting from 1. *)
 let scheduler_session = 0
+
+(* Fault-injection observations likewise live under a reserved
+   pseudo-session: faults belong to the run, not to any one connection. *)
+let chaos_session = -1
 
 let create ?(whitebox = true) ?(bucket = Time.sec 1.0) engine =
   {
@@ -131,6 +143,7 @@ let create ?(whitebox = true) ?(bucket = Time.sec 1.0) engine =
     whitebox_count = 0;
     sched_fired_seen = 0;
     sched_rearmed_seen = 0;
+    trace = None;
   }
 
 let whitebox_enabled t = t.whitebox
@@ -212,6 +225,8 @@ let sessions t =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let whitebox_samples t = t.whitebox_count
+let attach_trace t trace = t.trace <- Some trace
+let attached_trace t = t.trace
 
 let sample_scheduler t =
   if t.whitebox then begin
@@ -272,4 +287,11 @@ let report fmt t =
               Stats.pp_summary s)
         all_metrics)
     (sessions t);
+  (match t.trace with
+  | None -> ()
+  | Some trace ->
+    Format.fprintf fmt "trace (dropped log entries: %d):@," (Trace.dropped trace);
+    List.iter
+      (fun (name, n) -> Format.fprintf fmt "  %-28s %d@," name n)
+      (Trace.counters trace));
   Format.fprintf fmt "@]"

@@ -49,6 +49,11 @@ type metric =
                                fraction of the queued population. *)
   | Sched_wheel_hit_rate  (** Fraction of event inserts served by a
                               timer-wheel slot rather than a heap. *)
+  | Faults_injected  (** Faults the chaos injector applied (recorded
+                         under {!chaos_session}). *)
+  | Fault_recovery  (** Time from a fault's heal to the next observed
+                        application delivery, seconds — the chaos
+                        subsystem's time-to-recover distribution. *)
 
 type kind = Blackbox | Whitebox
 
@@ -115,6 +120,19 @@ val whitebox_samples : t -> int
 val scheduler_session : int
 (** Reserved pseudo-session id under which scheduler overhead metrics
     are recorded (real connection ids start at 1). *)
+
+val chaos_session : int
+(** Reserved pseudo-session id ([-1]) under which the chaos subsystem
+    records {!Faults_injected} counts and {!Fault_recovery} times —
+    faults belong to the run, not to any one connection. *)
+
+val attach_trace : t -> Trace.t -> unit
+(** Attach a trace sink so {!report} presents its counters — including
+    the dropped-entry count of the bounded event log — alongside the
+    metric repository. *)
+
+val attached_trace : t -> Trace.t option
+(** The sink given to {!attach_trace}, if any. *)
 
 val sample_scheduler : t -> unit
 (** Fold the engine's whitebox scheduler counters ({!Engine.counters})

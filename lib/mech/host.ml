@@ -9,6 +9,7 @@ type t = {
   mutable busy_expedited : Time.t;
   mutable accumulated : Time.t;
   mutable packet_count : int;
+  mutable stall_extra : Time.t;
 }
 
 let create ?(per_packet = Time.us 100) ?(per_byte_copy = Time.ns 25) ?(copies = 2)
@@ -22,6 +23,7 @@ let create ?(per_packet = Time.us 100) ?(per_byte_copy = Time.ns 25) ?(copies = 
     busy_expedited = Time.zero;
     accumulated = Time.zero;
     packet_count = 0;
+    stall_extra = Time.zero;
   }
 
 let zero_cost engine = create ~per_packet:Time.zero ~per_byte_copy:Time.zero ~copies:0 engine
@@ -30,7 +32,8 @@ let process t ~bytes ?(extra = Time.zero) ?(expedited = false) () =
   let now = Engine.now t.engine in
   let cost =
     Time.add t.per_packet
-      (Time.add extra (t.copy_count * bytes * t.per_byte_copy))
+      (Time.add t.stall_extra
+         (Time.add extra (t.copy_count * bytes * t.per_byte_copy)))
   in
   t.accumulated <- Time.add t.accumulated cost;
   t.packet_count <- t.packet_count + 1;
@@ -52,6 +55,8 @@ let process t ~bytes ?(extra = Time.zero) ?(expedited = false) () =
 
 let copies t = t.copy_count
 let set_copies t n = t.copy_count <- max 0 n
+let stall t = t.stall_extra
+let set_stall t extra = t.stall_extra <- Time.max Time.zero extra
 let busy_until t = t.busy
 let total_busy t = t.accumulated
 let packets t = t.packet_count

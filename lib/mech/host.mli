@@ -40,6 +40,14 @@ val copies : t -> int
 val set_copies : t -> int -> unit
 (** Change the copy count (the e4 experiment's sweep knob). *)
 
+val stall : t -> Time.t
+(** Current per-packet stall surcharge (zero when healthy). *)
+
+val set_stall : t -> Time.t -> unit
+(** Add a fixed surcharge to every packet's CPU cost — the fault
+    injector's host-stall (GC-pause analog).  Clamped to [>= 0]; set back
+    to {!Adaptive_sim.Time.zero} to heal. *)
+
 val busy_until : t -> Time.t
 (** When the CPU becomes free. *)
 

@@ -1,16 +1,27 @@
 open Adaptive_sim
 
-type t = { mutable target : Time.t; mutable released : int; mutable discarded : int }
+type t = {
+  mutable target : Time.t;
+  mutable released : int;
+  mutable discarded : int;
+  mutable horizon : Time.t;  (* latest release point granted so far *)
+}
+
 type verdict = Release_at of Time.t | Late of Time.t
 
-let create ~target = { target; released = 0; discarded = 0 }
+let create ~target = { target; released = 0; discarded = 0; horizon = Time.zero }
 let target t = t.target
 let set_target t v = t.target <- v
 
 let offer t ~app_stamp ~arrival =
-  let point = Time.add app_stamp t.target in
+  (* A shrinking target must not let a later segment release before an
+     already-granted earlier one: the stream would reach the application
+     reordered.  Decreases therefore take effect gradually, never behind
+     the release horizon. *)
+  let point = Time.max (Time.add app_stamp t.target) t.horizon in
   if arrival <= point then begin
     t.released <- t.released + 1;
+    t.horizon <- point;
     Release_at point
   end
   else begin

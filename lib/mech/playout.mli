@@ -26,7 +26,10 @@ val set_target : t -> Time.t -> unit
 (** Adjust the playout point (an SCS-level adaptation). *)
 
 val offer : t -> app_stamp:Time.t -> arrival:Time.t -> verdict
-(** Decide one segment's fate. *)
+(** Decide one segment's fate.  Release points are monotone
+    non-decreasing in offer order: when the target shrinks, the smaller
+    delay phases in rather than letting new segments overtake releases
+    already granted (in-order delivery survives playout adaptation). *)
 
 val released : t -> int
 (** Segments scheduled for release so far. *)

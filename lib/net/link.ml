@@ -13,8 +13,8 @@ type t = {
   bandwidth_bps : float;
   propagation : Time.t;
   queue_pkts : int;
-  ber : float;
-  mtu : int;
+  mutable ber : float;
+  mutable mtu : int;
   mutable busy_until : Time.t;
   mutable background : float;
   mutable up : bool;
@@ -64,6 +64,12 @@ let background_utilization t = t.background
 let fail t = t.up <- false
 let repair t = t.up <- true
 let is_up t = t.up
+
+let set_ber t ber = t.ber <- Float.max 0.0 ber
+
+let set_mtu t mtu =
+  if mtu <= 0 then invalid_arg "Link.set_mtu: non-positive MTU";
+  t.mtu <- mtu
 
 let effective_bps t = t.bandwidth_bps *. (1.0 -. t.background)
 

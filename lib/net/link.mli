@@ -62,6 +62,14 @@ val repair : t -> unit
 val is_up : t -> bool
 (** Whether the link currently forwards traffic. *)
 
+val set_ber : t -> float -> unit
+(** Override the bit-error rate (clamped to [>= 0]); fault injection uses
+    this for BER bursts. *)
+
+val set_mtu : t -> int -> unit
+(** Override the MTU; fault injection uses this for path-MTU shrinks.
+    Raises [Invalid_argument] when non-positive. *)
+
 type verdict =
   | Transmitted of { departs : Time.t; corrupted : bool }
       (** The packet leaves the far end of this hop at [departs];

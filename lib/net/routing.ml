@@ -58,5 +58,15 @@ let reevaluate t =
 let monitor ?(every = Time.ms 250) t =
   Engine.Timer.periodic t.engine ~interval:every (fun () -> reevaluate t)
 
+let links t =
+  let seen = ref [] in
+  Hashtbl.iter
+    (fun _ entry ->
+      List.iter
+        (List.iter (fun l -> if not (List.memq l !seen) then seen := l :: !seen))
+        entry.candidates)
+    t.table;
+  List.rev !seen
+
 let failovers t = t.change_count
 let log t = List.rev t.changes

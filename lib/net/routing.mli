@@ -43,6 +43,13 @@ val monitor : ?every:Time.t -> t -> Engine.Timer.timer
 (** Run {!reevaluate} periodically (default every 250 ms) — the routing
     protocol's convergence loop.  Cancel the returned timer to stop. *)
 
+val links : t -> Link.t list
+(** Every link appearing in any registered candidate path (deduplicated
+    by physical identity), including standby candidates not currently
+    installed in the topology.  Fault injection uses this to partition a
+    host pair: failing only {!Topology.links} would leave standby paths
+    for the failover monitor to escape onto. *)
+
 val failovers : t -> int
 (** Route changes applied since creation (failovers and failbacks). *)
 

@@ -4,10 +4,38 @@ type t = {
   counters : (string, int ref) Hashtbl.t;
   log : entry Queue.t;
   capacity : int;
+  mutable dropped : int;
+  mutable hash : int64;
 }
 
+(* FNV-1a, 64-bit.  The running hash folds in every event (whether or not
+   the bounded log retained it), so two runs with identical event streams
+   hash identically even after the log wraps. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
+
+let fnv_int h n =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := fnv_byte !h ((n lsr (shift * 8)) land 0xff)
+  done;
+  !h
+
 let create ?(log_capacity = 4096) () =
-  { counters = Hashtbl.create 32; log = Queue.create (); capacity = log_capacity }
+  {
+    counters = Hashtbl.create 32;
+    log = Queue.create ();
+    capacity = log_capacity;
+    dropped = 0;
+    hash = fnv_offset;
+  }
 
 let count_by t name n =
   match Hashtbl.find_opt t.counters name with
@@ -18,10 +46,15 @@ let count t name = count_by t name 1
 
 let event t ~at ~category ~detail =
   count t category;
+  t.hash <- fnv_string (fnv_string (fnv_int t.hash at) category) detail;
   if t.capacity > 0 then begin
-    if Queue.length t.log >= t.capacity then ignore (Queue.pop t.log);
+    if Queue.length t.log >= t.capacity then begin
+      ignore (Queue.pop t.log);
+      t.dropped <- t.dropped + 1
+    end;
     Queue.push { at; category; detail } t.log
   end
+  else t.dropped <- t.dropped + 1
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
@@ -31,7 +64,11 @@ let counters t =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let entries t = List.of_seq (Queue.to_seq t.log)
+let dropped t = t.dropped
+let hash t = t.hash
 
 let clear t =
   Hashtbl.reset t.counters;
-  Queue.clear t.log
+  Queue.clear t.log;
+  t.dropped <- 0;
+  t.hash <- fnv_offset

@@ -34,5 +34,15 @@ val counters : t -> (string * int) list
 val entries : t -> entry list
 (** Retained log entries, oldest first. *)
 
+val dropped : t -> int
+(** Events discarded from the bounded log: oldest entries evicted once
+    [log_capacity] was reached, plus every event when logging is disabled
+    ([log_capacity = 0]).  Counters and {!hash} still cover them. *)
+
+val hash : t -> int64
+(** FNV-1a digest of every event recorded so far ([at], [category] and
+    [detail], in arrival order) — including events the bounded log has
+    since evicted.  Two runs are replay-equal iff their hashes match. *)
+
 val clear : t -> unit
-(** Reset counters and log. *)
+(** Reset counters, log, dropped count and hash. *)

@@ -210,7 +210,7 @@ let test_unites_metric_kinds () =
   check_bool "scheduler overhead whitebox" true
     (Unites.metric_kind Unites.Sched_events_fired = Unites.Whitebox
     && Unites.metric_kind Unites.Sched_wheel_hit_rate = Unites.Whitebox);
-  check_int "all metrics listed" 27 (List.length Unites.all_metrics);
+  check_int "all metrics listed" 29 (List.length Unites.all_metrics);
   (* Names are unique. *)
   let names = List.map Unites.metric_name Unites.all_metrics in
   check_int "unique names" (List.length names)
@@ -510,6 +510,7 @@ let test_lab_replicate () =
   let r = Lab.replicate ~seeds:[ 1; 2; 3; 4 ] (fun ~seed -> float_of_int seed) in
   check_int "n" 4 r.Lab.n;
   Alcotest.(check (float 1e-9)) "mean" 2.5 r.Lab.mean;
+  Alcotest.(check (float 1e-9)) "median (even n)" 2.5 r.Lab.median;
   check_bool "half width positive" true (r.Lab.half_width > 0.0);
   let constant = Lab.replicate ~seeds:[ 7; 8; 9 ] (fun ~seed:_ -> 5.0) in
   Alcotest.(check (float 1e-9)) "constant mean" 5.0 constant.Lab.mean;
@@ -517,8 +518,25 @@ let test_lab_replicate () =
   Alcotest.check_raises "no seeds" (Invalid_argument "Lab.replicate: no seeds")
     (fun () -> ignore (Lab.replicate ~seeds:[] (fun ~seed:_ -> 0.0)))
 
+let test_lab_median_skewed () =
+  (* The median must resist a single fault-skewed replica; the mean does
+     not.  Odd n picks the middle element exactly. *)
+  let r =
+    Lab.replicate ~seeds:[ 1; 2; 3; 4; 5 ] (fun ~seed ->
+        if seed = 5 then 1000.0 else float_of_int seed)
+  in
+  Alcotest.(check (float 1e-9)) "median ignores outlier" 3.0 r.Lab.median;
+  check_bool "mean dragged by outlier" true (r.Lab.mean > 100.0)
+
+let test_lab_duplicate_seeds () =
+  Alcotest.check_raises "duplicate seeds"
+    (Invalid_argument "Lab.replicate: duplicate seeds (replicas would be identical)")
+    (fun () -> ignore (Lab.replicate ~seeds:[ 1; 2; 1 ] (fun ~seed:_ -> 0.0)))
+
 let test_lab_distinguishable () =
-  let mk mean half_width = { Lab.n = 5; mean; stddev = 0.0; half_width } in
+  let mk mean half_width =
+    { Lab.n = 5; mean; median = mean; stddev = 0.0; half_width }
+  in
   check_bool "separated" true (Lab.distinguishable (mk 10.0 1.0) (mk 15.0 1.0));
   check_bool "overlapping" false (Lab.distinguishable (mk 10.0 3.0) (mk 15.0 3.0));
   check_bool "single run has zero width" true
@@ -578,6 +596,8 @@ let suite =
     ( "core.lab",
       [
         Alcotest.test_case "replicate" `Quick test_lab_replicate;
+        Alcotest.test_case "median under skew" `Quick test_lab_median_skewed;
+        Alcotest.test_case "duplicate seeds rejected" `Quick test_lab_duplicate_seeds;
         Alcotest.test_case "distinguishable" `Quick test_lab_distinguishable;
       ] );
     ( "core.tko",

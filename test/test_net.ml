@@ -379,6 +379,55 @@ let test_routing_all_down_keeps_first () =
     (Invalid_argument "Routing.set_candidates: empty candidate list or path") (fun () ->
       Routing.set_candidates routing ~src:a ~dst:b [])
 
+let test_routing_random_flaps () =
+  (* Property: under an arbitrary storm of link failures and repairs,
+     traffic always follows the highest-priority fully-live candidate,
+     and the failover counter matches the number of observed route
+     changes (no hidden churn). *)
+  let engine = Engine.create () in
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" and b = Topology.add_host topo "b" in
+  let candidates = [ [ mk_link () ]; [ mk_link () ]; [ mk_link () ] ] in
+  let routing = Routing.create engine topo in
+  Routing.set_candidates routing ~src:a ~dst:b candidates;
+  let rng = Rng.create 2024 in
+  let links = List.concat candidates in
+  let best_live () =
+    let rec scan i = function
+      | [] -> None
+      | cand :: rest ->
+        if List.for_all Link.is_up cand then Some i else scan (i + 1) rest
+    in
+    scan 0 candidates
+  in
+  let current = ref (Option.get (Routing.active_index routing ~src:a ~dst:b)) in
+  let observed_changes = ref 0 in
+  for _ = 1 to 300 do
+    let l = List.nth links (Rng.int rng (List.length links)) in
+    if Rng.bool rng then Link.fail l else Link.repair l;
+    Routing.reevaluate routing;
+    let active = Option.get (Routing.active_index routing ~src:a ~dst:b) in
+    (match best_live () with
+    | Some i ->
+      check_int "active is the best live candidate" i active;
+      check_bool "installed route is that candidate" true
+        (match Topology.route topo ~src:a ~dst:b with
+        | Some hops -> hops == List.nth candidates i
+        | None -> false)
+    | None -> ());
+    if active <> !current then begin
+      incr observed_changes;
+      current := active
+    end
+  done;
+  check_int "failover count matches observed route changes" !observed_changes
+    (Routing.failovers routing);
+  (* Heal everything: traffic must fail back to the primary. *)
+  List.iter Link.repair links;
+  Routing.reevaluate routing;
+  Alcotest.(check (option int)) "failback to primary after full heal" (Some 0)
+    (Routing.active_index routing ~src:a ~dst:b)
+
 (* -------------------------------------------------------------- Profiles *)
 
 let test_profiles_speeds () =
@@ -455,6 +504,7 @@ let suite =
           test_routing_failover_and_failback;
         Alcotest.test_case "monitor timer" `Quick test_routing_monitor_timer;
         Alcotest.test_case "all candidates down" `Quick test_routing_all_down_keeps_first;
+        Alcotest.test_case "randomized flap storm" `Quick test_routing_random_flaps;
       ] );
     ( "net.profiles",
       [

@@ -532,6 +532,35 @@ let test_trace_disabled_log () =
   check_int "no entries" 0 (List.length (Trace.entries tr));
   check_int "counter works" 1 (Trace.counter tr "ev")
 
+let test_trace_dropped () =
+  let tr = Trace.create ~log_capacity:3 () in
+  for i = 1 to 5 do
+    Trace.event tr ~at:(Time.ms i) ~category:"ev" ~detail:(string_of_int i)
+  done;
+  check_int "two evicted" 2 (Trace.dropped tr);
+  let disabled = Trace.create ~log_capacity:0 () in
+  Trace.event disabled ~at:Time.zero ~category:"ev" ~detail:"d";
+  check_int "capacity 0 drops everything" 1 (Trace.dropped disabled);
+  Trace.clear tr;
+  check_int "clear resets" 0 (Trace.dropped tr)
+
+let test_trace_hash () =
+  let feed tr =
+    for i = 1 to 5 do
+      Trace.event tr ~at:(Time.ms i) ~category:"ev" ~detail:(string_of_int i)
+    done
+  in
+  let a = Trace.create ~log_capacity:3 () in
+  let b = Trace.create ~log_capacity:512 () in
+  feed a;
+  feed b;
+  Alcotest.(check int64) "hash covers evicted entries too" (Trace.hash a)
+    (Trace.hash b);
+  let c = Trace.create () in
+  Trace.event c ~at:(Time.ms 1) ~category:"ev" ~detail:"other";
+  check_bool "different stream, different hash" true (Trace.hash a <> Trace.hash c);
+  check_bool "nonzero offset basis" true (Trace.hash (Trace.create ()) <> 0L)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -596,5 +625,8 @@ let suite =
         Alcotest.test_case "counters" `Quick test_trace_counters;
         Alcotest.test_case "log capacity" `Quick test_trace_log_capacity;
         Alcotest.test_case "disabled log keeps counters" `Quick test_trace_disabled_log;
+        Alcotest.test_case "dropped-entry counter" `Quick test_trace_dropped;
+        Alcotest.test_case "stream hash is capacity-independent" `Quick
+          test_trace_hash;
       ] );
   ]
