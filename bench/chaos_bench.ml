@@ -14,10 +14,12 @@ let e9_chaos () =
   Util.heading "E9 — chaos soak: fault injection under invariant checking (§4.1.2)";
   let schedules = if !smoke then 25 else 210 in
   let seed = 4242 in
-  Util.row "soaking %d randomized schedule(s), base seed %d, environments %s@."
+  let jobs = !Util.jobs in
+  Util.row "soaking %d randomized schedule(s), base seed %d, environments %s, %d job(s)@."
     schedules seed
-    (String.concat ", " (List.map Soak.environment_name Soak.all_environments));
-  let report = Soak.soak ~seed ~schedules () in
+    (String.concat ", " (List.map Soak.environment_name Soak.all_environments))
+    jobs;
+  let report = Soak.soak_par ~jobs ~seed ~schedules () in
   let outcomes = report.Soak.r_outcomes in
   let injected =
     List.fold_left (fun acc o -> acc + o.Soak.o_injected) 0 outcomes

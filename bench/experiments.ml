@@ -506,8 +506,11 @@ let e7_replicate () =
     Util.mbps (Util.goodput_bps p.Util.stack)
   in
   let rep recovery reporting level =
-    Lab.replicate ~seeds:Lab.default_seeds (fun ~seed ->
-        goodput ~recovery ~reporting ~level ~seed)
+    (* --jobs shards the per-seed replicas across domains; --seeds
+       overrides the replication seed list.  The reduction is ordered,
+       so jobs > 1 changes nothing but wall-clock. *)
+    Lab.replicate_par ~jobs:!Util.jobs ~seeds:(Util.replication_seeds ())
+      (fun ~seed -> goodput ~recovery ~reporting ~level ~seed)
   in
   let rows =
     List.map

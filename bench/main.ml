@@ -10,9 +10,12 @@
      dune exec bench/main.exe -- --only e3_fec
      dune exec bench/main.exe -- --list
 
-   [--smoke] shrinks the workloads that honor it (e8_engine_scale) so CI
-   can exercise the harness quickly; the [@bench-smoke] dune alias runs
-   exactly that. *)
+   [--smoke] shrinks the workloads that honor it (e8_engine_scale,
+   e9_chaos, e10_fleet_scale) so CI can exercise the harness quickly;
+   the [@bench-smoke], [@chaos-smoke] and [@fleet-smoke] dune aliases
+   run exactly that.  [--jobs N] shards the replication-style
+   experiments (e7, e9, e10) across N domains via FLEET; [--seeds
+   a,b,c] overrides the seed list the replication experiments sweep. *)
 
 let registry =
   [
@@ -31,6 +34,7 @@ let registry =
     ("e7_replicate", Experiments.e7_replicate);
     ("e8_engine_scale", Engine_scale.e8_engine_scale);
     ("e9_chaos", Chaos_bench.e9_chaos);
+    ("e10_fleet_scale", Fleet_scale.e10_fleet_scale);
     ("a1_detection", Ablations.a1_detection);
     ("a2_fec_group", Ablations.a2_fec_group);
     ("a3_ack_delay", Ablations.a3_ack_delay);
@@ -38,23 +42,68 @@ let registry =
     ("fig45_micro", Micro.fig45_and_micro);
   ]
 
+(* A later registration silently shadowing an earlier one is exactly the
+   kind of bug that makes an experiment "pass" by running the wrong
+   code; refuse to start instead. *)
 let () =
-  let args = Array.to_list Sys.argv in
-  let smoke, args = List.partition (String.equal "--smoke") args in
-  if smoke <> [] then begin
-    Engine_scale.smoke := true;
-    Chaos_bench.smoke := true
-  end;
-  match args with
-  | _ :: "--list" :: _ ->
-    List.iter (fun (id, _) -> print_endline id) registry
-  | _ :: "--only" :: id :: _ -> (
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun (id, _) ->
+      if Hashtbl.mem seen id then begin
+        Printf.eprintf "duplicate experiment registration: %S\n" id;
+        exit 2
+      end;
+      Hashtbl.add seen id ())
+    registry
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--smoke] [--jobs N] [--seeds a,b,c] [--list | --only ID]";
+  exit 1
+
+let () =
+  let action = ref `All in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      Engine_scale.smoke := true;
+      Chaos_bench.smoke := true;
+      Fleet_scale.smoke := true;
+      parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> Util.jobs := n
+      | _ ->
+        Printf.eprintf "--jobs: expected a positive integer, got %S\n" n;
+        exit 1);
+      parse rest
+    | "--seeds" :: s :: rest ->
+      (match Util.parse_seed_list s with
+      | Some seeds -> Util.seeds_override := Some seeds
+      | None ->
+        Printf.eprintf "--seeds: expected a comma-separated integer list, got %S\n" s;
+        exit 1);
+      parse rest
+    | "--list" :: rest ->
+      action := `List;
+      parse rest
+    | "--only" :: id :: rest ->
+      action := `Only id;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %S\n" arg;
+      usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !action with
+  | `List -> List.iter (fun (id, _) -> print_endline id) registry
+  | `Only id -> (
     match List.assoc_opt id registry with
     | Some f -> f ()
     | None ->
       Printf.eprintf "unknown experiment %S; try --list\n" id;
       exit 1)
-  | _ ->
+  | `All ->
     Format.printf
       "ADAPTIVE reproduction — experiment harness (all tables, figures and claims)@.";
     List.iter (fun (_, f) -> f ()) registry

@@ -20,6 +20,31 @@ let row fmt = Format.printf fmt
 let shape_check label ok =
   fprintf "shape: %-58s %s@." label (if ok then "OK" else "MISMATCH")
 
+(* ----------------------------------------------------- harness flags *)
+
+(* Set by main.ml: --jobs N shards the experiments that replicate across
+   seeds/schedules (e7, e9, e10) over N domains via FLEET. *)
+let jobs = ref 1
+
+(* Set by main.ml: --seeds a,b,c overrides the replication seed list the
+   seed-sweeping experiments draw from. *)
+let seeds_override : int list option ref = ref None
+
+let replication_seeds () =
+  match !seeds_override with
+  | Some seeds -> seeds
+  | None -> Lab.default_seeds
+
+let parse_seed_list s =
+  match
+    String.split_on_char ',' s
+    |> List.filter (fun tok -> tok <> "")
+    |> List.map int_of_string
+  with
+  | [] -> None
+  | seeds -> Some seeds
+  | exception Failure _ -> None
+
 (* ------------------------------------------------------- scenarios *)
 
 type pair = {

@@ -85,28 +85,30 @@ let internet_msg m =
 let crc_poly = 0xEDB88320
 
 (* Slicing tables: [slice.(k).(v)] is the CRC of byte [v] followed by
-   [k] zero bytes.  [slice.(0)] is the classic byte-at-a-time table. *)
+   [k] zero bytes.  [slice.(0)] is the classic byte-at-a-time table.
+   Built eagerly at module init: a toplevel [lazy] forced from several
+   domains at once is unsafe, and parallel campaign workers (lib/fleet)
+   all run CRC paths. *)
 let slice_tables =
-  lazy
-    (let t0 =
-       Array.init 256 (fun n ->
-           let c = ref n in
-           for _ = 0 to 7 do
-             if !c land 1 <> 0 then c := crc_poly lxor (!c lsr 1)
-             else c := !c lsr 1
-           done;
-           !c)
-     in
-     let tables = Array.make 8 t0 in
-     for k = 1 to 7 do
-       let prev = tables.(k - 1) in
-       tables.(k) <-
-         Array.init 256 (fun n -> t0.(prev.(n) land 0xFF) lxor (prev.(n) lsr 8))
-     done;
-     tables)
+  let t0 =
+    Array.init 256 (fun n ->
+        let c = ref n in
+        for _ = 0 to 7 do
+          if !c land 1 <> 0 then c := crc_poly lxor (!c lsr 1)
+          else c := !c lsr 1
+        done;
+        !c)
+  in
+  let tables = Array.make 8 t0 in
+  for k = 1 to 7 do
+    let prev = tables.(k - 1) in
+    tables.(k) <-
+      Array.init 256 (fun n -> t0.(prev.(n) land 0xFF) lxor (prev.(n) lsr 8))
+  done;
+  tables
 
 let crc32_fold_int acc b off len =
-  let tables = Lazy.force slice_tables in
+  let tables = slice_tables in
   let t0 = tables.(0)
   and t1 = tables.(1)
   and t2 = tables.(2)

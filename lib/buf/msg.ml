@@ -12,19 +12,21 @@ type t = {
   dlen : int;
 }
 
-let copies_counter = ref 0
-let bytes_counter = ref 0
+(* Atomic: process-wide copy accounting must not tear or lose updates
+   when parallel campaign tasks (lib/fleet) run the copy paths. *)
+let copies_counter = Atomic.make 0
+let bytes_counter = Atomic.make 0
 
 let charge_copy n =
-  incr copies_counter;
-  bytes_counter := !bytes_counter + n
+  Atomic.incr copies_counter;
+  ignore (Atomic.fetch_and_add bytes_counter n)
 
-let physical_copies () = !copies_counter
-let copied_bytes () = !bytes_counter
+let physical_copies () = Atomic.get copies_counter
+let copied_bytes () = Atomic.get bytes_counter
 
 let reset_copy_counters () =
-  copies_counter := 0;
-  bytes_counter := 0
+  Atomic.set copies_counter 0;
+  Atomic.set bytes_counter 0
 
 let of_bytes b =
   let n = Bytes.length b in

@@ -31,8 +31,10 @@ let liveness_bound = Time.sec 10.0
 let schedule_of_seed ~env ~seed =
   (* Independent generator: the stack's own draws (loss, jitter) never
      perturb the fault pattern, so a schedule is a pure function of
-     (seed, env). *)
-  let rng = Rng.create ((seed * 8191) + env_index env + 1) in
+     (seed, env) — [Rng.split_ix] derives the environment's stream from
+     the seed's generator without sharing or reseeding anything a
+     parallel campaign task could race on. *)
+  let rng = Rng.split_ix (Rng.create (seed * 8191)) (env_index env) in
   Fault.random_schedule ~rng ~first:(Time.ms 1500)
     ~last:(Time.sec (0.75 *. Time.to_sec duration))
     ()
@@ -49,6 +51,7 @@ type outcome = {
   o_failovers : int;
   o_delivered : int;
   o_switches : int;
+  o_events : int;
   o_unites : string;
 }
 
@@ -179,6 +182,7 @@ let run_schedule ?(sabotage = false) ~env ~seed schedule =
     o_failovers = Routing.failovers routing;
     o_delivered = !delivered;
     o_switches = switches;
+    o_events = Engine.events_fired engine;
     o_unites = Format.asprintf "%a" Unites.report stack.Adaptive.unites;
   }
 
@@ -258,21 +262,74 @@ type report = {
   r_failures : (outcome * shrink_result) list;
 }
 
-let soak ?(sabotage = false) ?(environments = all_environments) ?progress ~seed
-    ~schedules () =
+(* The soak's run list: seed [seed + i] unless an explicit seed list
+   overrides it (the CLI's --seeds flag), environment cycling through
+   [environments] either way. *)
+let run_grid ~environments ~seeds ~seed ~schedules =
+  let run_seeds =
+    match seeds with
+    | Some l -> Array.of_list l
+    | None -> Array.init schedules (fun i -> seed + i)
+  in
+  Array.mapi
+    (fun i s -> (i, s, List.nth environments (i mod List.length environments)))
+    run_seeds
+
+let soak ?(sabotage = false) ?(environments = all_environments) ?seeds ?progress
+    ~seed ~schedules () =
   if environments = [] then invalid_arg "Soak.soak: no environments";
+  let grid = run_grid ~environments ~seeds ~seed ~schedules in
   let outcomes = ref [] and failures = ref [] in
-  for i = 0 to schedules - 1 do
-    let env = List.nth environments (i mod List.length environments) in
-    let run_seed = seed + i in
-    let o = run_one ~sabotage ~env ~seed:run_seed () in
-    outcomes := o :: !outcomes;
-    (match progress with Some f -> f i o | None -> ());
-    if not (ok o) then
-      failures := (o, shrink ~sabotage ~env ~seed:run_seed o.o_schedule) :: !failures
-  done;
+  Array.iter
+    (fun (i, run_seed, env) ->
+      let o = run_one ~sabotage ~env ~seed:run_seed () in
+      outcomes := o :: !outcomes;
+      (match progress with Some f -> f i o | None -> ());
+      if not (ok o) then
+        failures := (o, shrink ~sabotage ~env ~seed:run_seed o.o_schedule) :: !failures)
+    grid;
   {
-    r_runs = schedules;
+    r_runs = Array.length grid;
     r_outcomes = List.rev !outcomes;
     r_failures = List.rev !failures;
   }
+
+let soak_par ?(sabotage = false) ?(environments = all_environments) ?seeds
+    ?progress ?pool ~jobs ~seed ~schedules () =
+  if environments = [] then invalid_arg "Soak.soak_par: no environments";
+  if jobs <= 1 && Option.is_none pool then
+    (* Exactly the sequential path — the byte-identity reference. *)
+    soak ~sabotage ~environments ?seeds ?progress ~seed ~schedules ()
+  else begin
+    let grid = run_grid ~environments ~seeds ~seed ~schedules in
+    (* Each task is a complete isolated run: fresh stack, fresh engine,
+       fresh RNGs; the shrinker for a failing run executes inside the
+       same task, so the report needs no cross-task state. *)
+    let settled =
+      Adaptive_fleet.Fleet.map ?pool ~jobs
+        (fun (_, run_seed, env) ->
+          let o = run_one ~sabotage ~env ~seed:run_seed () in
+          let s =
+            if ok o then None
+            else Some (shrink ~sabotage ~env ~seed:run_seed o.o_schedule)
+          in
+          (o, s))
+        grid
+    in
+    (* Reduce in canonical run order: progress lines, outcome order and
+       failure order all match the sequential soak byte for byte. *)
+    let outcomes = ref [] and failures = ref [] in
+    Array.iteri
+      (fun i (o, s) ->
+        outcomes := o :: !outcomes;
+        (match progress with Some f -> f i o | None -> ());
+        match s with
+        | Some shrunk -> failures := (o, shrunk) :: !failures
+        | None -> ())
+      settled;
+    {
+      r_runs = Array.length grid;
+      r_outcomes = List.rev !outcomes;
+      r_failures = List.rev !failures;
+    }
+  end

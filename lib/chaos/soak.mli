@@ -37,6 +37,8 @@ type outcome = {
   o_failovers : int;  (** Routing failovers + failbacks. *)
   o_delivered : int;  (** Application deliveries across both sessions. *)
   o_switches : int;  (** MANTTS component switches applied. *)
+  o_events : int;  (** Engine events the run fired — the campaign
+                       throughput unit FLEET's scaling bench reports. *)
   o_unites : string;
       (** The run's formatted UNITES report — per-fault-class counters,
           recovery-time statistics and the trace's dropped-entry count. *)
@@ -83,6 +85,7 @@ type report = {
 val soak :
   ?sabotage:bool ->
   ?environments:environment list ->
+  ?seeds:int list ->
   ?progress:(int -> outcome -> unit) ->
   seed:int ->
   schedules:int ->
@@ -90,7 +93,26 @@ val soak :
   report
 (** Run [schedules] seeded runs — seed [seed + i], environment cycling
     through [environments] (default {!all_environments}) — shrinking
-    every failure. *)
+    every failure.  [seeds] overrides the derived seed list entirely
+    (run [i] uses the [i]th listed seed; [schedules] is then ignored). *)
+
+val soak_par :
+  ?sabotage:bool ->
+  ?environments:environment list ->
+  ?seeds:int list ->
+  ?progress:(int -> outcome -> unit) ->
+  ?pool:Adaptive_fleet.Pool.t ->
+  jobs:int ->
+  seed:int ->
+  schedules:int ->
+  unit ->
+  report
+(** {!soak} sharded across [jobs] domains by FLEET.  Every run is an
+    isolated task (own engine, RNGs, stack); a failing run shrinks
+    inside its own task; results are reduced in run order, so the
+    report — outcome order, failure order and [progress] callbacks —
+    is byte-identical to the sequential {!soak}.  [jobs <= 1] without
+    a [pool] {e is} the sequential {!soak}. *)
 
 val duration : Time.t
 (** How long each run's applications generate traffic (16 s); the

@@ -14,13 +14,17 @@ let median_of values =
   let n = Array.length arr in
   if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
 
-let replicate ~seeds f =
-  if seeds = [] then invalid_arg "Lab.replicate: no seeds";
+let validate_seeds ~what seeds =
+  if seeds = [] then invalid_arg (what ^ ": no seeds");
   let sorted = List.sort_uniq compare seeds in
   if List.length sorted <> List.length seeds then
-    invalid_arg "Lab.replicate: duplicate seeds (replicas would be identical)";
+    invalid_arg (what ^ ": duplicate seeds (replicas would be identical)")
+
+(* The reduction is a sequential fold over [values] in seed order, so a
+   parallel run that preserves value order produces the bit-identical
+   record (float summation order matters). *)
+let summarize values =
   let stats = Stats.create () in
-  let values = List.map (fun seed -> f ~seed) seeds in
   List.iter (Stats.add stats) values;
   let n = Stats.count stats in
   let stddev = if n < 2 then 0.0 else Stats.stddev stats in
@@ -31,6 +35,15 @@ let replicate ~seeds f =
     stddev;
     half_width = (if n < 2 then 0.0 else 2.0 *. stddev /. sqrt (float_of_int n));
   }
+
+let replicate ~seeds f =
+  validate_seeds ~what:"Lab.replicate" seeds;
+  summarize (List.map (fun seed -> f ~seed) seeds)
+
+let replicate_par ?pool ~jobs ~seeds f =
+  validate_seeds ~what:"Lab.replicate_par" seeds;
+  summarize
+    (Adaptive_fleet.Fleet.map_list ?pool ~jobs (fun seed -> f ~seed) seeds)
 
 let default_seeds = [ 11; 211; 3011; 40111; 500111 ]
 

@@ -87,11 +87,11 @@ and t = {
   mutable on_signal_reply : t -> string -> unit;
 }
 
-let conn_counter = ref 0
-
-let fresh_conn_id () =
-  incr conn_counter;
-  !conn_counter
+(* Connection ids are allocated per-network (the namespace they must be
+   unique in), so every stack numbers its connections — and its UNITES
+   session reports — identically regardless of what ran before it or
+   runs beside it on another domain. *)
+let fresh_conn_id disp = Network.fresh_conn_id disp.net
 
 (* ------------------------------------------------------------------ *)
 (* Small accessors *)
@@ -1061,7 +1061,7 @@ end
 let connect ?name:ep_name ?binding ?on_deliver ?on_signal_reply ?(start_seq = 0)
     disp ~peers ~scs () =
   if peers = [] then invalid_arg "Session.connect: no peers";
-  let conn = fresh_conn_id () in
+  let conn = fresh_conn_id disp in
   let ep_name =
     match ep_name with Some n -> n | None -> Printf.sprintf "conn-%d" conn
   in

@@ -25,13 +25,18 @@ type t = {
   mutable bytes_carried : int;
 }
 
-let counter = ref 0
+(* Atomic: default names must stay unique when parallel campaign tasks
+   (lib/fleet) build their stacks concurrently. *)
+let counter = Atomic.make 0
 
 let create ?name ~bandwidth_bps ~propagation ?(queue_pkts = 64) ?(ber = 0.0)
     ?(mtu = 65535) () =
   if bandwidth_bps <= 0.0 then invalid_arg "Link.create: non-positive bandwidth";
-  incr counter;
-  let name = match name with Some n -> n | None -> Printf.sprintf "link%d" !counter in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "link%d" (1 + Atomic.fetch_and_add counter 1)
+  in
   {
     name;
     bandwidth_bps;

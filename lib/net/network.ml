@@ -36,6 +36,7 @@ type 'm t = {
   mutable s_dropped_mtu : int;
   mutable s_corrupted : int;
   mutable s_bytes_sent : int;
+  mutable s_conn_counter : int;
 }
 
 let create engine ~rng topology =
@@ -52,7 +53,12 @@ let create engine ~rng topology =
     s_dropped_mtu = 0;
     s_corrupted = 0;
     s_bytes_sent = 0;
+    s_conn_counter = 0;
   }
+
+let fresh_conn_id t =
+  t.s_conn_counter <- t.s_conn_counter + 1;
+  t.s_conn_counter
 
 let engine t = t.engine
 let topology t = t.topology

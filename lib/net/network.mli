@@ -43,6 +43,13 @@ val engine : 'm t -> Engine.t
 val topology : 'm t -> Topology.t
 (** The underlying topology. *)
 
+val fresh_conn_id : 'm t -> int
+(** Allocate the next connection id (1, 2, …) in this network's
+    namespace.  Per-network — not process-global — so a freshly built
+    stack always numbers its connections (and therefore its UNITES
+    session reports) identically, however many stacks ran before it or
+    run beside it on other domains. *)
+
 val attach : 'm t -> addr -> ('m recv -> unit) -> unit
 (** Register the receive handler for a host (replacing any previous
     one). *)

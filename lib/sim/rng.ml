@@ -15,6 +15,14 @@ let bits64 t =
   mix64 t.state
 
 let split t = { state = bits64 t }
+
+let split_ix t i =
+  if i < 0 then invalid_arg "Rng.split_ix: negative index";
+  (* Jump (i+1) gammas ahead of the current state and scramble: a pure
+     function of (state, i), so deriving stream i never advances [t] and
+     two tasks with distinct indices get decorrelated streams. *)
+  { state = mix64 (Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1)))) }
+
 let copy t = { state = t.state }
 
 let int t bound =

@@ -17,6 +17,15 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     independent of the remainder of [t]'s stream. *)
 
+val split_ix : t -> int -> t
+(** [split_ix t i] derives the [i]th independent stream from [t]'s
+    current state {e without} advancing [t]: a pure function of
+    [(state, i)].  Campaign task [i] seeds itself with
+    [split_ix master i], so parallel tasks never share or reseed a
+    common generator, and the derived stream is identical however many
+    other tasks ran first.  [i] must be non-negative
+    ([Invalid_argument]). *)
+
 val copy : t -> t
 (** [copy t] is a generator that will produce the same stream as [t]. *)
 

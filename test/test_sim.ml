@@ -104,6 +104,27 @@ let test_rng_split_copy () =
   check_bool "copy same stream" true
     (List.init 8 (fun _ -> Rng.bits64 c) = List.init 8 (fun _ -> Rng.bits64 d))
 
+let test_rng_split_ix () =
+  (* Pure: deriving never advances the parent. *)
+  let parent = Rng.create 42 in
+  let _ = Rng.split_ix parent 0 and _ = Rng.split_ix parent 7 in
+  let untouched = Rng.create 42 in
+  check_bool "parent not advanced" true
+    (List.init 8 (fun _ -> Rng.bits64 parent)
+    = List.init 8 (fun _ -> Rng.bits64 untouched));
+  (* Reproducible: same (parent state, index) gives the same stream. *)
+  let stream i =
+    List.init 16 (fun _ -> Rng.bits64 (Rng.split_ix (Rng.create 42) i))
+  in
+  check_bool "same index same stream" true (stream 3 = stream 3);
+  (* Independent: distinct indices give pairwise-distinct streams. *)
+  let streams = List.init 32 stream in
+  let distinct = List.sort_uniq compare streams in
+  check_int "32 indices, 32 distinct streams" 32 (List.length distinct);
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Rng.split_ix: negative index") (fun () ->
+      ignore (Rng.split_ix parent (-1)))
+
 let test_rng_bounds () =
   let rng = Rng.create 3 in
   for _ = 1 to 1000 do
@@ -583,6 +604,8 @@ let suite =
       [
         Alcotest.test_case "determinism" `Quick test_rng_determinism;
         Alcotest.test_case "split and copy" `Quick test_rng_split_copy;
+        Alcotest.test_case "indexed split is pure and independent" `Quick
+          test_rng_split_ix;
         Alcotest.test_case "bounds" `Quick test_rng_bounds;
         Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
         Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
