@@ -17,6 +17,8 @@
    experiments (e7, e9, e10) across N domains via FLEET; [--seeds
    a,b,c] overrides the seed list the replication experiments sweep. *)
 
+open Bench_harness
+
 let registry =
   [
     ("table1", Tables.table1);
@@ -35,6 +37,7 @@ let registry =
     ("e8_engine_scale", Engine_scale.e8_engine_scale);
     ("e9_chaos", Chaos_bench.e9_chaos);
     ("e10_fleet_scale", Fleet_scale.e10_fleet_scale);
+    ("e11_swarm_scale", Swarm_scale.e11_swarm_scale);
     ("a1_detection", Ablations.a1_detection);
     ("a2_fec_group", Ablations.a2_fec_group);
     ("a3_ack_delay", Ablations.a3_ack_delay);
@@ -69,6 +72,7 @@ let () =
       Engine_scale.smoke := true;
       Chaos_bench.smoke := true;
       Fleet_scale.smoke := true;
+      Swarm_scale.smoke := true;
       parse rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with

@@ -1,0 +1,236 @@
+(* e11_swarm_scale — many-session scale for the dispatcher (SWARM).
+
+   One simulated host pair carries 100 / 1k / 10k concurrent sessions
+   through the full MANTTS open/transfer/close path, with churn.  Per
+   scale the experiment reports sessions opened and events fired per
+   wall-clock second, plus the deterministic demux cost (connection-table
+   probes per lookup) and the table occupancy histogram from the UNITES
+   "swarm" whitebox session.
+
+   Determinism checks: the same seed must produce the identical FNV-1a
+   trace digest on a second run, and across a [Fleet.map ~jobs:4] replay
+   on separate domains.
+
+   A wall-clock microbenchmark times [Conntable.find] over tables holding
+   100 / 1k / 10k live connections; the acceptance criterion is
+   p99 ns/op at 10k <= 2x the 100-session value (demux must stay O(1)).
+
+   An overload phase reruns the mid scale under an admission policy too
+   small for the offered load and checks that every refused or degraded
+   open is accounted in the swarm session.
+
+   Emits BENCH_swarm.json. *)
+
+open Adaptive_sim
+open Adaptive_core
+open Adaptive_workloads
+
+(* Set by main.ml's --smoke flag: 500-session churn instead of 10k. *)
+let smoke = ref false
+
+let pf = Format.printf
+
+type scale_result = {
+  sessions : int;
+  outcome : Swarm.outcome;
+  elapsed_s : float;
+}
+
+let run_scale ~sessions ~seed =
+  let cfg = Swarm.default_config ~sessions ~seed in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Swarm.run cfg in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  { sessions; outcome; elapsed_s }
+
+let sessions_per_sec r =
+  if r.elapsed_s <= 0.0 then 0.0
+  else float_of_int r.outcome.Swarm.admitted /. r.elapsed_s
+
+let events_per_sec r =
+  if r.elapsed_s <= 0.0 then 0.0
+  else float_of_int r.outcome.Swarm.events_fired /. r.elapsed_s
+
+let report_scale r =
+  let o = r.outcome in
+  pf
+    "  %6d sessions: %7.0f sessions/s  %9.0f ev/s  demux probes mean %.3f p99 \
+     %.0f  occupancy p99 %.2f  peak live %d@."
+    r.sessions (sessions_per_sec r) (events_per_sec r) o.Swarm.demux_probes_mean
+    o.Swarm.demux_probes_p99 o.Swarm.occupancy_p99 o.Swarm.peak_live
+
+(* The UNITES swarm whitebox session, presented on its own: at ten
+   thousand registered sessions the full [Unites.report] would be pages
+   of per-session lines. *)
+let swarm_report o =
+  let u = o.Swarm.unites in
+  pf "  UNITES swarm session:@.";
+  List.iter
+    (fun m ->
+      match Unites.stats u ~session:Unites.swarm_session m with
+      | None -> ()
+      | Some s ->
+        pf "    %-16s n=%-6d total=%-9.0f mean=%.3f p50=%.3f p95=%.3f p99=%.3f \
+            max=%.3f@."
+          (Unites.metric_name m) s.Stats.n (s.Stats.mean *. float_of_int s.Stats.n)
+          s.Stats.mean s.Stats.p50 s.Stats.p95 s.Stats.p99 s.Stats.max)
+    [
+      Unites.Sessions_open;
+      Unites.Sessions_refused;
+      Unites.Sessions_degraded;
+      Unites.Demux_probes;
+      Unites.Table_occupancy;
+      Unites.Timewait_drops;
+    ]
+
+(* ---------------------------------------------- wall-clock demux micro *)
+
+type micro_result = { live : int; capacity : int; p50_ns : float; p99_ns : float }
+
+let demux_micro ~live =
+  let t = Conntable.create () in
+  for k = 1 to live do
+    Conntable.insert t ~key:k ~half_open:false k
+  done;
+  let rng = Rng.create 0xC0FFEE in
+  let per_batch = if !smoke then 20_000 else 50_000 in
+  let batches = if !smoke then 20 else 50 in
+  let keys = Array.init per_batch (fun _ -> 1 + Rng.int rng live) in
+  (* The sink defeats dead-code elimination of the measured loop. *)
+  let sink = ref 0 in
+  for i = 0 to per_batch - 1 do
+    sink := !sink + Conntable.find t (Array.unsafe_get keys i)
+  done;
+  let ns = Array.make batches 0.0 in
+  for b = 0 to batches - 1 do
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to per_batch - 1 do
+      sink := !sink + Conntable.find t (Array.unsafe_get keys i)
+    done;
+    ns.(b) <- (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int per_batch
+  done;
+  ignore (Sys.opaque_identity !sink);
+  Array.sort compare ns;
+  let at q = ns.(min (batches - 1) (int_of_float (q *. float_of_int (batches - 1)))) in
+  { live; capacity = Conntable.capacity t; p50_ns = at 0.5; p99_ns = at 0.99 }
+
+(* --------------------------------------------------------------- e11 *)
+
+let e11_swarm_scale () =
+  let seed = 0x5A11 in
+  let scales = if !smoke then [ 100; 500 ] else [ 100; 1_000; 10_000 ] in
+  pf "@.== e11_swarm_scale: %s-session dispatcher churn%s ==@."
+    (string_of_int (List.fold_left max 0 scales))
+    (if !smoke then " [smoke]" else "");
+
+  (* Scale sweep. *)
+  let results = List.map (fun sessions -> run_scale ~sessions ~seed) scales in
+  List.iter report_scale results;
+  let largest = List.nth results (List.length results - 1) in
+  swarm_report largest.outcome;
+
+  (* Determinism: double run at the largest scale. *)
+  let rerun = run_scale ~sessions:largest.sessions ~seed in
+  let stable = rerun.outcome.Swarm.digest = largest.outcome.Swarm.digest in
+  Util.shape_check
+    (Printf.sprintf "same seed, %d sessions: identical trace digest on rerun"
+       largest.sessions)
+    stable;
+
+  (* Determinism: four domains replaying the identical config via FLEET. *)
+  let fleet_sessions = List.nth scales (min 1 (List.length scales - 1)) in
+  let reference = run_scale ~sessions:fleet_sessions ~seed in
+  let digests =
+    Adaptive_fleet.Fleet.map ~jobs:4
+      (fun s -> (Swarm.run (Swarm.default_config ~sessions:s ~seed)).Swarm.digest)
+      (Array.make 4 fleet_sessions)
+  in
+  let fleet_ok =
+    Array.for_all (fun d -> d = reference.outcome.Swarm.digest) digests
+  in
+  Util.shape_check
+    (Printf.sprintf "jobs=4 fleet replay, %d sessions: all digests identical"
+       fleet_sessions)
+    fleet_ok;
+
+  (* Wall-clock demux micro: the O(1) criterion. *)
+  let micro = List.map (fun live -> demux_micro ~live) scales in
+  List.iter
+    (fun m ->
+      pf "  micro: find over %5d live conns (capacity %6d): p50 %5.2f ns/op  \
+          p99 %5.2f ns/op@."
+        m.live m.capacity m.p50_ns m.p99_ns)
+    micro;
+  let first = List.hd micro in
+  let last = List.nth micro (List.length micro - 1) in
+  let ratio = last.p99_ns /. first.p99_ns in
+  Util.shape_check
+    (Printf.sprintf
+       "demux p99 ns/op at %d sessions <= 2x the %d-session value (%.2fx)"
+       last.live first.live ratio)
+    (ratio <= 2.0);
+
+  (* Overload: a policy sized well under the offered load must refuse or
+     degrade, and every such decision must be accounted in UNITES. *)
+  let over_sessions = fleet_sessions in
+  let policy =
+    {
+      Mantts.soft_sessions = over_sessions / 4;
+      hard_sessions = over_sessions / 2;
+      max_cpu_backlog = Time.ms 50;
+    }
+  in
+  let over_cfg =
+    { (Swarm.default_config ~sessions:over_sessions ~seed) with
+      Swarm.admission = Some policy }
+  in
+  let over = Swarm.run over_cfg in
+  pf "  overload (%d sessions, soft %d hard %d): admitted %d degraded %d \
+      refused %d@."
+    over_sessions policy.Mantts.soft_sessions policy.Mantts.hard_sessions
+    over.Swarm.admitted over.Swarm.degraded over.Swarm.refused;
+  swarm_report over;
+  let u = over.Swarm.unites in
+  let counted m = int_of_float (Unites.total u ~session:Unites.swarm_session m) in
+  Util.shape_check "overload refuses or degrades sessions"
+    (over.Swarm.refused > 0 || over.Swarm.degraded > 0);
+  Util.shape_check "refusals accounted in UNITES swarm session"
+    (counted Unites.Sessions_refused = over.Swarm.refused);
+  Util.shape_check "degradations accounted in UNITES swarm session"
+    (counted Unites.Sessions_degraded = over.Swarm.degraded);
+  Util.shape_check "admissions accounted in UNITES swarm session"
+    (counted Unites.Sessions_open = over.Swarm.admitted);
+  Util.shape_check "peak live sessions stayed under the hard threshold"
+    (over.Swarm.peak_live <= policy.Mantts.hard_sessions);
+
+  (* JSON emission. *)
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf
+    "{\n  \"experiment\": \"e11_swarm_scale\",\n  \"seed\": %d,\n  \"smoke\": %b,\n  \"scales\": [\n"
+    seed !smoke;
+  List.iteri
+    (fun i (r, m) ->
+      let o = r.outcome in
+      Printf.bprintf buf
+        {|    { "sessions": %d, "sessions_per_sec": %.1f, "events_per_sec": %.1f,
+      "demux_probes_mean": %.4f, "demux_probes_p99": %.1f,
+      "demux_find_p50_ns": %.2f, "demux_find_p99_ns": %.2f,
+      "occupancy_p99": %.4f, "peak_live": %d, "table_capacity": %d,
+      "digest": "0x%Lx" }%s
+|}
+        r.sessions (sessions_per_sec r) (events_per_sec r)
+        o.Swarm.demux_probes_mean o.Swarm.demux_probes_p99 m.p50_ns m.p99_ns
+        o.Swarm.occupancy_p99 o.Swarm.peak_live o.Swarm.table_capacity
+        o.Swarm.digest
+        (if i = List.length results - 1 then "" else ","))
+    (List.combine results micro);
+  Printf.bprintf buf
+    "  ],\n  \"micro_p99_ratio\": %.3f,\n  \"digest_stable\": %b,\n  \"fleet_jobs4_identical\": %b,\n"
+    ratio stable fleet_ok;
+  Printf.bprintf buf
+    "  \"overload\": { \"sessions\": %d, \"admitted\": %d, \"degraded\": %d, \"refused\": %d }\n}\n"
+    over_sessions over.Swarm.admitted over.Swarm.degraded over.Swarm.refused;
+  let oc = open_out "BENCH_swarm.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  pf "  wrote BENCH_swarm.json@."

@@ -5,7 +5,23 @@ open Adaptive_sim
 open Adaptive_net
 open Adaptive_core
 
-let fprintf = Format.printf
+(* All table/figure output funnels through this formatter so the golden
+   tests can capture a table byte-for-byte instead of scraping stdout. *)
+let out = ref Format.std_formatter
+
+let fprintf fmt = Format.fprintf !out fmt
+
+let with_captured f =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  let saved = !out in
+  out := fmt;
+  Fun.protect
+    ~finally:(fun () ->
+      Format.pp_print_flush fmt ();
+      out := saved)
+    f;
+  Buffer.contents buf
 
 (* ------------------------------------------------------------ tables *)
 
@@ -15,7 +31,7 @@ let heading title =
   fprintf "@.=== %s@." title;
   rule 72
 
-let row fmt = Format.printf fmt
+let row fmt = Format.fprintf !out fmt
 
 let shape_check label ok =
   fprintf "shape: %-58s %s@." label (if ok then "OK" else "MISMATCH")

@@ -6,6 +6,9 @@
      classify  -a APP -n NET   run MANTTS stages I+II and print the result
      run       -a APP -n NET   simulate the application over the network
                                and print the UNITES report
+     chaos                     randomized fault-injection soaks
+     fleet                     seeds x environments campaign across domains
+     swarm                     many-session churn with admission control
 
    Example:
      adaptive_cli run -a voice -n satellite -d 10 *)
@@ -278,6 +281,63 @@ let run_fleet replicas seed seeds env jobs no_baseline =
     `Error (false, "parallel run diverged from sequential baseline")
   else `Ok ()
 
+(* --------------------------------------------------------------- swarm *)
+
+(* Many-session churn on one host pair (the e11 workload), with optional
+   MANTTS admission thresholds to demonstrate graceful degradation. *)
+let run_swarm sessions churn seed soft hard =
+  let admission =
+    match (soft, hard) with
+    | None, None -> None
+    | _ ->
+      let hard = match hard with Some h -> h | None -> sessions in
+      let soft = match soft with Some s -> s | None -> hard in
+      Some
+        {
+          Mantts.soft_sessions = soft;
+          hard_sessions = hard;
+          max_cpu_backlog = Time.ms 50;
+        }
+  in
+  Format.printf "swarm: %d session slot(s), %d churn round(s), seed %d%s@."
+    sessions churn seed
+    (match admission with
+    | None -> ""
+    | Some p ->
+      Printf.sprintf ", admission soft=%d hard=%d" p.Mantts.soft_sessions
+        p.Mantts.hard_sessions);
+  let cfg =
+    { (Swarm.default_config ~sessions ~seed) with
+      Swarm.churn_rounds = churn;
+      admission }
+  in
+  let t0 = Unix.gettimeofday () in
+  let o = Swarm.run cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  Format.printf "%a@." Swarm.pp_outcome o;
+  Format.printf "UNITES swarm session:@.";
+  List.iter
+    (fun m ->
+      match Unites.stats o.Swarm.unites ~session:Unites.swarm_session m with
+      | None -> ()
+      | Some s ->
+        Format.printf
+          "  %-16s n=%-6d mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f@."
+          (Unites.metric_name m) s.Stats.n s.Stats.mean s.Stats.p50 s.Stats.p95
+          s.Stats.p99 s.Stats.max)
+    [
+      Unites.Sessions_open;
+      Unites.Sessions_refused;
+      Unites.Sessions_degraded;
+      Unites.Demux_probes;
+      Unites.Table_occupancy;
+      Unites.Timewait_drops;
+    ];
+  Format.printf "wall %.3f s (%.0f admitted sessions/s, %.0f events/s)@." wall
+    (if wall > 0.0 then float_of_int o.Swarm.admitted /. wall else 0.0)
+    (if wall > 0.0 then float_of_int o.Swarm.events_fired /. wall else 0.0);
+  `Ok ()
+
 (* ------------------------------------------------------------- cmdliner *)
 
 open Cmdliner
@@ -431,6 +491,36 @@ let chaos_cmd =
         (const run_chaos $ schedules_arg $ seed_arg $ seeds_arg $ env_arg
        $ sabotage_arg $ jobs_arg))
 
+let sessions_arg =
+  Arg.(
+    value
+    & opt int 1000
+    & info [ "sessions" ] ~docv:"N" ~doc:"Concurrent session slots to churn.")
+
+let churn_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "churn" ] ~docv:"N"
+        ~doc:"Close/reopen cycles per slot after the first open.")
+
+let soft_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "soft" ] ~docv:"N"
+        ~doc:
+          "Admission soft threshold: past $(docv) live sessions new opens \
+           are negotiated down to a lighter configuration.")
+
+let hard_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "hard" ] ~docv:"N"
+        ~doc:"Admission hard threshold: past $(docv) live sessions new \
+              opens are refused.")
+
 let fleet_cmd =
   Cmd.v
     (Cmd.info "fleet"
@@ -443,10 +533,25 @@ let fleet_cmd =
         (const run_fleet $ replicas_arg $ seed_arg $ seeds_arg $ env_arg
        $ jobs_arg $ no_baseline_arg))
 
+let swarm_cmd =
+  Cmd.v
+    (Cmd.info "swarm"
+       ~doc:
+         "Churn many concurrent sessions through one host pair (open → \
+          transfer → close across the Table 1 mix) and print the swarm \
+          whitebox report; --soft/--hard install MANTTS admission control")
+    Term.(
+      ret
+        (const run_swarm $ sessions_arg $ churn_arg $ seed_arg $ soft_arg
+       $ hard_arg))
+
 let main =
   Cmd.group
     (Cmd.info "adaptive_cli" ~version:"1.0"
        ~doc:"The ADAPTIVE transport system reproduction")
-    [ apps_cmd; networks_cmd; classify_cmd; run_cmd; chaos_cmd; fleet_cmd ]
+    [
+      apps_cmd; networks_cmd; classify_cmd; run_cmd; chaos_cmd; fleet_cmd;
+      swarm_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -11,12 +11,12 @@ type stack = {
   mantts : Mantts.t;
 }
 
-let create_stack ?(seed = 1) ?(whitebox = true) () =
+let create_stack ?(seed = 1) ?(whitebox = true) ?metric_reservoir () =
   let engine = Engine.create () in
   let rng = Rng.create seed in
   let topology = Topology.create () in
   let net = Network.create engine ~rng:(Rng.split rng) topology in
-  let unites = Unites.create ~whitebox engine in
+  let unites = Unites.create ~whitebox ?reservoir:metric_reservoir engine in
   let mantts = Mantts.create ~net ~unites ~rng:(Rng.split rng) () in
   { engine; rng; topology; net; unites; mantts }
 

@@ -29,9 +29,12 @@ type stack = {
   mantts : Mantts.t;
 }
 
-val create_stack : ?seed:int -> ?whitebox:bool -> unit -> stack
+val create_stack :
+  ?seed:int -> ?whitebox:bool -> ?metric_reservoir:int -> unit -> stack
 (** Build an empty system.  [seed] (default 1) determines every random
-    draw; [whitebox] (default [true]) controls UNITES instrumentation. *)
+    draw; [whitebox] (default [true]) controls UNITES instrumentation.
+    [metric_reservoir] bounds each UNITES accumulator's quantile
+    reservoir (default 8192) — many-session workloads shrink it. *)
 
 val mantts : stack -> Mantts.t
 (** The policy subsystem. *)

@@ -1,0 +1,220 @@
+open Adaptive_sim
+
+type entry_state = Half_open | Open | Time_wait
+
+(* Slot states, kept as raw ints in a flat array so the probe loop touches
+   one immediate-typed array per step. *)
+let s_free = 0
+let s_tomb = 1
+let s_half = 2
+let s_open = 3
+let s_wait = 4
+
+type 'a t = {
+  mutable keys : int array;
+  mutable states : int array;
+  mutable values : 'a option array;
+  mutable expiry : Time.t array; (* meaningful only for time-wait slots *)
+  mutable mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable live : int; (* half-open + open *)
+  mutable half : int;
+  mutable waiting : int;
+  mutable tombs : int;
+  mutable lookups : int;
+  mutable total_probes : int;
+  mutable last_probes : int;
+  mutable max_probes : int;
+}
+
+let rec pow2 n c = if c >= n then c else pow2 n (c * 2)
+
+let create ?(initial_capacity = 16) () =
+  let cap = pow2 (max 8 initial_capacity) 8 in
+  {
+    keys = Array.make cap 0;
+    states = Array.make cap s_free;
+    values = Array.make cap None;
+    expiry = Array.make cap Time.zero;
+    mask = cap - 1;
+    live = 0;
+    half = 0;
+    waiting = 0;
+    tombs = 0;
+    lookups = 0;
+    total_probes = 0;
+    last_probes = 0;
+    max_probes = 0;
+  }
+
+let capacity t = t.mask + 1
+let live_count t = t.live
+let half_open_count t = t.half
+let time_wait_count t = t.waiting
+let occupancy t = float_of_int (t.live + t.waiting) /. float_of_int (capacity t)
+let last_probes t = t.last_probes
+let total_probes t = t.total_probes
+let lookups t = t.lookups
+let max_probes t = t.max_probes
+
+(* Fibonacci-style multiplicative hash: connection ids are small dense
+   integers, so a plain mask would cluster them into consecutive slots. *)
+let slot_of t key = key * 0x2545F4914F6CDD1D land t.mask
+
+(* The table is kept under 3/4 combined occupancy, so an empty slot always
+   terminates the probe loop. *)
+let find t key =
+  let mask = t.mask in
+  let states = t.states in
+  let keys = t.keys in
+  let i = ref (slot_of t key) in
+  let probes = ref 1 in
+  let result = ref (-2) in
+  while !result = -2 do
+    let s = Array.unsafe_get states !i in
+    if s = s_free then result := -1
+    else if s <> s_tomb && Array.unsafe_get keys !i = key then result := !i
+    else begin
+      i := (!i + 1) land mask;
+      incr probes
+    end
+  done;
+  t.lookups <- t.lookups + 1;
+  t.total_probes <- t.total_probes + !probes;
+  t.last_probes <- !probes;
+  if !probes > t.max_probes then t.max_probes <- !probes;
+  !result
+
+let slot_state t slot =
+  match t.states.(slot) with
+  | 2 -> Half_open
+  | 3 -> Open
+  | 4 -> Time_wait
+  | _ -> invalid_arg "Conntable.slot_state: empty slot"
+
+let slot_value t slot =
+  match t.values.(slot) with
+  | Some v -> v
+  | None -> invalid_arg "Conntable.slot_value: no live value at slot"
+
+let find_live t key =
+  let slot = find t key in
+  if slot < 0 then None
+  else match t.values.(slot) with Some _ as v -> v | None -> None
+
+(* Locate the slot where [key] lives or should be inserted: an existing
+   entry wins; otherwise the first tombstone on the probe path is reused. *)
+let insertion_slot t key =
+  let mask = t.mask in
+  let i = ref (slot_of t key) in
+  let first_tomb = ref (-1) in
+  let result = ref (-2) in
+  while !result = -2 do
+    let s = t.states.(!i) in
+    if s = s_free then result := (if !first_tomb >= 0 then !first_tomb else !i)
+    else if s = s_tomb then begin
+      if !first_tomb < 0 then first_tomb := !i;
+      i := (!i + 1) land mask
+    end
+    else if t.keys.(!i) = key then result := !i
+    else i := (!i + 1) land mask
+  done;
+  !result
+
+let clear_slot t slot =
+  (match t.states.(slot) with
+  | 2 ->
+    t.half <- t.half - 1;
+    t.live <- t.live - 1
+  | 3 -> t.live <- t.live - 1
+  | 4 -> t.waiting <- t.waiting - 1
+  | _ -> ());
+  t.values.(slot) <- None
+
+let grow t =
+  let old_states = t.states and old_keys = t.keys in
+  let old_values = t.values and old_expiry = t.expiry in
+  let cap = (t.mask + 1) * 2 in
+  t.keys <- Array.make cap 0;
+  t.states <- Array.make cap s_free;
+  t.values <- Array.make cap None;
+  t.expiry <- Array.make cap Time.zero;
+  t.mask <- cap - 1;
+  t.tombs <- 0;
+  Array.iteri
+    (fun i s ->
+      if s >= s_half then begin
+        let slot = insertion_slot t old_keys.(i) in
+        t.keys.(slot) <- old_keys.(i);
+        t.states.(slot) <- s;
+        t.values.(slot) <- old_values.(i);
+        t.expiry.(slot) <- old_expiry.(i)
+      end)
+    old_states
+
+let maybe_grow t =
+  if (t.live + t.waiting + t.tombs) * 4 >= (t.mask + 1) * 3 then grow t
+
+let insert t ~key ~half_open v =
+  maybe_grow t;
+  let slot = insertion_slot t key in
+  (match t.states.(slot) with
+  | s when s = s_tomb -> t.tombs <- t.tombs - 1
+  | s when s >= s_half -> clear_slot t slot
+  | _ -> ());
+  t.keys.(slot) <- key;
+  t.states.(slot) <- (if half_open then s_half else s_open);
+  t.values.(slot) <- Some v;
+  t.live <- t.live + 1;
+  if half_open then t.half <- t.half + 1
+
+let promote t key =
+  let slot = find t key in
+  if slot >= 0 && t.states.(slot) = s_half then begin
+    t.states.(slot) <- s_open;
+    t.half <- t.half - 1
+  end
+
+let retire t ~key ~expiry =
+  let slot = find t key in
+  if slot >= 0 && t.states.(slot) >= s_half && t.states.(slot) <> s_wait then begin
+    clear_slot t slot;
+    t.states.(slot) <- s_wait;
+    t.waiting <- t.waiting + 1;
+    t.expiry.(slot) <- expiry
+  end
+
+let remove t key =
+  let slot = find t key in
+  if slot < 0 then false
+  else begin
+    clear_slot t slot;
+    t.states.(slot) <- s_tomb;
+    t.tombs <- t.tombs + 1;
+    true
+  end
+
+let sweep t ~now =
+  let expired = ref 0 in
+  for slot = 0 to t.mask do
+    if t.states.(slot) = s_wait && Time.compare t.expiry.(slot) now <= 0 then begin
+      t.states.(slot) <- s_tomb;
+      t.tombs <- t.tombs + 1;
+      t.waiting <- t.waiting - 1;
+      incr expired
+    end
+  done;
+  !expired
+
+let iter_live f t =
+  for slot = 0 to t.mask do
+    let s = t.states.(slot) in
+    if s = s_half || s = s_open then
+      match t.values.(slot) with
+      | Some v -> f t.keys.(slot) v
+      | None -> ()
+  done
+
+let fold_live f t init =
+  let acc = ref init in
+  iter_live (fun k v -> acc := f k v !acc) t;
+  !acc

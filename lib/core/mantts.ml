@@ -35,8 +35,24 @@ type monitor = {
          *current* one-way delay when routes change *)
   mutable m_route : string list;
   mutable m_last_change : Time.t;
-  m_timer : Engine.Timer.timer;
+  m_notify : Session.t -> string -> unit;
+  m_monitored : bool;
+      (* very-short-duration sessions keep a monitor record (so
+         renegotiation and sync groups can find them) but are skipped by
+         the shared policy tick *)
 }
+
+(* MANTTS admission control (§4.1.1 "reasonable values" under pressure):
+   past [soft_sessions] live sessions — or once the host's receive
+   backlog exceeds [max_cpu_backlog] — new ACDs are negotiated down to a
+   lighter configuration; past [hard_sessions] they are refused. *)
+type admission_policy = {
+  soft_sessions : int;
+  hard_sessions : int;
+  max_cpu_backlog : Time.t;
+}
+
+type admission = Admitted | Degraded | Refused
 
 type t = {
   net : Pdu.t Network.t;
@@ -44,9 +60,15 @@ type t = {
   t_unites : Unites.t;
   rng : Rng.t;
   entities : (Network.addr, entity) Hashtbl.t;
-  mutable monitors : monitor list;
+  monitors : (int, monitor) Hashtbl.t; (* keyed by session id *)
   mutable sync_groups : int list list; (* session-id groups to keep aligned *)
   mutable adaptation_log : (Time.t * int * string) list; (* newest first *)
+  (* All policy monitors share one tick timer, armed only while monitors
+     exist: 10k short-lived sessions schedule no monitor events at all,
+     and long-lived ones cost one engine event per interval total. *)
+  mutable monitor_timer : Engine.Timer.timer option;
+  mutable monitor_armed : bool;
+  mutable admission : admission_policy option;
 }
 
 let monitor_interval = Time.ms 100
@@ -64,14 +86,77 @@ let create ~net ~unites ~rng () =
     t_unites = unites;
     rng;
     entities = Hashtbl.create 8;
-    monitors = [];
+    monitors = Hashtbl.create 64;
     sync_groups = [];
     adaptation_log = [];
+    monitor_timer = None;
+    monitor_armed = false;
+    admission = None;
   }
 
 let engine t = t.t_engine
 let network t = t.net
 let unites t = t.t_unites
+let set_admission t policy = t.admission <- policy
+let admission_policy t = t.admission
+
+(* ------------------------------------------------------------------ *)
+(* Admission control *)
+
+(* Lighten a configuration without changing its correctness contract:
+   reliability, ordering, duplicate handling and delivery semantics are
+   preserved; window, pacing rate, receive commitment, checksum strength
+   and scheduling priority are cut down. *)
+let degrade_scs (scs : Scs.t) =
+  let transmission =
+    match scs.Scs.transmission with
+    | Params.Sliding_window { window } ->
+      Params.Sliding_window { window = max 2 (min window 4) }
+    | Params.Rate_based { rate_bps; burst } ->
+      Params.Rate_based
+        { rate_bps = Float.max 64e3 (rate_bps /. 2.0); burst = min burst 2 }
+    | Params.Stop_and_wait -> Params.Stop_and_wait
+  in
+  let congestion =
+    match (scs.Scs.congestion, transmission) with
+    | Params.Slow_start { initial; _ }, Params.Sliding_window { window } ->
+      Params.Slow_start { initial = min initial 2; threshold = max 2 (window / 2) }
+    | (c, _) -> c
+  in
+  {
+    scs with
+    Scs.transmission;
+    congestion;
+    detection =
+      (match scs.Scs.detection with
+      | Params.Crc32 -> Params.Internet_checksum
+      | d -> d);
+    recv_buffer_segments = max 4 (min scs.Scs.recv_buffer_segments 8);
+    priority = max scs.Scs.priority 6;
+  }
+
+let admission_decision t entity =
+  match t.admission with
+  | None -> Admitted
+  | Some pol ->
+    let disp = entity.e_disp in
+    let live = Session.Dispatcher.session_count disp in
+    if live >= pol.hard_sessions then Refused
+    else
+      let backlog =
+        Time.diff
+          (Host.busy_until (Session.Dispatcher.host disp))
+          (Engine.now t.t_engine)
+      in
+      if live >= pol.soft_sessions || backlog > pol.max_cpu_backlog then Degraded
+      else Admitted
+
+let count_admission t = function
+  | Admitted -> ()
+  | Degraded ->
+    Unites.count t.t_unites ~session:Unites.swarm_session Unites.Sessions_degraded
+  | Refused ->
+    Unites.count t.t_unites ~session:Unites.swarm_session Unites.Sessions_refused
 
 (* ------------------------------------------------------------------ *)
 (* Entities and negotiation *)
@@ -95,7 +180,24 @@ let add_host ?host ?(buffer_segments = 4096) t ~addr =
      from the dispatcher, so their buffers return automatically
      (§4.1.3's release of allocated resources). *)
   Session.Dispatcher.set_acceptor disp (fun ~src:_ ~conn ~proposal ->
-      let proposed = match proposal with Some scs -> scs | None -> default_accept_scs in
+      (* The passive side applies the policy but does not count the
+         decision: the initiating entity already charged this attempt to
+         the swarm session, and charging both ends would double-count. *)
+      match admission_decision t entity with
+      | Refused -> Session.Dispatcher.Reject
+      | decision ->
+      let proposed =
+        match (proposal, decision) with
+        | Some scs, Admitted -> scs
+        | Some scs, (Degraded | Refused) -> degrade_scs scs
+        | None, Admitted -> default_accept_scs
+        (* Under pressure the default accept is the swarm-lite template:
+           the counter-proposal to a lighter configuration. *)
+        | None, (Degraded | Refused) -> (
+          match Tko.Templates.find Tko.Templates.swarm_lite with
+          | Some (_, scs) -> scs
+          | None -> degrade_scs default_accept_scs)
+      in
       let committed =
         List.fold_left
           (fun acc ep -> acc + (Session.scs ep).Scs.recv_buffer_segments)
@@ -501,10 +603,7 @@ let align_sync_groups t =
   List.iter
     (fun group ->
       let members =
-        List.filter_map
-          (fun id ->
-            List.find_opt (fun m -> Session.id m.m_session = id) t.monitors)
-          group
+        List.filter_map (fun id -> Hashtbl.find_opt t.monitors id) group
       in
       let target_of mon =
         match (Session.scs mon.m_session).Scs.delivery with
@@ -581,13 +680,58 @@ let monitor_tick t mon on_notify () =
     mon.m_route <- route_names t ~src:mon.m_src mon.m_session
   end
 
+(* One shared tick walks every live monitor (session-id order, so runs
+   are deterministic), so the engine carries a single recurring event
+   regardless of session count.  The timer is re-armed only while
+   monitored sessions remain. *)
+let rec arm_monitor_timer t =
+  if not t.monitor_armed then begin
+    t.monitor_armed <- true;
+    let delay = monitor_interval in
+    match t.monitor_timer with
+    | Some timer -> Engine.Timer.reschedule timer ~delay
+    | None ->
+      t.monitor_timer <-
+        Some (Engine.Timer.one_shot t.t_engine ~delay (fun () -> shared_monitor_tick t))
+  end
+
+and shared_monitor_tick t =
+  t.monitor_armed <- false;
+  (* Sessions torn down without [close_session] drop off the table here. *)
+  let closed =
+    Hashtbl.fold
+      (fun id mon acc ->
+        if Session.state mon.m_session = Session.Closed then id :: acc else acc)
+      t.monitors []
+  in
+  List.iter (Hashtbl.remove t.monitors) closed;
+  let monitored =
+    Hashtbl.fold
+      (fun _ mon acc -> if mon.m_monitored then mon :: acc else acc)
+      t.monitors []
+    |> List.sort (fun a b -> compare (Session.id a.m_session) (Session.id b.m_session))
+  in
+  List.iter (fun mon -> monitor_tick t mon mon.m_notify ()) monitored;
+  if monitored <> [] then arm_monitor_timer t
+
 (* ------------------------------------------------------------------ *)
 (* Session lifecycle *)
 
-let open_session ?name ?on_deliver ?on_notify t ~src ~acd () =
+let try_open_session ?name ?on_deliver ?on_notify t ~src ~acd () =
   let e = entity t src in
+  let decision = admission_decision t e in
+  count_admission t decision;
+  match decision with
+  | Refused ->
+    Error
+      (Printf.sprintf
+         "admission refused: %d live sessions at host %d exceed the hard limit"
+         (Session.Dispatcher.session_count e.e_disp)
+         src)
+  | (Admitted | Degraded) as decision ->
   let tsc = classify acd in
   let scs = derive_scs t ~src acd tsc in
+  let scs = if decision = Degraded then degrade_scs scs else scs in
   let monitored =
     match acd.Acd.qos.Qos.duration with
     | Some d -> d >= min_monitored_duration
@@ -623,14 +767,6 @@ let open_session ?name ?on_deliver ?on_notify t ~src ~acd () =
       Some (Time.max (Time.ms 10) (Time.diff target (path.rtt / 2)))
     | Params.As_available -> None
   in
-  let mon_cell = ref None in
-  let timer =
-    Engine.Timer.periodic t.t_engine ~interval:monitor_interval (fun () ->
-        match !mon_cell with
-        | Some m -> monitor_tick t m on_notify ()
-        | None -> ())
-  in
-  if not monitored then Engine.Timer.cancel timer;
   let mon =
     {
       m_session = session;
@@ -644,29 +780,26 @@ let open_session ?name ?on_deliver ?on_notify t ~src ~acd () =
         (if acd.Acd.qos.Qos.interactive then acd.Acd.qos.Qos.max_latency else None);
       m_route = [];
       m_last_change = Time.zero;
-      m_timer = timer;
+      m_notify = on_notify;
+      m_monitored = monitored;
     }
   in
-  mon_cell := Some mon;
   mon.m_route <- route_names t ~src session;
-  t.monitors <- mon :: t.monitors;
-  session
+  Hashtbl.replace t.monitors (Session.id session) mon;
+  if monitored then arm_monitor_timer t;
+  Ok (session, decision)
+
+let open_session ?name ?on_deliver ?on_notify t ~src ~acd () =
+  match try_open_session ?name ?on_deliver ?on_notify t ~src ~acd () with
+  | Ok (session, _) -> session
+  | Error reason -> failwith ("Mantts.open_session: " ^ reason)
 
 let close_session ?graceful t session =
-  let found =
-    List.find_opt (fun m -> Session.id m.m_session = Session.id session) t.monitors
-  in
-  (match found with
-  | Some mon ->
-    Engine.Timer.cancel mon.m_timer;
-    t.monitors <- List.filter (fun m -> m != mon) t.monitors
-  | None -> ());
+  Hashtbl.remove t.monitors (Session.id session);
   Session.close ?graceful session
 
 let renegotiate ?acd t session =
-  match
-    List.find_opt (fun m -> Session.id m.m_session = Session.id session) t.monitors
-  with
+  match Hashtbl.find_opt t.monitors (Session.id session) with
   | None -> Error "session has no MANTTS monitor (not opened via open_session?)"
   | Some mon ->
     let acd = match acd with Some a -> a | None -> mon.m_acd in

@@ -78,6 +78,36 @@ val derive_scs : t -> src:Network.addr -> Acd.t -> Tsc.t -> Scs.t
 (** Stage II: reconcile class policies, QoS and network state into a
     configuration. *)
 
+type admission_policy = {
+  soft_sessions : int;
+      (** From this many live sessions on, new ACDs are admitted only
+          degraded (counter-proposed down to a lighter configuration). *)
+  hard_sessions : int;
+      (** From this many live sessions on, new ACDs are refused. *)
+  max_cpu_backlog : Time.t;
+      (** Host receive-processing backlog above which new ACDs are
+          degraded even below [soft_sessions]. *)
+}
+(** MANTTS admission control: the graceful-degradation policy applied to
+    both active opens ({!try_open_session}) and passive accepts. *)
+
+type admission = Admitted | Degraded | Refused
+(** What admission control decided for one open attempt.  [Degraded] and
+    [Refused] decisions are counted under {!Unites.swarm_session}. *)
+
+val set_admission : t -> admission_policy option -> unit
+(** Install (or clear, with [None]) the admission policy.  Default: no
+    policy — every open is [Admitted]. *)
+
+val admission_policy : t -> admission_policy option
+(** The policy currently in force. *)
+
+val degrade_scs : Scs.t -> Scs.t
+(** The graceful-degradation transform: preserves reliability, ordering,
+    duplicate handling and delivery semantics, but shrinks the window (or
+    halves the pacing rate), caps the receive-buffer commitment, weakens
+    CRC32 to the internet checksum and demotes scheduling priority. *)
+
 val open_session :
   ?name:string ->
   ?on_deliver:(Session.t -> Session.delivery -> unit) ->
@@ -90,7 +120,22 @@ val open_session :
 (** Run all three stages and start the connection.  Installs the
     data-transfer-phase monitor that evaluates the ACD's TSA rules and
     the built-in adaptation policies.  [on_notify] receives
-    [Notify_application] actions. *)
+    [Notify_application] actions.
+    @raise Failure when the admission policy refuses the open — callers
+    that expect refusals should use {!try_open_session}. *)
+
+val try_open_session :
+  ?name:string ->
+  ?on_deliver:(Session.t -> Session.delivery -> unit) ->
+  ?on_notify:(Session.t -> string -> unit) ->
+  t ->
+  src:Network.addr ->
+  acd:Acd.t ->
+  unit ->
+  (Session.t * admission, string) result
+(** Like {!open_session}, but admission-control aware: [Error reason]
+    when the open is refused, [Ok (session, Degraded)] when it was
+    admitted with a lightened configuration. *)
 
 val close_session : ?graceful:bool -> t -> Session.t -> unit
 (** Release the session and stop its monitor. *)

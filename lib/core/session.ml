@@ -26,12 +26,17 @@ type dispatcher = {
   d_addr : Network.addr;
   d_host : Host.t;
   d_unites : Unites.t;
-  by_conn : (int, t) Hashtbl.t;
+  conns : t Conntable.t;
   mutable acceptor :
     (src:Network.addr -> conn:int -> proposal:Scs.t option -> accept_decision) option;
   mutable d_tap : (t -> delivery -> unit) option;
       (* Invoked on every application delivery, before the endpoint's own
          [on_deliver] — the chaos invariant monitors' observation point. *)
+  (* One coalesced sweeper expires every time-wait entry in the table;
+     it is armed only while such entries exist, so an idle dispatcher
+     schedules nothing. *)
+  mutable tw_timer : Engine.Timer.timer option;
+  mutable tw_armed : bool;
 }
 
 and accept_decision =
@@ -92,6 +97,40 @@ and t = {
    session reports — identically regardless of what ran before it or
    runs beside it on another domain. *)
 let fresh_conn_id disp = Network.fresh_conn_id disp.net
+
+(* ------------------------------------------------------------------ *)
+(* Connection-table maintenance (time-wait, swarm telemetry) *)
+
+(* How long a closed connection id is quarantined before late segments
+   may reach the acceptor again, and how often the shared sweeper looks. *)
+let time_wait_period = Time.ms 500
+let tw_sweep_interval = Time.ms 250
+
+let observe_demux disp probes =
+  Unites.observe disp.d_unites ~session:Unites.swarm_session Unites.Demux_probes
+    (float_of_int probes)
+
+let observe_table disp =
+  Unites.observe disp.d_unites ~session:Unites.swarm_session
+    Unites.Table_occupancy
+    (Conntable.occupancy disp.conns)
+
+let rec arm_tw_sweeper disp =
+  if not disp.tw_armed then begin
+    disp.tw_armed <- true;
+    let delay = tw_sweep_interval in
+    match disp.tw_timer with
+    | Some timer -> Engine.Timer.reschedule timer ~delay
+    | None ->
+      disp.tw_timer <-
+        Some (Engine.Timer.one_shot disp.d_engine ~delay (fun () -> tw_sweep disp))
+  end
+
+and tw_sweep disp =
+  disp.tw_armed <- false;
+  let expired = Conntable.sweep disp.conns ~now:(Engine.now disp.d_engine) in
+  if expired > 0 then observe_table disp;
+  if Conntable.time_wait_count disp.conns > 0 then arm_tw_sweeper disp
 
 (* ------------------------------------------------------------------ *)
 (* Small accessors *)
@@ -381,11 +420,9 @@ and arm_syn_timer t =
 and on_syn_timeout t =
   if t.pending_peers <> [] && t.ep_state <> Closed then begin
     t.syn_retries <- t.syn_retries + 1;
-    if t.syn_retries > 5 then begin
-      t.ep_state <- Closed;
-      cancel_all_timers t
-    end
-    else send_syn t
+    (* Giving up must release the connection-table entry too, or refused
+       and unreachable peers would leak table slots. *)
+    if t.syn_retries > 5 then finish_close t else send_syn t
   end
 
 and cancel_all_timers t =
@@ -410,7 +447,10 @@ and mark_established t =
     Unites.observe (unites t) ~session:t.id Unites.Setup_latency
       (Time.to_sec (Time.diff (now t) t.opened_at))
   end;
-  if t.ep_state = Opening then t.ep_state <- Established
+  if t.ep_state = Opening then begin
+    t.ep_state <- Established;
+    Conntable.promote t.disp.conns t.id
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Connection release *)
@@ -428,7 +468,13 @@ and send_fin t ~graceful =
 and finish_close t =
   t.ep_state <- Closed;
   cancel_all_timers t;
-  Hashtbl.remove t.disp.by_conn t.id
+  let disp = t.disp in
+  (* The id lingers in time-wait so stray retransmissions are absorbed
+     rather than offered to the acceptor as a fresh connection. *)
+  Conntable.retire disp.conns ~key:t.id
+    ~expiry:(Time.add (Engine.now disp.d_engine) time_wait_period);
+  observe_table disp;
+  arm_tw_sweeper disp
 
 (* ------------------------------------------------------------------ *)
 (* Receiver half *)
@@ -864,7 +910,12 @@ and make_endpoint ~disp ~conn ~ep_name ~binding ~peers ~scs ~start_seq ~on_deliv
       match on_signal with
       | Some custom -> if builtin = "" then custom ep blob else builtin
       | None -> builtin);
-  Hashtbl.replace disp.by_conn conn t;
+  Conntable.insert disp.conns ~key:conn ~half_open:(initial_state = Opening) t;
+  (* One count per session, charged to the initiating endpoint — the
+     responder's endpoint is the same session arriving at the peer. *)
+  if initial_state = Opening then
+    Unites.count disp.d_unites ~session:Unites.swarm_session Unites.Sessions_open;
+  observe_table disp;
   Unites.register_session disp.d_unites ~id:conn ~name:ep_name;
   t
 
@@ -874,9 +925,14 @@ and make_endpoint ~disp ~conn ~ep_name ~binding ~peers ~scs ~start_seq ~on_deliv
 and handle_pdu disp (recv : Pdu.t Network.recv) =
   let pdu = recv.Network.payload in
   let conn = Pdu.conn_id pdu in
-  match Hashtbl.find_opt disp.by_conn conn with
-  | Some t -> endpoint_handle t recv pdu
-  | None -> (
+  let slot = Conntable.find disp.conns conn in
+  observe_demux disp (Conntable.last_probes disp.conns);
+  if slot >= 0 then
+    match Conntable.slot_state disp.conns slot with
+    | Conntable.Half_open | Conntable.Open ->
+      endpoint_handle (Conntable.slot_value disp.conns slot) recv pdu
+    | Conntable.Time_wait -> handle_timewait disp recv ~conn pdu
+  else (
     match pdu with
     | Pdu.Syn { blob; first; _ } -> accept_connection disp recv ~conn ~blob ~first
     | Pdu.Data { seg; _ } -> (
@@ -897,6 +953,19 @@ and handle_pdu disp (recv : Pdu.t Network.recv) =
           handle_data t recv seg))
     | Pdu.Parity _ | Pdu.Ack _ | Pdu.Nack _ | Pdu.Syn_ack _ | Pdu.Ack_of_syn _
     | Pdu.Fin _ | Pdu.Fin_ack _ | Pdu.Signal _ | Pdu.Signal_ack _ -> ())
+
+and handle_timewait disp (recv : Pdu.t Network.recv) ~conn pdu =
+  match pdu with
+  | Pdu.Fin _ ->
+    (* The peer is retrying its side of the teardown after ours finished:
+       re-answer so it can release its endpoint too. *)
+    let done_at = Host.process disp.d_host ~bytes:64 () in
+    ignore
+      (Engine.schedule disp.d_engine ~at:done_at (fun () ->
+           Network.send disp.net ~src:disp.d_addr ~dst:recv.Network.src ~bytes:64
+             (Pdu.Fin_ack { conn })))
+  | _ ->
+    Unites.count disp.d_unites ~session:Unites.swarm_session Unites.Timewait_drops
 
 and accept_connection disp (recv : Pdu.t Network.recv) ~conn ~blob ~first =
   match disp.acceptor with
@@ -967,10 +1036,7 @@ and endpoint_handle t (recv : Pdu.t Network.recv) pdu =
 
 and handle_syn_ack t (recv : Pdu.t Network.recv) ~accepted ~blob =
   count_control t;
-  if not accepted then begin
-    t.ep_state <- Closed;
-    cancel_all_timers t
-  end
+  if not accepted then finish_close t
   else begin
     t.pending_peers <- List.filter (fun p -> p <> recv.Network.src) t.pending_peers;
     (* Adopt the responder's (possibly counter-proposed) configuration. *)
@@ -1012,16 +1078,19 @@ module Dispatcher = struct
         d_addr = addr;
         d_host = host;
         d_unites = unites;
-        by_conn = Hashtbl.create 16;
+        conns = Conntable.create ();
         acceptor = None;
         d_tap = None;
+        tw_timer = None;
+        tw_armed = false;
       }
     in
+    Unites.register_session unites ~id:Unites.swarm_session ~name:"swarm";
     Network.attach net addr (fun recv ->
         (* Charge receive-side host processing, then handle. *)
         let pdu = recv.Network.payload in
         let conn = Pdu.conn_id pdu in
-        let endpoint = Hashtbl.find_opt disp.by_conn conn in
+        let endpoint = Conntable.find_live disp.conns conn in
         let extra =
           match endpoint with
           | Some ep -> detection_extra (ep.ctx.Tko.scs).Scs.detection recv.Network.wire_bytes
@@ -1052,7 +1121,13 @@ module Dispatcher = struct
   let network d = d.net
   let set_acceptor d f = d.acceptor <- Some f
   let set_delivery_tap d f = d.d_tap <- Some f
-  let endpoints d = Hashtbl.fold (fun _ ep acc -> ep :: acc) d.by_conn []
+  let endpoints d = Conntable.fold_live (fun _ ep acc -> ep :: acc) d.conns []
+  let session_count d = Conntable.live_count d.conns
+  let half_open_count d = Conntable.half_open_count d.conns
+  let time_wait_count d = Conntable.time_wait_count d.conns
+  let table_capacity d = Conntable.capacity d.conns
+  let table_occupancy d = Conntable.occupancy d.conns
+  let time_wait_period = time_wait_period
 end
 
 (* ------------------------------------------------------------------ *)

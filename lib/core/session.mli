@@ -81,6 +81,27 @@ module Dispatcher : sig
 
   val endpoints : dispatcher -> t list
   (** Live endpoints at this host. *)
+
+  val session_count : dispatcher -> int
+  (** Live (half-open + open) entries in the connection table. *)
+
+  val half_open_count : dispatcher -> int
+  (** Initiators still awaiting their connection answer. *)
+
+  val time_wait_count : dispatcher -> int
+  (** Closed connection ids still quarantined against late segments. *)
+
+  val table_capacity : dispatcher -> int
+  (** Current connection-table capacity (a power of two). *)
+
+  val table_occupancy : dispatcher -> float
+  (** (live + time-wait) / capacity, in [0, 1]. *)
+
+  val time_wait_period : Time.t
+  (** How long a closed connection id lingers in time-wait.  Late
+      non-[Fin] segments arriving within this window are dropped (and
+      counted under {!Unites.Timewait_drops}); [Fin] retries are
+      re-answered so the peer can finish its own teardown. *)
 end
 
 val connect :

@@ -131,6 +131,7 @@ module Templates = struct
   let bulk_lfn = "bulk-lfn"
   let transaction = "transaction"
   let reliable_multicast = "reliable-multicast"
+  let swarm_lite = "swarm-lite"
 
   let tcp_scs =
     {
@@ -204,6 +205,26 @@ module Templates = struct
       delivery = Params.As_available;
     }
 
+  (* Minimal-footprint configuration MANTTS falls back to under admission
+     pressure: reliable and ordered (so degraded sessions stay correct)
+     but with a tiny window, small receive commitment and background
+     priority. *)
+  let swarm_lite_scs =
+    {
+      Scs.default with
+      Scs.connection = Params.Implicit;
+      transmission = Params.Sliding_window { window = 4 };
+      congestion = Params.No_congestion_control;
+      detection = Params.Internet_checksum;
+      reporting = Params.Cumulative_ack { delay = Time.ms 2 };
+      recovery = Params.Go_back_n;
+      ordering = Params.Ordered;
+      duplicates = Params.Drop_duplicates;
+      delivery = Params.As_available;
+      recv_buffer_segments = 4;
+      priority = 6;
+    }
+
   let reliable_multicast_scs =
     {
       Scs.default with
@@ -227,6 +248,7 @@ module Templates = struct
       (transaction, (Reconfigurable_template transaction, transaction_scs));
       ( reliable_multicast,
         (Reconfigurable_template reliable_multicast, reliable_multicast_scs) );
+      (swarm_lite, (Reconfigurable_template swarm_lite, swarm_lite_scs));
     ]
 
   let names = List.map fst entries

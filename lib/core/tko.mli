@@ -79,6 +79,12 @@ module Templates : sig
   val reliable_multicast : string
   (** Reconfigurable: NACK-based selective-repeat multicast. *)
 
+  val swarm_lite : string
+  (** Reconfigurable: the minimal-footprint configuration MANTTS admission
+      control counter-proposes under overload — reliable and ordered, but
+      with a tiny window, a small receive-buffer commitment and background
+      priority. *)
+
   val names : string list
   (** Every template name. *)
 

@@ -30,6 +30,12 @@ type metric =
   | Sched_wheel_hit_rate
   | Faults_injected
   | Fault_recovery
+  | Sessions_open
+  | Sessions_refused
+  | Sessions_degraded
+  | Demux_probes
+  | Table_occupancy
+  | Timewait_drops
 
 type kind = Blackbox | Whitebox
 
@@ -41,7 +47,8 @@ let metric_kind = function
   | Fec_recovered | Acks_sent | Nacks_sent | Control_pdus | Reconfigurations
   | Window_size | Host_cpu | Sched_events_fired | Sched_timers_rearmed
   | Sched_cancelled_ratio | Sched_wheel_hit_rate | Faults_injected
-  | Fault_recovery -> Whitebox
+  | Fault_recovery | Sessions_open | Sessions_refused | Sessions_degraded
+  | Demux_probes | Table_occupancy | Timewait_drops -> Whitebox
 
 let metric_name = function
   | Throughput -> "throughput_bps"
@@ -73,6 +80,12 @@ let metric_name = function
   | Sched_wheel_hit_rate -> "sched_wheel_hit_rate"
   | Faults_injected -> "faults_injected"
   | Fault_recovery -> "fault_recovery_s"
+  | Sessions_open -> "sessions_open"
+  | Sessions_refused -> "sessions_refused"
+  | Sessions_degraded -> "sessions_degraded"
+  | Demux_probes -> "demux_probes"
+  | Table_occupancy -> "table_occupancy"
+  | Timewait_drops -> "timewait_drops"
 
 let all_metrics =
   [
@@ -105,12 +118,19 @@ let all_metrics =
     Sched_wheel_hit_rate;
     Faults_injected;
     Fault_recovery;
+    Sessions_open;
+    Sessions_refused;
+    Sessions_degraded;
+    Demux_probes;
+    Table_occupancy;
+    Timewait_drops;
   ]
 
 type t = {
   engine : Engine.t;
   mutable whitebox : bool;
   bucket : Time.t;
+  res_size : int; (* per-accumulator reservoir bound *)
   table : (int * metric, Stats.t) Hashtbl.t;
   buckets : (int * metric, (int, float) Hashtbl.t) Hashtbl.t;
   names : (int, string) Hashtbl.t;
@@ -131,11 +151,16 @@ let scheduler_session = 0
    pseudo-session: faults belong to the run, not to any one connection. *)
 let chaos_session = -1
 
-let create ?(whitebox = true) ?(bucket = Time.sec 1.0) engine =
+(* Many-session scale observations (admission control, demux probes,
+   table occupancy) likewise describe the host's dispatcher as a whole. *)
+let swarm_session = -2
+
+let create ?(whitebox = true) ?(bucket = Time.sec 1.0) ?(reservoir = 8192) engine =
   {
     engine;
     whitebox;
     bucket = Time.max 1 bucket;
+    res_size = max 8 reservoir;
     table = Hashtbl.create 64;
     buckets = Hashtbl.create 64;
     names = Hashtbl.create 16;
@@ -157,7 +182,7 @@ let accumulator t key =
   match Hashtbl.find_opt t.table key with
   | Some s -> s
   | None ->
-    let s = Stats.create () in
+    let s = Stats.create ~reservoir:t.res_size () in
     Hashtbl.add t.table key s;
     s
 

@@ -54,6 +54,20 @@ type metric =
   | Fault_recovery  (** Time from a fault's heal to the next observed
                         application delivery, seconds — the chaos
                         subsystem's time-to-recover distribution. *)
+  | Sessions_open  (** Sessions admitted (recorded under
+                       {!swarm_session}). *)
+  | Sessions_refused  (** Open attempts refused by MANTTS admission
+                          control. *)
+  | Sessions_degraded  (** Open attempts admitted only after the ACD was
+                           negotiated down to a lighter configuration. *)
+  | Demux_probes  (** Probe count of each dispatcher connection-table
+                      lookup — the deterministic proxy for demux cost
+                      (1.0 = first-slot hit). *)
+  | Table_occupancy  (** Connection-table load factor samples
+                         ((live + time-wait) / capacity), recorded on
+                         insert and retire — the occupancy histogram. *)
+  | Timewait_drops  (** Late segments absorbed by a time-wait entry
+                        instead of reaching the acceptor. *)
 
 type kind = Blackbox | Whitebox
 
@@ -69,10 +83,13 @@ val all_metrics : metric list
 type t
 (** A metric repository. *)
 
-val create : ?whitebox:bool -> ?bucket:Time.t -> Engine.t -> t
+val create : ?whitebox:bool -> ?bucket:Time.t -> ?reservoir:int -> Engine.t -> t
 (** [create engine] makes a repository; [whitebox] (default [true])
     enables whitebox collection.  [bucket] (default 1 s) is the width of
-    the time buckets behind {!series} — the TMC "sampling rate". *)
+    the time buckets behind {!series} — the TMC "sampling rate".
+    [reservoir] (default 8192) bounds each per-session accumulator's
+    quantile sample; many-session workloads shrink it so tens of
+    thousands of sessions do not cost 64 KiB of reservoir each. *)
 
 val whitebox_enabled : t -> bool
 (** Whether whitebox metrics are being recorded. *)
@@ -125,6 +142,15 @@ val chaos_session : int
 (** Reserved pseudo-session id ([-1]) under which the chaos subsystem
     records {!Faults_injected} counts and {!Fault_recovery} times —
     faults belong to the run, not to any one connection. *)
+
+val swarm_session : int
+(** Reserved pseudo-session id ([-2]) under which the dispatcher and
+    MANTTS admission control record many-session scale metrics:
+    {!Sessions_open}, {!Sessions_refused}, {!Sessions_degraded},
+    {!Demux_probes}, {!Table_occupancy} and {!Timewait_drops}.  All of
+    them are deterministic functions of the schedule (probe counts, not
+    wall-clock), so whitebox reports stay byte-identical across
+    parallel-fleet replays. *)
 
 val attach_trace : t -> Trace.t -> unit
 (** Attach a trace sink so {!report} presents its counters — including

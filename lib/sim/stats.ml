@@ -50,7 +50,7 @@ let min_value t = if t.n = 0 then nan else t.mn
 let max_value t = if t.n = 0 then nan else t.mx
 
 let quantile t q =
-  if t.stored = 0 then nan
+  if t.stored = 0 then 0.0
   else begin
     let xs = Array.sub t.reservoir 0 t.stored in
     Array.sort Float.compare xs;
@@ -104,16 +104,22 @@ type summary = {
 }
 
 let summarize (t : t) =
-  {
-    n = t.n;
-    mean = mean t;
-    stddev = stddev t;
-    min = min_value t;
-    max = max_value t;
-    p50 = quantile t 0.50;
-    p95 = quantile t 0.95;
-    p99 = quantile t 0.99;
-  }
+  if t.n = 0 then
+    (* An empty accumulator has a defined (all-zero) summary rather than
+       a NaN-riddled one, so downstream rendering and JSON stay sane. *)
+    { n = 0; mean = 0.0; stddev = 0.0; min = 0.0; max = 0.0;
+      p50 = 0.0; p95 = 0.0; p99 = 0.0 }
+  else
+    {
+      n = t.n;
+      mean = mean t;
+      stddev = stddev t;
+      min = min_value t;
+      max = max_value t;
+      p50 = quantile t 0.50;
+      p95 = quantile t 0.95;
+      p99 = quantile t 0.99;
+    }
 
 let pp_summary fmt s =
   Format.fprintf fmt

@@ -38,10 +38,13 @@ val max_value : t -> float
 
 val quantile : t -> float -> float
 (** [quantile t q] estimates the [q]-quantile ([0 <= q <= 1]) from the
-    reservoir; [nan] when empty. *)
+    reservoir; [0.0] when empty (quantiles of nothing are defined as
+    zero so rendered reports and emitted JSON never carry NaN). *)
 
 val merge : t -> t -> t
-(** [merge a b] is a fresh accumulator summarizing both inputs. *)
+(** [merge a b] is a fresh accumulator summarizing both inputs.  Merging
+    an empty accumulator into a non-empty one preserves the non-empty
+    side's moments and extrema exactly. *)
 
 val clear : t -> unit
 (** Forget every observation. *)
@@ -59,7 +62,8 @@ type summary = {
 (** Immutable snapshot of an accumulator. *)
 
 val summarize : t -> summary
-(** Snapshot the accumulator. *)
+(** Snapshot the accumulator.  An empty accumulator summarizes to the
+    all-zero summary ([n = 0]), not to NaNs. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** One-line printer for a summary. *)

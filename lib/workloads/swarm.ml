@@ -1,0 +1,198 @@
+open Adaptive_sim
+open Adaptive_net
+open Adaptive_mech
+open Adaptive_core
+
+type config = {
+  sessions : int;
+  churn_rounds : int;
+  seed : int;
+  payload_bytes : int;
+  open_window : Time.t;
+  admission : Mantts.admission_policy option;
+  monitored_share : int;
+}
+
+let default_config ~sessions ~seed =
+  {
+    sessions;
+    churn_rounds = 2;
+    seed;
+    payload_bytes = 2000;
+    open_window = Time.sec 1.0;
+    admission = None;
+    monitored_share = 10;
+  }
+
+type outcome = {
+  offered : int;
+  admitted : int;
+  degraded : int;
+  refused : int;
+  closed : int;
+  delivered_msgs : int;
+  delivered_bytes : int;
+  peak_live : int;
+  sim_time : Time.t;
+  events_fired : int;
+  digest : int64;
+  demux_probes_mean : float;
+  demux_probes_p99 : float;
+  occupancy_p99 : float;
+  table_capacity : int;
+  timewait_drops : int;
+  unites : Unites.t;
+}
+
+(* A modern host CPU: the 1992 defaults (100 us/packet) would serialize
+   10k sessions' traffic into minutes of simulated backlog and measure the
+   host model, not the dispatcher. *)
+let fast_host engine =
+  Host.create ~per_packet:(Time.us 2) ~per_byte_copy:(Time.ns 1) ~copies:1 engine
+
+(* Short-declared sessions (the bulk) skip the MANTTS policy monitor;
+   every [monitored_share]-th is long-declared and keeps one. *)
+let short_duration = Time.ms 600
+let long_duration = Time.minutes 2
+
+let run cfg =
+  if cfg.sessions <= 0 then invalid_arg "Swarm.run: sessions must be positive";
+  let stack = Adaptive.create_stack ~seed:cfg.seed ~metric_reservoir:64 () in
+  let engine = stack.Adaptive.engine in
+  let unites = stack.Adaptive.unites in
+  let mantts = Adaptive.mantts stack in
+  Mantts.set_admission mantts cfg.admission;
+  let client =
+    Adaptive.add_host ~host_cpu:(fast_host engine) stack "swarm-client"
+  in
+  let server =
+    Adaptive.add_host ~host_cpu:(fast_host engine) stack "swarm-server"
+  in
+  Adaptive.connect_hosts stack client server
+    [ Profiles.custom ~name:"swarm-lan" ~bandwidth_bps:1e9
+        ~propagation:(Time.us 50) ~queue_pkts:4096 () ];
+  let trace = Trace.create ~log_capacity:256 () in
+  Unites.attach_trace unites trace;
+  let client_disp = Mantts.dispatcher (Mantts.entity mantts client) in
+  let offered = ref 0 and admitted = ref 0 in
+  let degraded = ref 0 and refused = ref 0 in
+  let delivered_msgs = ref 0 and delivered_bytes = ref 0 in
+  let peak_live = ref 0 in
+  Mantts.set_app_handler (Mantts.entity mantts server) (fun session d ->
+      incr delivered_msgs;
+      delivered_bytes := !delivered_bytes + d.Session.bytes;
+      Trace.event trace ~at:d.Session.delivered_at ~category:"deliver"
+        ~detail:(Printf.sprintf "%d:%d" (Session.id session) d.Session.bytes));
+  let base_rng = Rng.create (cfg.seed lxor 0x53574152 (* "SWAR" *)) in
+  let apps = Array.of_list Workloads.all in
+  let acd_for slot =
+    let app = apps.(slot mod Array.length apps) in
+    let monitored = cfg.monitored_share > 0 && slot mod cfg.monitored_share = 0 in
+    let qos =
+      {
+        (Workloads.qos app) with
+        Qos.duration = Some (if monitored then long_duration else short_duration);
+      }
+    in
+    (* Keep per-session whitebox collection to setup latency only: at ten
+       thousand sessions, unrestricted per-session instrumentation would
+       dominate memory, and the swarm pseudo-session already captures the
+       system-level picture. *)
+    Acd.make
+      ~tmc:{ Acd.collect = [ Unites.Setup_latency ]; sample_every = Time.sec 1.0 }
+      ~participants:[ server ] ~qos ()
+  in
+  let rec attempt slot round ~at =
+    ignore (Engine.schedule engine ~at (fun () -> open_now slot round))
+  and open_now slot round =
+    incr offered;
+    let rng = Rng.split_ix base_rng ((slot * 131) + round) in
+    let name = Printf.sprintf "sw-%d-%d" slot round in
+    let acd = acd_for slot in
+    let lifetime = Time.ms (300 + Rng.int rng 500) in
+    match Mantts.try_open_session ~name mantts ~src:client ~acd () with
+    | Error _ ->
+      incr refused;
+      Trace.event trace
+        ~at:(Engine.now engine)
+        ~category:"refuse"
+        ~detail:(string_of_int slot);
+      (* Offered load keeps pressing: retry the slot's next round. *)
+      if round < cfg.churn_rounds then
+        attempt slot (round + 1) ~at:(Time.add (Engine.now engine) (Time.ms 200))
+    | Ok (session, decision) ->
+      incr admitted;
+      if decision = Mantts.Degraded then begin
+        incr degraded;
+        Trace.event trace
+          ~at:(Engine.now engine)
+          ~category:"degrade"
+          ~detail:(string_of_int (Session.id session))
+      end;
+      Trace.event trace
+        ~at:(Engine.now engine)
+        ~category:"open"
+        ~detail:(string_of_int (Session.id session));
+      let live = Session.Dispatcher.session_count client_disp in
+      if live > !peak_live then peak_live := live;
+      let bytes = max 64 ((cfg.payload_bytes / 2) + Rng.int rng cfg.payload_bytes) in
+      Session.send session ~bytes ();
+      ignore
+        (Engine.schedule engine
+           ~at:(Time.add (Engine.now engine) lifetime)
+           (fun () ->
+             Trace.event trace
+               ~at:(Engine.now engine)
+               ~category:"close"
+               ~detail:(string_of_int (Session.id session));
+             Mantts.close_session mantts session;
+             if round < cfg.churn_rounds then
+               attempt slot (round + 1)
+                 ~at:(Time.add (Engine.now engine) (Time.ms 100))))
+  in
+  for slot = 0 to cfg.sessions - 1 do
+    attempt slot 0 ~at:(slot * cfg.open_window / cfg.sessions)
+  done;
+  (* Generous ceiling; the run quiesces long before it in practice. *)
+  let horizon =
+    Time.add cfg.open_window
+      (Time.sec (3.0 *. float_of_int (cfg.churn_rounds + 1)))
+  in
+  Adaptive.run stack ~until:horizon;
+  let summary_of m =
+    Option.value
+      ~default:(Stats.summarize (Stats.create ~reservoir:8 ()))
+      (Unites.stats unites ~session:Unites.swarm_session m)
+  in
+  let probes = summary_of Unites.Demux_probes in
+  let occupancy = summary_of Unites.Table_occupancy in
+  {
+    offered = !offered;
+    admitted = !admitted;
+    degraded = !degraded;
+    refused = !refused;
+    closed = Trace.counter trace "close";
+    delivered_msgs = !delivered_msgs;
+    delivered_bytes = !delivered_bytes;
+    peak_live = !peak_live;
+    sim_time = Adaptive.now stack;
+    events_fired = (Engine.counters engine).Engine.events_fired;
+    digest = Trace.hash trace;
+    demux_probes_mean = probes.Stats.mean;
+    demux_probes_p99 = probes.Stats.p99;
+    occupancy_p99 = occupancy.Stats.p99;
+    table_capacity = Session.Dispatcher.table_capacity client_disp;
+    timewait_drops =
+      int_of_float (Unites.total unites ~session:Unites.swarm_session Unites.Timewait_drops);
+    unites;
+  }
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "@[<v>swarm: offered=%d admitted=%d degraded=%d refused=%d closed=%d@,\
+     delivered: %d msgs, %d bytes; peak live=%d; table capacity=%d@,\
+     demux probes: mean=%.3f p99=%.0f; occupancy p99=%.3f; timewait drops=%d@,\
+     events=%d sim_time=%a digest=0x%Lx@]" o.offered o.admitted o.degraded
+    o.refused o.closed o.delivered_msgs o.delivered_bytes o.peak_live
+    o.table_capacity o.demux_probes_mean o.demux_probes_p99 o.occupancy_p99
+    o.timewait_drops o.events_fired Time.pp o.sim_time o.digest

@@ -1,0 +1,62 @@
+(** SWARM — many-session churn workload.
+
+    Drives one client/server host pair through open → transfer → close
+    churn across the Table-1 application mix, at a configurable target of
+    concurrent sessions (hundreds to tens of thousands).  Every random
+    draw derives from the seed, and every lifecycle event (open, degrade,
+    refuse, close, deliver) is recorded into a trace whose FNV-1a digest
+    proves two runs replay-equal — the determinism witness of the
+    [e11_swarm_scale] experiment.
+
+    Most sessions declare a sub-second duration, so MANTTS skips their
+    policy monitor (§4.1.1); every [monitored_share]-th session is
+    long-declared and exercises the shared monitor tick. *)
+
+open Adaptive_sim
+open Adaptive_core
+
+type config = {
+  sessions : int;  (** Target number of session slots (concurrent). *)
+  churn_rounds : int;  (** Close/reopen cycles per slot after the first
+                           open (0 = open once). *)
+  seed : int;  (** Master seed for every random draw. *)
+  payload_bytes : int;  (** Application bytes each session sends. *)
+  open_window : Time.t;  (** Opens are staggered across this interval. *)
+  admission : Mantts.admission_policy option;
+      (** Admission policy installed on the MANTTS instance. *)
+  monitored_share : int;  (** Every n-th slot declares a long duration and
+                              keeps a policy monitor. *)
+}
+
+val default_config : sessions:int -> seed:int -> config
+(** 2 churn rounds, 2000-byte payloads, a 1 s open window, no admission
+    policy, every 10th slot monitored. *)
+
+type outcome = {
+  offered : int;  (** Open attempts (including churn reopens). *)
+  admitted : int;  (** Sessions actually opened. *)
+  degraded : int;  (** Opens admitted with a lightened configuration. *)
+  refused : int;  (** Opens refused by admission control. *)
+  closed : int;  (** Sessions closed back down. *)
+  delivered_msgs : int;  (** Segments handed to the server application. *)
+  delivered_bytes : int;
+  peak_live : int;  (** Largest live-session count seen at the client. *)
+  sim_time : Time.t;  (** Simulated time at quiescence. *)
+  events_fired : int;  (** Engine events executed over the run. *)
+  digest : int64;  (** FNV-1a trace digest — the determinism witness. *)
+  demux_probes_mean : float;
+      (** Mean probes per connection-table lookup (1.0 = every lookup hit
+          its first slot). *)
+  demux_probes_p99 : float;
+  occupancy_p99 : float;  (** p99 of the table load-factor samples. *)
+  table_capacity : int;  (** Final client-side table capacity. *)
+  timewait_drops : int;  (** Late segments absorbed in time-wait. *)
+  unites : Unites.t;  (** The run's metric repository (for reports). *)
+}
+
+val run : config -> outcome
+(** Build a fresh stack and execute the workload to quiescence. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** The swarm whitebox report: admission accounting, demux cost,
+    occupancy and the trace digest. *)

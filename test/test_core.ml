@@ -210,7 +210,11 @@ let test_unites_metric_kinds () =
   check_bool "scheduler overhead whitebox" true
     (Unites.metric_kind Unites.Sched_events_fired = Unites.Whitebox
     && Unites.metric_kind Unites.Sched_wheel_hit_rate = Unites.Whitebox);
-  check_int "all metrics listed" 29 (List.length Unites.all_metrics);
+  check_bool "swarm metrics whitebox" true
+    (Unites.metric_kind Unites.Sessions_refused = Unites.Whitebox
+    && Unites.metric_kind Unites.Demux_probes = Unites.Whitebox
+    && Unites.metric_kind Unites.Table_occupancy = Unites.Whitebox);
+  check_int "all metrics listed" 35 (List.length Unites.all_metrics);
   (* Names are unique. *)
   let names = List.map Unites.metric_name Unites.all_metrics in
   check_int "unique names" (List.length names)
@@ -372,7 +376,7 @@ let test_tko_segue_ordering_change_carries_cum_point () =
   check_int "cumulative point carried" 3 (Reorder.expected ctx.Tko.reorder)
 
 let test_tko_templates () =
-  check_int "six templates" 6 (List.length Tko.Templates.names);
+  check_int "seven templates" 7 (List.length Tko.Templates.names);
   (match Tko.Templates.find Tko.Templates.tcp_compatible with
   | Some (Tko.Static_template _, scs) ->
     check_bool "tcp is gbn" true (scs.Scs.recovery = Params.Go_back_n);

@@ -1,0 +1,122 @@
+(* Golden-output regression tests: the regenerated paper tables and a
+   synthetic UNITES report are pinned byte-for-byte.  A diff here means
+   presentation (or the data behind it) changed; update the golden only
+   when the change is intentional. *)
+
+open Adaptive_sim
+open Adaptive_core
+
+let table1_golden =
+  {golden|
+=== Table 1 — Application Transport Service Classes (regenerated)
+------------------------------------------------------------------------
+Service Class                  Application                  Thruput   Burst Delay Jitter Order Loss  Pri  Mcast
+--------------------------------------------------------------------------------------------------------------
+Interactive Isochronous        Voice Conversation           low       low   high  high   low   high  no   no   
+Interactive Isochronous        Tele-Conferencing            mod       mod   high  high   low   mod   yes  yes  
+Distributional Isochronous     Full-Motion Video (comp)     high      high  high  mod    low   mod   yes  yes  
+Distributional Isochronous     Full-Motion Video (raw)      very-high low   high  high   low   mod   yes  yes  
+Real-Time Non-Isochronous      Manufacturing Control        mod       mod   high  N/D    high  low   yes  yes  
+Non-Real-Time Non-Isochronous  File Transfer                mod       low   low   N/D    high  none  no   no   
+Non-Real-Time Non-Isochronous  TELNET                       very-low  high  high  low    high  none  yes  no   
+Non-Real-Time Non-Isochronous  On-Line Transaction Processing low       high  high  low    high  none  no   no   
+Non-Real-Time Non-Isochronous  Remote File Service          low       high  high  low    high  none  no   yes  
+--------------------------------------------------------------------------------------------------------------
+cells agreeing with the paper's grades: 72 / 72
+shape: all nine applications land in the paper's service class    OK
+shape: at least 80% of qualitative grades match the paper         OK
+|golden}
+
+let table2_golden =
+  {golden|
+=== Table 2 — The ADAPTIVE Communication Descriptor (regenerated)
+------------------------------------------------------------------------
+Remote Session Participant Address(es)    
+    Specifies >= 1 addresses of remote end-systems that comprise the communication association.
+    e.g. unicast: [b]; multicast: [b; c; d]
+Quantitative QoS Parameters               
+    Specifies the performance criteria requested by the application.
+    e.g. peak and average throughput, minimum and maximum latency and jitter, error-rate probabilities, duration
+Qualitative QoS Parameters                
+    Specifies the functionality or behavior requested by the application.
+    e.g. sequenced/non-sequenced delivery, duplicate sensitivity, explicit/implicit connection management, priority delivery
+Transport Service Adjustment (TSA)        
+    Actions to perform when changes occur in local or remote hosts or the network.
+    e.g. <congestion > 0.60, switch recovery to srepeat>; <rtt > 150ms, switch recovery to fec:8>
+Transport Measurement Component (TMC)     
+    Specifies performance metrics to collect for this particular communication session.
+    e.g. throughput_bps, delivery_latency_s, retransmissions; sampling rate 1s
+shape: five descriptor components as in the paper                 OK
+|golden}
+
+let unites_report_golden =
+  {golden|UNITES metric repository (t=0ns, whitebox=true)
+session 0 (scheduler):
+  sched_cancelled_ratio [wb] n=1 mean=0 sd=nan min=0 p50=0 p95=0 p99=0 max=0
+  sched_wheel_hit_rate [wb] n=1 mean=0 sd=nan min=0 p50=0 p95=0 p99=0 max=0
+session 1 (golden-session):
+  throughput_bps       [bb] n=3 mean=2e+06 sd=1e+06 min=1e+06 p50=2e+06 p95=2.9e+06 p99=2.98e+06 max=3e+06
+  delivery_latency_s   [wb] n=4 mean=0.0115 sd=0.001291 min=0.01 p50=0.0115 p95=0.01285 p99=0.01297 max=0.013
+  retransmissions      [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  sessions_open        [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  demux_probes         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  table_occupancy      [wb] n=1 mean=0.25 sd=nan min=0.25 p50=0.25 p95=0.25 p99=0.25 max=0.25
+trace (dropped log entries: 0):
+  close                        1
+  open                         1
+|golden}
+
+let check_golden name golden actual =
+  if String.equal golden actual then ()
+  else begin
+    (* Print both in full: alcotest's one-line diff is useless for a
+       multi-line table. *)
+    Format.eprintf "=== %s: expected ===@.%s@.=== got ===@.%s@." name golden
+      actual;
+    Alcotest.failf "%s drifted from its golden output" name
+  end
+
+let test_table1 () =
+  check_golden "table1" table1_golden
+    (Bench_harness.Util.with_captured Bench_harness.Tables.table1)
+
+let test_table2 () =
+  check_golden "table2" table2_golden
+    (Bench_harness.Util.with_captured Bench_harness.Tables.table2)
+
+(* A small fixed repository: one real session with blackbox and whitebox
+   observations, a trace sink, and the scheduler pseudo-session that
+   [report] folds in. *)
+let test_unites_report () =
+  let engine = Engine.create () in
+  let unites = Unites.create ~reservoir:64 engine in
+  let trace = Trace.create ~log_capacity:16 () in
+  Unites.attach_trace unites trace;
+  Unites.register_session unites ~id:1 ~name:"golden-session";
+  List.iter
+    (fun v -> Unites.observe unites ~session:1 Unites.Throughput v)
+    [ 1.0e6; 2.0e6; 3.0e6 ];
+  List.iter
+    (fun v -> Unites.observe unites ~session:1 Unites.Delivery_latency v)
+    [ 0.010; 0.012; 0.011; 0.013 ];
+  Unites.count unites ~session:1 Unites.Retransmissions;
+  Unites.count unites ~session:1 Unites.Sessions_open;
+  Unites.observe unites ~session:1 Unites.Demux_probes 1.0;
+  Unites.observe unites ~session:1 Unites.Table_occupancy 0.25;
+  Trace.event trace ~at:Time.zero ~category:"open" ~detail:"1";
+  Trace.event trace ~at:(Time.ms 5) ~category:"close" ~detail:"1";
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Unites.report fmt unites;
+  Format.pp_print_flush fmt ();
+  check_golden "unites report" unites_report_golden (Buffer.contents buf)
+
+let suite =
+  [
+    ( "golden",
+      [
+        Alcotest.test_case "table1 output is pinned" `Quick test_table1;
+        Alcotest.test_case "table2 output is pinned" `Quick test_table2;
+        Alcotest.test_case "UNITES report is pinned" `Quick test_unites_report;
+      ] );
+  ]

@@ -5,4 +5,5 @@ let () =
     (Test_sim.suite @ Test_buf.suite @ Test_net.suite @ Test_mech.suite
    @ Test_core.suite @ Test_session.suite @ Test_mantts.suite
    @ Test_workloads.suite @ Test_payload.suite @ Test_random.suite
-   @ Test_integration.suite @ Test_chaos.suite @ Test_fleet.suite)
+   @ Test_integration.suite @ Test_chaos.suite @ Test_fleet.suite
+   @ Test_swarm.suite @ Test_golden.suite)

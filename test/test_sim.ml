@@ -213,8 +213,42 @@ let test_stats_basic () =
 let test_stats_empty () =
   let s = Stats.create () in
   check_bool "mean nan" true (Float.is_nan (Stats.mean s));
-  check_bool "quantile nan" true (Float.is_nan (Stats.quantile s 0.5));
-  check_bool "min nan" true (Float.is_nan (Stats.min_value s))
+  check_bool "min nan" true (Float.is_nan (Stats.min_value s));
+  (* Quantiles and summaries of nothing are defined (zero), not NaN, so
+     reports and emitted JSON stay well-formed. *)
+  check_float "quantile zero" ~eps:0.0 0.0 (Stats.quantile s 0.5);
+  check_float "p99 zero" ~eps:0.0 0.0 (Stats.quantile s 0.99);
+  let summary = Stats.summarize s in
+  check_int "summary n" 0 summary.Stats.n;
+  check_float "summary mean" ~eps:0.0 0.0 summary.Stats.mean;
+  check_float "summary sd" ~eps:0.0 0.0 summary.Stats.stddev;
+  check_float "summary min" ~eps:0.0 0.0 summary.Stats.min;
+  check_float "summary max" ~eps:0.0 0.0 summary.Stats.max;
+  check_float "summary p50" ~eps:0.0 0.0 summary.Stats.p50;
+  check_float "summary p99" ~eps:0.0 0.0 summary.Stats.p99
+
+let test_stats_merge_empty () =
+  (* Merging an empty accumulator in either direction preserves the
+     non-empty side's moments and extrema exactly. *)
+  let check_preserved label m =
+    check_int (label ^ " count") 3 (Stats.count m);
+    check_float (label ^ " total") ~eps:1e-9 9.0 (Stats.total m);
+    check_float (label ^ " mean") ~eps:1e-9 3.0 (Stats.mean m);
+    check_float (label ^ " variance") ~eps:1e-9 4.0 (Stats.variance m);
+    check_float (label ^ " min") ~eps:1e-9 1.0 (Stats.min_value m);
+    check_float (label ^ " max") ~eps:1e-9 5.0 (Stats.max_value m);
+    check_float (label ^ " p50") ~eps:1e-9 3.0 (Stats.quantile m 0.5)
+  in
+  let full () =
+    let s = Stats.create () in
+    List.iter (Stats.add s) [ 1.0; 3.0; 5.0 ];
+    s
+  in
+  check_preserved "empty-into-full" (Stats.merge (full ()) (Stats.create ()));
+  check_preserved "full-into-empty" (Stats.merge (Stats.create ()) (full ()));
+  let both = Stats.merge (Stats.create ()) (Stats.create ()) in
+  check_int "both empty count" 0 (Stats.count both);
+  check_float "both empty p50" ~eps:0.0 0.0 (Stats.quantile both 0.5)
 
 let test_stats_quantiles () =
   let s = Stats.create () in
@@ -620,6 +654,7 @@ let suite =
         Alcotest.test_case "empty accumulator" `Quick test_stats_empty;
         Alcotest.test_case "quantiles" `Quick test_stats_quantiles;
         Alcotest.test_case "merge" `Quick test_stats_merge;
+        Alcotest.test_case "merge with empty" `Quick test_stats_merge_empty;
         Alcotest.test_case "clear" `Quick test_stats_clear;
         Alcotest.test_case "bounded reservoir" `Quick test_stats_reservoir_bounded;
       ]

@@ -1,0 +1,468 @@
+(* SWARM test layer: the dispatcher's hashed connection table against a
+   reference model, demux integrity under arbitrary session churn, the
+   MANTTS admission path, and a differential check that each Table-1
+   application's synthesized stack delivers the same payload bytes as the
+   matching static baseline over a lossless link. *)
+
+open Adaptive_sim
+open Adaptive_buf
+open Adaptive_net
+open Adaptive_mech
+open Adaptive_core
+open Adaptive_baselines
+open Adaptive_workloads
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Conntable vs a reference model *)
+
+(* The model: an association from key to state, mirroring exactly the
+   documented semantics of each update. *)
+module Model = struct
+  type state = Half | Open | Wait of Time.t
+
+  type t = (int, state * int) Hashtbl.t (* key -> state, value *)
+
+  let create () : t = Hashtbl.create 16
+
+  let insert m ~key ~half_open v =
+    Hashtbl.replace m key ((if half_open then Half else Open), v)
+
+  let promote m key =
+    match Hashtbl.find_opt m key with
+    | Some (Half, v) -> Hashtbl.replace m key (Open, v)
+    | _ -> ()
+
+  let retire m ~key ~expiry =
+    match Hashtbl.find_opt m key with
+    | Some ((Half | Open), v) -> Hashtbl.replace m key (Wait expiry, v)
+    | _ -> ()
+
+  let remove m key =
+    let present = Hashtbl.mem m key in
+    Hashtbl.remove m key;
+    present
+
+  let sweep m ~now =
+    let expired =
+      Hashtbl.fold
+        (fun key (st, _) acc ->
+          match st with Wait e when e <= now -> key :: acc | _ -> acc)
+        m []
+    in
+    List.iter (Hashtbl.remove m) expired;
+    List.length expired
+
+  let live m =
+    Hashtbl.fold
+      (fun _ (st, _) acc -> match st with Half | Open -> acc + 1 | Wait _ -> acc)
+      m 0
+
+  let half m =
+    Hashtbl.fold
+      (fun _ (st, _) acc -> match st with Half -> acc + 1 | _ -> acc)
+      m 0
+
+  let waiting m =
+    Hashtbl.fold
+      (fun _ (st, _) acc -> match st with Wait _ -> acc + 1 | _ -> acc)
+      m 0
+
+  let find m key = Hashtbl.find_opt m key
+end
+
+type table_op =
+  | Op_insert of int * bool * int
+  | Op_promote of int
+  | Op_retire of int
+  | Op_remove of int
+  | Op_advance_sweep (* advance time past some expiries, then sweep *)
+  | Op_find of int
+
+let gen_table_ops =
+  QCheck2.Gen.(
+    let op =
+      let* key = int_range 1 60 in
+      let* pick = int_range 0 9 in
+      let* v = int_range 0 1000 in
+      return
+        (match pick with
+        | 0 | 1 | 2 -> Op_insert (key, pick = 0, v)
+        | 3 -> Op_promote key
+        | 4 -> Op_retire key
+        | 5 -> Op_remove key
+        | 6 -> Op_advance_sweep
+        | _ -> Op_find key)
+    in
+    list_size (int_range 50 400) op)
+
+let prop_conntable_matches_model =
+  QCheck2.Test.make ~name:"conntable agrees with reference model" ~count:300
+    gen_table_ops (fun ops ->
+      let t = Conntable.create ~initial_capacity:4 () in
+      let m = Model.create () in
+      let now = ref Time.zero in
+      let ok = ref true in
+      let agree key =
+        let slot = Conntable.find t key in
+        match (Model.find m key, slot) with
+        | None, -1 -> true
+        | None, _ | Some _, -1 -> false
+        | Some (st, v), slot -> (
+          match (st, Conntable.slot_state t slot) with
+          | Model.Half, Conntable.Half_open | Model.Open, Conntable.Open ->
+            Conntable.slot_value t slot = v
+            && Conntable.find_live t key = Some v
+          | Model.Wait _, Conntable.Time_wait -> Conntable.find_live t key = None
+          | _ -> false)
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | Op_insert (key, half_open, v) ->
+            Conntable.insert t ~key ~half_open v;
+            Model.insert m ~key ~half_open v
+          | Op_promote key ->
+            Conntable.promote t key;
+            Model.promote m key
+          | Op_retire key ->
+            let expiry = Time.add !now (Time.ms 10) in
+            Conntable.retire t ~key ~expiry;
+            Model.retire m ~key ~expiry
+          | Op_remove key ->
+            if Conntable.remove t key <> Model.remove m key then ok := false
+          | Op_advance_sweep ->
+            now := Time.add !now (Time.ms 15);
+            if Conntable.sweep t ~now:!now <> Model.sweep m ~now:!now then
+              ok := false
+          | Op_find key -> if not (agree key) then ok := false);
+          if
+            Conntable.live_count t <> Model.live m
+            || Conntable.half_open_count t <> Model.half m
+            || Conntable.time_wait_count t <> Model.waiting m
+          then ok := false)
+        ops;
+      (* Every key agrees at the end, and live iteration is consistent. *)
+      for key = 1 to 60 do
+        if not (agree key) then ok := false
+      done;
+      let iterated = ref 0 in
+      Conntable.iter_live (fun _ _ -> incr iterated) t;
+      !ok && !iterated = Conntable.live_count t)
+
+(* ------------------------------------------------------------------ *)
+(* Demux integrity under churn: arbitrary interleavings of active opens,
+   closes, data and late segments across >= 100 endpoints never mis-route
+   a payload and never leak a table entry. *)
+
+type churn_op =
+  | Ch_open of int (* slot *)
+  | Ch_send of int
+  | Ch_close of int
+  | Ch_late of int (* re-inject a data segment for a retired conn *)
+
+let gen_churn =
+  QCheck2.Gen.(
+    let op =
+      let* slot = int_range 0 119 in
+      let* pick = int_range 0 7 in
+      return
+        (match pick with
+        | 0 | 1 | 2 -> Ch_open slot
+        | 3 | 4 -> Ch_send slot
+        | 5 | 6 -> Ch_close slot
+        | _ -> Ch_late slot)
+    in
+    pair (int_range 1 10_000) (list_size (int_range 150 400) op))
+
+let run_churn (seed, ops) =
+  let engine = Engine.create () in
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" and b = Topology.add_host topo "b" in
+  Topology.set_symmetric_route topo ~a ~b
+    [
+      Link.create ~bandwidth_bps:100e6 ~propagation:(Time.us 50) ~queue_pkts:2048
+        ~mtu:1500 ();
+    ];
+  let net = Network.create engine ~rng:(Rng.create seed) topo in
+  let unites = Unites.create engine in
+  (* conn id -> the unique marker its payloads must carry *)
+  let expected : (int, string) Hashtbl.t = Hashtbl.create 256 in
+  let misroutes = ref 0 and deliveries = ref 0 in
+  let record_delivery session del =
+    incr deliveries;
+    match del.Session.payload with
+    | None -> incr misroutes (* every send in this test carries bytes *)
+    | Some msg -> (
+      match Hashtbl.find_opt expected (Session.id session) with
+      | Some marker when Msg.data_to_string msg = marker -> ()
+      | Some _ | None -> incr misroutes)
+  in
+  let mk addr =
+    let d =
+      Session.Dispatcher.create net ~addr ~host:(Host.zero_cost engine) ~unites
+    in
+    Session.Dispatcher.set_acceptor d (fun ~src:_ ~conn ~proposal ->
+        match proposal with
+        | None ->
+          (* A data segment with no connection context must not fabricate
+             a session. *)
+          Session.Dispatcher.Reject
+        | Some scs ->
+          Session.Dispatcher.Accept
+            {
+              scs;
+              name = Printf.sprintf "acc-%d" conn;
+              on_deliver = Some record_delivery;
+              on_signal = None;
+            });
+    d
+  in
+  let da = mk a and db = mk b in
+  let sessions = Array.make 120 None in
+  let retired = ref [] in
+  let scs =
+    {
+      Scs.default with
+      Scs.connection = Params.Two_way;
+      transmission = Params.Sliding_window { window = 8 };
+      recv_buffer_segments = 16;
+      segment_bytes = 256;
+      initial_rto = Time.ms 40;
+    }
+  in
+  let t = ref Time.zero in
+  List.iteri
+    (fun i op ->
+      t := Time.add !t (Time.ms ((i mod 7) + 1));
+      let at = !t in
+      ignore
+        (Engine.schedule engine ~at (fun () ->
+             match op with
+             | Ch_open slot ->
+               if sessions.(slot) = None then begin
+                 let marker = Printf.sprintf "slot-%d-op-%d" slot i in
+                 let s = Session.connect da ~peers:[ b ] ~scs () in
+                 Hashtbl.replace expected (Session.id s) marker;
+                 sessions.(slot) <- Some (s, marker)
+               end
+             | Ch_send slot -> (
+               match sessions.(slot) with
+               | Some (s, marker) when Session.state s <> Session.Closed ->
+                 Session.send s
+                   ~bytes:(String.length marker)
+                   ~payload:(Msg.of_string marker) ()
+               | Some _ | None -> ())
+             | Ch_close slot -> (
+               match sessions.(slot) with
+               | Some (s, _) ->
+                 retired := Session.id s :: !retired;
+                 Session.close s;
+                 sessions.(slot) <- None
+               | None -> ())
+             | Ch_late slot -> (
+               (* A stale segment for some torn-down connection arrives at
+                  the responder. *)
+               match !retired with
+               | [] -> ()
+               | conns ->
+                 let conn = List.nth conns (slot mod List.length conns) in
+                 Network.send net ~src:a ~dst:b ~bytes:64
+                   (Pdu.Data
+                      {
+                        conn;
+                        seg = Pdu.seg ~seq:9999 ~bytes:64 ();
+                        retransmit = true;
+                        tx_stamp = Time.zero;
+                      })))))
+    ops;
+  Engine.run engine ~until:(Time.sec 30.0);
+  (* Quiesce: close everything still open, then run past the time-wait
+     quarantine so the sweeper reclaims every entry. *)
+  Array.iter
+    (function Some (s, _) -> Session.close s | None -> ())
+    sessions;
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 30.0));
+  let leaked d =
+    Session.Dispatcher.session_count d
+    + Session.Dispatcher.half_open_count d
+    + Session.Dispatcher.time_wait_count d
+  in
+  (!misroutes, !deliveries, leaked da + leaked db)
+
+let prop_churn_no_misroute_no_leak =
+  QCheck2.Test.make
+    ~name:"churn over 120 endpoints: no mis-routed payload, no table leak"
+    ~count:40 gen_churn (fun case ->
+      let misroutes, _deliveries, leaked = run_churn case in
+      misroutes = 0 && leaked = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control units *)
+
+let overload_stack () =
+  let stack = Adaptive.create_stack ~seed:11 () in
+  let a = Adaptive.add_host stack "a" and b = Adaptive.add_host stack "b" in
+  Adaptive.connect_hosts stack a b (Profiles.lan_path ());
+  (stack, a, b)
+
+let test_admission_thresholds () =
+  let stack, a, b = overload_stack () in
+  let m = Adaptive.mantts stack in
+  Mantts.set_admission m
+    (Some
+       { Mantts.soft_sessions = 2; hard_sessions = 4; max_cpu_backlog = Time.sec 1.0 });
+  let acd = Acd.make ~participants:[ b ] ~qos:Qos.default () in
+  let decisions =
+    List.init 6 (fun _ ->
+        match Mantts.try_open_session m ~src:a ~acd () with
+        | Ok (_, d) -> d
+        | Error _ -> Mantts.Refused)
+  in
+  check_bool "first two admitted plainly" true
+    (List.filteri (fun i _ -> i < 2) decisions
+    = [ Mantts.Admitted; Mantts.Admitted ]);
+  check_bool "next two degraded" true
+    (List.filteri (fun i _ -> i >= 2 && i < 4) decisions
+    = [ Mantts.Degraded; Mantts.Degraded ]);
+  check_bool "past the hard limit refused" true
+    (List.filteri (fun i _ -> i >= 4) decisions
+    = [ Mantts.Refused; Mantts.Refused ]);
+  let u = stack.Adaptive.unites in
+  check_int "refusals counted"
+    2
+    (int_of_float (Unites.total u ~session:Unites.swarm_session Unites.Sessions_refused));
+  check_int "degradations counted"
+    2
+    (int_of_float
+       (Unites.total u ~session:Unites.swarm_session Unites.Sessions_degraded))
+
+let test_degrade_preserves_semantics () =
+  List.iter
+    (fun name ->
+      match Tko.Templates.find name with
+      | None -> Alcotest.failf "template %s not found" name
+      | Some (_, scs) ->
+        let d = Mantts.degrade_scs scs in
+        check_bool "reliability preserved" true
+          (d.Scs.recovery = scs.Scs.recovery);
+        check_bool "ordering preserved" true (d.Scs.ordering = scs.Scs.ordering);
+        check_bool "duplicate policy preserved" true
+          (d.Scs.duplicates = scs.Scs.duplicates);
+        check_bool "delivery semantics preserved" true
+          (d.Scs.delivery = scs.Scs.delivery);
+        check_bool "buffer not larger" true
+          (d.Scs.recv_buffer_segments <= scs.Scs.recv_buffer_segments))
+    Tko.Templates.names
+
+(* ------------------------------------------------------------------ *)
+(* Differential: each Table-1 application's MANTTS stack vs the matching
+   static baseline delivers the identical payload bytes over a lossless
+   link. *)
+
+let baseline_for app =
+  match Workloads.expected_tsc app with
+  | Tsc.Interactive_isochronous | Tsc.Distributional_isochronous ->
+    Baselines.Udp_like
+  | Tsc.Realtime_non_isochronous -> Baselines.Tp4_like
+  | Tsc.Non_realtime_non_isochronous -> Baselines.Tcp_like
+
+(* Fixed message schedule: 20 small messages, paced so even the bare
+   datagram baseline cannot overrun a lossless LAN queue. *)
+let messages app =
+  List.init 20 (fun i -> Printf.sprintf "%s:%02d:payload" (Workloads.name app) i)
+
+let drive_and_collect ~open_session app =
+  let stack = Adaptive.create_stack ~seed:99 () in
+  let a = Adaptive.add_host stack "a" and b = Adaptive.add_host stack "b" in
+  Adaptive.connect_hosts stack a b (Profiles.lan_path ());
+  let got = ref [] in
+  Mantts.set_app_handler
+    (Mantts.entity (Adaptive.mantts stack) b)
+    (fun _ del ->
+      match del.Session.payload with
+      | Some msg -> got := Msg.data_to_string msg :: !got
+      | None -> ());
+  let session = open_session stack a b in
+  List.iteri
+    (fun i text ->
+      ignore
+        (Engine.schedule stack.Adaptive.engine
+           ~at:(Time.ms (10 + (i * 5)))
+           (fun () ->
+             Session.send session
+               ~bytes:(String.length text)
+               ~payload:(Msg.of_string text) ())))
+    (messages app);
+  Adaptive.run stack ~until:(Time.sec 20.0);
+  Session.close session;
+  Adaptive.run stack ~until:(Time.sec 40.0);
+  List.sort compare !got
+
+let test_differential_vs_baselines () =
+  List.iter
+    (fun app ->
+      let adaptive =
+        drive_and_collect app ~open_session:(fun stack a b ->
+            let acd =
+              Acd.make ~participants:[ b ] ~qos:(Workloads.qos app) ()
+            in
+            Mantts.open_session (Adaptive.mantts stack) ~src:a ~acd ())
+      in
+      let baseline =
+        drive_and_collect app ~open_session:(fun stack a b ->
+            Baselines.connect
+              (Mantts.dispatcher (Mantts.entity (Adaptive.mantts stack) a))
+              ~peers:[ b ] (baseline_for app))
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: adaptive and %s deliver identical payloads"
+           (Workloads.name app)
+           (Baselines.name (baseline_for app)))
+        baseline adaptive;
+      check_bool
+        (Printf.sprintf "%s: all 20 messages arrived" (Workloads.name app))
+        true
+        (List.length adaptive = 20))
+    Workloads.all
+
+(* ------------------------------------------------------------------ *)
+(* Swarm workload determinism (fast case; the bench does the full scale) *)
+
+let test_swarm_deterministic () =
+  let cfg = Adaptive_workloads.Swarm.default_config ~sessions:120 ~seed:5 in
+  let o1 = Adaptive_workloads.Swarm.run cfg in
+  let o2 = Adaptive_workloads.Swarm.run cfg in
+  check_bool "same seed, same digest" true
+    (o1.Adaptive_workloads.Swarm.digest = o2.Adaptive_workloads.Swarm.digest);
+  check_int "all offered opens admitted without a policy"
+    o1.Adaptive_workloads.Swarm.offered o1.Adaptive_workloads.Swarm.admitted;
+  check_bool "demux stayed O(1) on average" true
+    (o1.Adaptive_workloads.Swarm.demux_probes_mean < 2.0)
+
+let suite =
+  [
+    ( "swarm.conntable",
+      List.map QCheck_alcotest.to_alcotest [ prop_conntable_matches_model ] );
+    ( "swarm.churn",
+      List.map QCheck_alcotest.to_alcotest [ prop_churn_no_misroute_no_leak ] );
+    ( "swarm.admission",
+      [
+        Alcotest.test_case "thresholds: admit, degrade, refuse" `Quick
+          test_admission_thresholds;
+        Alcotest.test_case "degrade_scs preserves delivery semantics" `Quick
+          test_degrade_preserves_semantics;
+      ] );
+    ( "swarm.differential",
+      [
+        Alcotest.test_case "Table-1 apps vs static baselines" `Slow
+          test_differential_vs_baselines;
+      ] );
+    ( "swarm.workload",
+      [
+        Alcotest.test_case "swarm workload is deterministic" `Quick
+          test_swarm_deterministic;
+      ] );
+  ]
