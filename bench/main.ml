@@ -38,6 +38,7 @@ let registry =
     ("e9_chaos", Chaos_bench.e9_chaos);
     ("e10_fleet_scale", Fleet_scale.e10_fleet_scale);
     ("e11_swarm_scale", Swarm_scale.e11_swarm_scale);
+    ("e12_wire_path", Wire_path.e12_wire_path);
     ("a1_detection", Ablations.a1_detection);
     ("a2_fec_group", Ablations.a2_fec_group);
     ("a3_ack_delay", Ablations.a3_ack_delay);
@@ -73,6 +74,7 @@ let () =
       Chaos_bench.smoke := true;
       Fleet_scale.smoke := true;
       Swarm_scale.smoke := true;
+      Wire_path.smoke := true;
       parse rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with

@@ -9,6 +9,7 @@
      chaos                     randomized fault-injection soaks
      fleet                     seeds x environments campaign across domains
      swarm                     many-session churn with admission control
+     wire                      wire-true vs value-mode digest parity
 
    Example:
      adaptive_cli run -a voice -n satellite -d 10 *)
@@ -285,7 +286,7 @@ let run_fleet replicas seed seeds env jobs no_baseline =
 
 (* Many-session churn on one host pair (the e11 workload), with optional
    MANTTS admission thresholds to demonstrate graceful degradation. *)
-let run_swarm sessions churn seed soft hard =
+let run_swarm sessions churn seed soft hard wire =
   let admission =
     match (soft, hard) with
     | None, None -> None
@@ -299,17 +300,19 @@ let run_swarm sessions churn seed soft hard =
           max_cpu_backlog = Time.ms 50;
         }
   in
-  Format.printf "swarm: %d session slot(s), %d churn round(s), seed %d%s@."
+  Format.printf "swarm: %d session slot(s), %d churn round(s), seed %d%s%s@."
     sessions churn seed
     (match admission with
     | None -> ""
     | Some p ->
       Printf.sprintf ", admission soft=%d hard=%d" p.Mantts.soft_sessions
-        p.Mantts.hard_sessions);
+        p.Mantts.hard_sessions)
+    (if wire then ", wire-true mode" else "");
   let cfg =
     { (Swarm.default_config ~sessions ~seed) with
       Swarm.churn_rounds = churn;
-      admission }
+      admission;
+      wire }
   in
   let t0 = Unix.gettimeofday () in
   let o = Swarm.run cfg in
@@ -333,10 +336,57 @@ let run_swarm sessions churn seed soft hard =
       Unites.Table_occupancy;
       Unites.Timewait_drops;
     ];
+  if wire then begin
+    Format.printf "UNITES wire session:@.";
+    List.iter
+      (fun m ->
+        match Unites.stats o.Swarm.unites ~session:Unites.wire_session m with
+        | None -> ()
+        | Some s ->
+          Format.printf "  %-16s %.3f@." (Unites.metric_name m) s.Stats.mean)
+      [
+        Unites.Wire_encodes;
+        Unites.Wire_decodes;
+        Unites.Wire_rejects;
+        Unites.Wire_fused_sums;
+        Unites.Wire_pool_reuse;
+      ]
+  end;
   Format.printf "wall %.3f s (%.0f admitted sessions/s, %.0f events/s)@." wall
     (if wall > 0.0 then float_of_int o.Swarm.admitted /. wall else 0.0)
     (if wall > 0.0 then float_of_int o.Swarm.events_fired /. wall else 0.0);
   `Ok ()
+
+(* ---------------------------------------------------------------- wire *)
+
+(* Run the same seeded swarm twice — value mode, then wire-true — and
+   check the digests: on the lossless swarm LAN the wire hooks must add
+   zero simulated time and no random draws, so the FNV-1a trace digests
+   must be identical. *)
+let run_wire sessions churn seed =
+  Format.printf
+    "wire parity: %d session slot(s), %d churn round(s), seed %d@." sessions
+    churn seed;
+  let base =
+    { (Swarm.default_config ~sessions ~seed) with Swarm.churn_rounds = churn }
+  in
+  let value_o = Swarm.run base in
+  let wire_o = Swarm.run { base with Swarm.wire = true } in
+  Format.printf "value mode: digest 0x%016Lx@." value_o.Swarm.digest;
+  Format.printf "wire  mode: digest 0x%016Lx@." wire_o.Swarm.digest;
+  (match wire_o.Swarm.wire_report with
+  | None -> ()
+  | Some w ->
+    Format.printf
+      "wire path: %d encode(s), %d decode(s), %d reject(s), %d fused        checksum(s), pool reuse %.3f@."
+      w.Session.Wire.encodes w.Session.Wire.decodes w.Session.Wire.rejects
+      w.Session.Wire.fused_sums w.Session.Wire.pool_reuse_rate);
+  if Int64.equal value_o.Swarm.digest wire_o.Swarm.digest then begin
+    Format.printf
+      "digest parity: wire-true bytes replay the value-mode run exactly@.";
+    `Ok ()
+  end
+  else `Error (false, "wire-true digest diverged from value mode")
 
 (* ------------------------------------------------------------- cmdliner *)
 
@@ -521,6 +571,14 @@ let hard_arg =
         ~doc:"Admission hard threshold: past $(docv) live sessions new \
               opens are refused.")
 
+let wire_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "wire" ]
+        ~doc:
+          "Run in wire-true mode: every PDU crosses the network as real            bytes through the fused zero-copy codec path.")
+
 let fleet_cmd =
   Cmd.v
     (Cmd.info "fleet"
@@ -543,7 +601,14 @@ let swarm_cmd =
     Term.(
       ret
         (const run_swarm $ sessions_arg $ churn_arg $ seed_arg $ soft_arg
-       $ hard_arg))
+       $ hard_arg $ wire_flag))
+
+let wire_cmd =
+  Cmd.v
+    (Cmd.info "wire"
+       ~doc:
+         "Run the same seeded swarm in value mode and wire-true mode and           check that the trace digests match — the zero-copy wire path           must replay the simulation byte-for-byte")
+    Term.(ret (const run_wire $ sessions_arg $ churn_arg $ seed_arg))
 
 let main =
   Cmd.group
@@ -551,7 +616,7 @@ let main =
        ~doc:"The ADAPTIVE transport system reproduction")
     [
       apps_cmd; networks_cmd; classify_cmd; run_cmd; chaos_cmd; fleet_cmd;
-      swarm_cmd;
+      swarm_cmd; wire_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -34,6 +34,11 @@ let of_bytes b =
 
 let create n = of_bytes (Bytes.make n '\000')
 let of_string s = of_bytes (Bytes.of_string s)
+
+let of_bytes_slice b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Msg.of_bytes_slice";
+  { headers = []; hlen = 0; data = [ { base = b; off; len } ]; dlen = len }
 let data_length m = m.dlen
 let header_length m = m.hlen
 let total_length m = m.hlen + m.dlen
@@ -102,6 +107,15 @@ let blit_segments segs dst off =
       pos := !pos + s.len)
     segs
 
+(* One counted physical copy into a private single-segment message: how a
+   payload decoded out of a leased wire buffer outlives the lease. *)
+let detach m =
+  let n = m.dlen in
+  let b = Bytes.create n in
+  blit_segments m.data b 0;
+  charge_copy n;
+  { headers = m.headers; hlen = m.hlen; data = [ { base = b; off = 0; len = n } ]; dlen = n }
+
 let data_to_string m =
   let n = m.dlen in
   let b = Bytes.create n in
@@ -126,4 +140,13 @@ let blit_data m dst off =
   blit_segments m.data dst off;
   charge_copy m.dlen
 
-let iter_data m f = List.iter (fun s -> f s.base s.off s.len) m.data
+(* Top-level recursion, not [List.iter] with a wrapper lambda: the
+   wire-true encoder runs this per data PDU, and the wrapper closure
+   would be the only allocation on that path. *)
+let rec iter_segs f = function
+  | [] -> ()
+  | s :: rest ->
+    f s.base s.off s.len;
+    iter_segs f rest
+
+let iter_data m f = iter_segs f m.data

@@ -23,6 +23,13 @@ val of_string : string -> t
 val of_bytes : Bytes.t -> t
 (** Message sharing (not copying) the given bytes as its data region. *)
 
+val of_bytes_slice : Bytes.t -> off:int -> len:int -> t
+(** Message sharing [len] bytes of [b] starting at [off] — the zero-copy
+    view a wire-format decoder yields over a received frame.  No bytes
+    move; the message aliases the buffer, so it is only valid while the
+    buffer's owner keeps the bytes intact (see {!detach}).  Raises
+    [Invalid_argument] on an out-of-range slice. *)
+
 val data_length : t -> int
 (** Bytes in the data region.  O(1): the length is cached in the message
     record (the segment list is never mutated in place, so the cache
@@ -49,6 +56,13 @@ val peek_header : t -> string option
 val copy : t -> t
 (** Logical copy.  Headers are copied (they are small and mutable per
     layer); data segments are shared.  No payload bytes move. *)
+
+val detach : t -> t
+(** [detach m] is a message with the same contents whose data region is a
+    private single-segment buffer — one counted physical copy.  This is
+    how a consumer keeps payload bytes past the lifetime of a shared
+    buffer it does not own (e.g. a {!of_bytes_slice} view over a pooled
+    wire frame that returns to the pool at delivery). *)
 
 val split : t -> int -> t * t
 (** [split m n] divides the {e data region}: the first result carries the

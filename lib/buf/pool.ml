@@ -8,6 +8,8 @@ type t = {
   mutable miss_count : int;
   mutable alloc_count : int;
   mutable discard_count : int;
+  mutable lease_hit_count : int;
+  mutable lease_fresh_count : int;
 }
 
 let create ~buffers ~size =
@@ -21,6 +23,8 @@ let create ~buffers ~size =
     miss_count = 0;
     alloc_count = 0;
     discard_count = 0;
+    lease_hit_count = 0;
+    lease_fresh_count = 0;
   }
 
 let buffer_size t = t.size
@@ -71,3 +75,41 @@ let resize t ~buffers =
 let misses t = t.miss_count
 let allocations t = t.alloc_count
 let free_discarded t = t.discard_count
+
+(* ------------------------------------------------------------ leases *)
+
+type lease = { lbuf : Bytes.t; mutable refs : int; pooled : bool }
+
+let lease t ~min_bytes =
+  if min_bytes < 0 then invalid_arg "Pool.lease";
+  if min_bytes <= t.size then
+    match alloc t with
+    | Some b ->
+      t.lease_hit_count <- t.lease_hit_count + 1;
+      { lbuf = b; refs = 1; pooled = true }
+    | None ->
+      t.lease_fresh_count <- t.lease_fresh_count + 1;
+      { lbuf = Bytes.create t.size; refs = 1; pooled = false }
+  else begin
+    (* Oversized request: the pool's buffers cannot hold it. *)
+    t.lease_fresh_count <- t.lease_fresh_count + 1;
+    { lbuf = Bytes.create min_bytes; refs = 1; pooled = false }
+  end
+
+let lease_buf l =
+  if l.refs <= 0 then invalid_arg "Pool.lease_buf: lease already released";
+  l.lbuf
+
+let lease_refs l = l.refs
+
+let retain l =
+  if l.refs <= 0 then invalid_arg "Pool.retain: lease already released";
+  l.refs <- l.refs + 1
+
+let release t l =
+  if l.refs <= 0 then invalid_arg "Pool.release: lease already released";
+  l.refs <- l.refs - 1;
+  if l.refs = 0 && l.pooled then free t l.lbuf
+
+let lease_hits t = t.lease_hit_count
+let lease_fresh t = t.lease_fresh_count

@@ -47,3 +47,45 @@ val allocations : t -> int
 val free_discarded : t -> int
 (** Number of returned buffers dropped because the pool was already at
     capacity when they came back. *)
+
+(** {2 Leases}
+
+    The wire-true data path hands one physical buffer to multiple
+    consumers (multicast replicates at branch points, so several
+    deliveries may read the same frame).  A lease is a reference-counted
+    claim on a pool buffer: the buffer returns to the free list exactly
+    when the last holder releases, which is the "buffer ownership returns
+    to the pool at delivery" rule of the wire path. *)
+
+type lease
+(** A reference-counted claim on a buffer. *)
+
+val lease : t -> min_bytes:int -> lease
+(** [lease t ~min_bytes] takes a buffer able to hold [min_bytes] bytes,
+    with an initial reference count of 1.  Pool buffers are reused when
+    one is free and large enough (counted by {!lease_hits}); otherwise a
+    fresh unpooled buffer is created (counted by {!lease_fresh}, and by
+    {!misses} when the pool was simply empty).  Unpooled buffers are
+    garbage-collected on final release rather than returned. *)
+
+val lease_buf : lease -> Bytes.t
+(** The leased buffer.  Raises [Invalid_argument] after the final
+    release — a use-after-free of the wire frame. *)
+
+val lease_refs : lease -> int
+(** Current reference count (0 after the final release). *)
+
+val retain : lease -> unit
+(** Add a holder.  Raises [Invalid_argument] after the final release. *)
+
+val release : t -> lease -> unit
+(** Drop one holder; the last release returns a pooled buffer to the
+    free list.  Raises [Invalid_argument] when the lease was already
+    fully released (a double free). *)
+
+val lease_hits : t -> int
+(** Leases served from the pool's free list. *)
+
+val lease_fresh : t -> int
+(** Leases that had to create a fresh buffer (pool exhausted or the
+    request exceeded the pool's buffer size). *)

@@ -52,6 +52,7 @@ type outcome = {
   o_delivered : int;
   o_switches : int;
   o_events : int;
+  o_wire : Session.Wire.report option;
   o_unites : string;
 }
 
@@ -78,8 +79,11 @@ let media_qos =
     duration = Some (Time.sec 60.0);
   }
 
-let run_schedule ?(sabotage = false) ~env ~seed schedule =
+let run_schedule ?(sabotage = false) ?(wire = false) ~env ~seed schedule =
   let stack = Adaptive.create_stack ~seed () in
+  let wire_handle =
+    if wire then Some (Session.Wire.install stack.Adaptive.net) else None
+  in
   let engine = stack.Adaptive.engine in
   let trace = Trace.create ~log_capacity:512 () in
   Unites.attach_trace stack.Adaptive.unites trace;
@@ -170,6 +174,9 @@ let run_schedule ?(sabotage = false) ~env ~seed schedule =
            String.length desc >= 7 && String.sub desc 0 7 = "switch ")
          (Mantts.adaptations mantts))
   in
+  Option.iter
+    (fun h -> Session.Wire.observe h stack.Adaptive.unites)
+    wire_handle;
   {
     o_seed = seed;
     o_env = env;
@@ -183,11 +190,12 @@ let run_schedule ?(sabotage = false) ~env ~seed schedule =
     o_delivered = !delivered;
     o_switches = switches;
     o_events = Engine.events_fired engine;
+    o_wire = Option.map Session.Wire.report wire_handle;
     o_unites = Format.asprintf "%a" Unites.report stack.Adaptive.unites;
   }
 
-let run_one ?sabotage ~env ~seed () =
-  run_schedule ?sabotage ~env ~seed (schedule_of_seed ~env ~seed)
+let run_one ?sabotage ?wire ~env ~seed () =
+  run_schedule ?sabotage ?wire ~env ~seed (schedule_of_seed ~env ~seed)
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking *)
@@ -201,11 +209,11 @@ type shrink_result = {
 
 let min_shrunk_duration = Time.ms 100
 
-let shrink ?(sabotage = false) ~env ~seed schedule =
+let shrink ?(sabotage = false) ?wire ~env ~seed schedule =
   let runs = ref 0 in
   let fails sched =
     incr runs;
-    not (ok (run_schedule ~sabotage ~env ~seed sched))
+    not (ok (run_schedule ~sabotage ?wire ~env ~seed sched))
   in
   (* Drop-one passes to a fixed point: removing any single fault must
      make the failure disappear before we stop. *)
@@ -243,7 +251,7 @@ let shrink ?(sabotage = false) ~env ~seed schedule =
     try_at 0 sched
   in
   let minimal = halve_pass (drop_pass schedule) in
-  let s_outcome = run_schedule ~sabotage ~env ~seed minimal in
+  let s_outcome = run_schedule ~sabotage ?wire ~env ~seed minimal in
   { s_original = List.length schedule; s_minimal = minimal; s_runs = !runs; s_outcome }
 
 let pp_repro fmt o =
@@ -275,18 +283,20 @@ let run_grid ~environments ~seeds ~seed ~schedules =
     (fun i s -> (i, s, List.nth environments (i mod List.length environments)))
     run_seeds
 
-let soak ?(sabotage = false) ?(environments = all_environments) ?seeds ?progress
-    ~seed ~schedules () =
+let soak ?(sabotage = false) ?wire ?(environments = all_environments) ?seeds
+    ?progress ~seed ~schedules () =
   if environments = [] then invalid_arg "Soak.soak: no environments";
   let grid = run_grid ~environments ~seeds ~seed ~schedules in
   let outcomes = ref [] and failures = ref [] in
   Array.iter
     (fun (i, run_seed, env) ->
-      let o = run_one ~sabotage ~env ~seed:run_seed () in
+      let o = run_one ~sabotage ?wire ~env ~seed:run_seed () in
       outcomes := o :: !outcomes;
       (match progress with Some f -> f i o | None -> ());
       if not (ok o) then
-        failures := (o, shrink ~sabotage ~env ~seed:run_seed o.o_schedule) :: !failures)
+        failures :=
+          (o, shrink ~sabotage ?wire ~env ~seed:run_seed o.o_schedule)
+          :: !failures)
     grid;
   {
     r_runs = Array.length grid;
@@ -294,12 +304,12 @@ let soak ?(sabotage = false) ?(environments = all_environments) ?seeds ?progress
     r_failures = List.rev !failures;
   }
 
-let soak_par ?(sabotage = false) ?(environments = all_environments) ?seeds
-    ?progress ?pool ~jobs ~seed ~schedules () =
+let soak_par ?(sabotage = false) ?wire ?(environments = all_environments)
+    ?seeds ?progress ?pool ~jobs ~seed ~schedules () =
   if environments = [] then invalid_arg "Soak.soak_par: no environments";
   if jobs <= 1 && Option.is_none pool then
     (* Exactly the sequential path — the byte-identity reference. *)
-    soak ~sabotage ~environments ?seeds ?progress ~seed ~schedules ()
+    soak ~sabotage ?wire ~environments ?seeds ?progress ~seed ~schedules ()
   else begin
     let grid = run_grid ~environments ~seeds ~seed ~schedules in
     (* Each task is a complete isolated run: fresh stack, fresh engine,
@@ -308,10 +318,10 @@ let soak_par ?(sabotage = false) ?(environments = all_environments) ?seeds
     let settled =
       Adaptive_fleet.Fleet.map ?pool ~jobs
         (fun (_, run_seed, env) ->
-          let o = run_one ~sabotage ~env ~seed:run_seed () in
+          let o = run_one ~sabotage ?wire ~env ~seed:run_seed () in
           let s =
             if ok o then None
-            else Some (shrink ~sabotage ~env ~seed:run_seed o.o_schedule)
+            else Some (shrink ~sabotage ?wire ~env ~seed:run_seed o.o_schedule)
           in
           (o, s))
         grid

@@ -39,6 +39,10 @@ type outcome = {
   o_switches : int;  (** MANTTS component switches applied. *)
   o_events : int;  (** Engine events the run fired — the campaign
                        throughput unit FLEET's scaling bench reports. *)
+  o_wire : Adaptive_core.Session.Wire.report option;
+      (** Wire-path counters when the run was wire-true: corrupted frames
+          show up here as rejects, caught physically by the fused
+          checksum instead of by a simulation flag. *)
   o_unites : string;
       (** The run's formatted UNITES report — per-fault-class counters,
           recovery-time statistics and the trace's dropped-entry count. *)
@@ -48,13 +52,21 @@ val ok : outcome -> bool
 (** No invariant violated. *)
 
 val run_schedule :
-  ?sabotage:bool -> env:environment -> seed:int -> Fault.schedule -> outcome
+  ?sabotage:bool ->
+  ?wire:bool ->
+  env:environment ->
+  seed:int ->
+  Fault.schedule ->
+  outcome
 (** One deterministic run of an explicit schedule.  [sabotage] (default
     false) plants an {!Invariant.Injected_sabotage} violation whenever a
     {!Fault.Ber_burst} fault is applied — the self-test hook proving the
-    detection and shrinking machinery end to end. *)
+    detection and shrinking machinery end to end.  [wire] (default
+    false) runs the stack in wire-true mode: BER bursts flip real bits
+    and the codec's checksum — not a flag — rejects the frames. *)
 
-val run_one : ?sabotage:bool -> env:environment -> seed:int -> unit -> outcome
+val run_one :
+  ?sabotage:bool -> ?wire:bool -> env:environment -> seed:int -> unit -> outcome
 (** [run_schedule] of {!schedule_of_seed}. *)
 
 type shrink_result = {
@@ -65,7 +77,12 @@ type shrink_result = {
 }
 
 val shrink :
-  ?sabotage:bool -> env:environment -> seed:int -> Fault.schedule -> shrink_result
+  ?sabotage:bool ->
+  ?wire:bool ->
+  env:environment ->
+  seed:int ->
+  Fault.schedule ->
+  shrink_result
 (** Greedy shrink of a failing schedule: repeated drop-one-fault passes
     to a fixed point, then per-fault duration halving (floor 100 ms).
     The input schedule must fail; every intermediate candidate is
@@ -84,6 +101,7 @@ type report = {
 
 val soak :
   ?sabotage:bool ->
+  ?wire:bool ->
   ?environments:environment list ->
   ?seeds:int list ->
   ?progress:(int -> outcome -> unit) ->
@@ -98,6 +116,7 @@ val soak :
 
 val soak_par :
   ?sabotage:bool ->
+  ?wire:bool ->
   ?environments:environment list ->
   ?seeds:int list ->
   ?progress:(int -> outcome -> unit) ->

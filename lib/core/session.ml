@@ -1253,3 +1253,87 @@ let remove_peer t addr =
     count_control t;
     inject_to t [ addr ] (Pdu.Fin { conn = t.id; graceful = true })
   end
+
+(* Wire-true mode plumbing.  The network stays parametric in the PDU
+   type; this is where the transport supplies its codec as the wire
+   hooks.  Decoded data/parity payloads alias the leased frame buffer,
+   and the dispatcher hands PDUs to [handle_pdu] only after the host
+   processing delay — past the delivery callback — so they are detached
+   (one counted copy) before the lease can return to the pool. *)
+module Wire = struct
+  type report = {
+    encodes : int;
+    decodes : int;
+    rejects : int;
+    fused_sums : int;
+    pool_reuse_rate : float;
+  }
+
+  type handle = {
+    w_pool : Adaptive_buf.Pool.t;
+    w_codec : Codec.wire;
+    w_net : Pdu.t Network.t;
+  }
+
+  let detach_payload = function
+    | Pdu.Data ({ seg = { payload = Some m; _ } as s; _ } as r) ->
+      Pdu.Data
+        { r with seg = { s with payload = Some (Adaptive_buf.Msg.detach m) } }
+    | Pdu.Parity ({ parity = Some m; _ } as r) ->
+      Pdu.Parity { r with parity = Some (Adaptive_buf.Msg.detach m) }
+    | pdu -> pdu
+
+  let install ?(buffers = 256) ?(buffer_bytes = 4096) net =
+    let pool = Adaptive_buf.Pool.create ~buffers ~size:buffer_bytes in
+    let codec = Codec.wire_state () in
+    let encode pdu bytes =
+      let lease = Adaptive_buf.Pool.lease pool ~min_bytes:bytes in
+      let n =
+        Codec.encode_into codec pdu (Adaptive_buf.Pool.lease_buf lease) ~off:0
+      in
+      if n <> bytes then
+        invalid_arg
+          (Printf.sprintf
+             "Session.Wire: encoded %d bytes but the simulator accounts %d" n
+             bytes);
+      lease
+    in
+    let decode buf off len =
+      match Codec.decode_view buf ~off ~len with
+      | Ok pdu -> Some (detach_payload pdu)
+      | Error _ -> None
+    in
+    let release lease = Adaptive_buf.Pool.release pool lease in
+    Network.set_wire net ~encode ~decode ~release;
+    { w_pool = pool; w_codec = codec; w_net = net }
+
+  let report h =
+    let enc, dec, rej =
+      match Network.wire_stats h.w_net with
+      | Some s -> Network.(s.wire_encoded, s.wire_decoded, s.wire_rejected)
+      | None -> (0, 0, 0)
+    in
+    let hits = Adaptive_buf.Pool.lease_hits h.w_pool in
+    let fresh = Adaptive_buf.Pool.lease_fresh h.w_pool in
+    let reuse =
+      if hits + fresh = 0 then 1.0
+      else float_of_int hits /. float_of_int (hits + fresh)
+    in
+    {
+      encodes = enc;
+      decodes = dec;
+      rejects = rej;
+      fused_sums = Codec.fused_sums h.w_codec;
+      pool_reuse_rate = reuse;
+    }
+
+  let observe h unites =
+    let r = report h in
+    Unites.register_session unites ~id:Unites.wire_session ~name:"wire";
+    let ob m v = Unites.observe unites ~session:Unites.wire_session m v in
+    ob Unites.Wire_encodes (float_of_int r.encodes);
+    ob Unites.Wire_decodes (float_of_int r.decodes);
+    ob Unites.Wire_rejects (float_of_int r.rejects);
+    ob Unites.Wire_fused_sums (float_of_int r.fused_sums);
+    ob Unites.Wire_pool_reuse r.pool_reuse_rate
+end

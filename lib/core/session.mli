@@ -194,3 +194,42 @@ val backlog_delay : t -> Adaptive_sim.Time.t
     bound pacer rate (zero for window-based transmission) — the
     self-induced component of end-to-end delay, which playout policies
     must absorb. *)
+
+(** {2 Wire-true mode}
+
+    Opt-in zero-copy data path: installs the transport codec as the
+    network's wire hooks, so every PDU crosses the network as real bytes
+    in a pooled, leased buffer — serialized once by the fused
+    encode+checksum pass, verified and parsed in place at each delivery.
+    On a lossless route wire-true and value mode produce identical
+    traces; under corruption a wire frame has a real bit flipped and is
+    rejected by the checksum (never delivered), where value mode
+    delivers it flagged and leaves detection to the session's
+    error-detection mechanism. *)
+module Wire : sig
+  type report = {
+    encodes : int;  (** Frames serialized (one per injection). *)
+    decodes : int;  (** Frames verified and parsed at delivery. *)
+    rejects : int;  (** Frames the codec refused (corruption caught). *)
+    fused_sums : int;  (** Payload copies with the checksum fused in. *)
+    pool_reuse_rate : float;
+        (** Leases served from the pool / total leases (1 when none). *)
+  }
+
+  type handle
+  (** A stack's wire-mode installation. *)
+
+  val install :
+    ?buffers:int -> ?buffer_bytes:int -> Pdu.t Network.t -> handle
+  (** [install net] switches [net] to wire-true mode backed by a fresh
+      buffer pool of [buffers] (default 256) × [buffer_bytes] (default
+      4096) frames.  Oversized or overflow frames fall back to fresh
+      allocations, counted against the reuse rate. *)
+
+  val report : handle -> report
+  (** Read the wire whitebox counters. *)
+
+  val observe : handle -> Unites.t -> unit
+  (** Record the counters under {!Unites.wire_session} so UNITES reports
+      include the wire path alongside protocol sessions. *)
+end

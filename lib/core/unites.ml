@@ -36,6 +36,11 @@ type metric =
   | Demux_probes
   | Table_occupancy
   | Timewait_drops
+  | Wire_encodes
+  | Wire_decodes
+  | Wire_rejects
+  | Wire_fused_sums
+  | Wire_pool_reuse
 
 type kind = Blackbox | Whitebox
 
@@ -48,7 +53,8 @@ let metric_kind = function
   | Window_size | Host_cpu | Sched_events_fired | Sched_timers_rearmed
   | Sched_cancelled_ratio | Sched_wheel_hit_rate | Faults_injected
   | Fault_recovery | Sessions_open | Sessions_refused | Sessions_degraded
-  | Demux_probes | Table_occupancy | Timewait_drops -> Whitebox
+  | Demux_probes | Table_occupancy | Timewait_drops | Wire_encodes
+  | Wire_decodes | Wire_rejects | Wire_fused_sums | Wire_pool_reuse -> Whitebox
 
 let metric_name = function
   | Throughput -> "throughput_bps"
@@ -86,6 +92,11 @@ let metric_name = function
   | Demux_probes -> "demux_probes"
   | Table_occupancy -> "table_occupancy"
   | Timewait_drops -> "timewait_drops"
+  | Wire_encodes -> "wire_encodes"
+  | Wire_decodes -> "wire_decodes"
+  | Wire_rejects -> "wire_rejects"
+  | Wire_fused_sums -> "wire_fused_sums"
+  | Wire_pool_reuse -> "wire_pool_reuse"
 
 let all_metrics =
   [
@@ -124,6 +135,11 @@ let all_metrics =
     Demux_probes;
     Table_occupancy;
     Timewait_drops;
+    Wire_encodes;
+    Wire_decodes;
+    Wire_rejects;
+    Wire_fused_sums;
+    Wire_pool_reuse;
   ]
 
 type t = {
@@ -154,6 +170,11 @@ let chaos_session = -1
 (* Many-session scale observations (admission control, demux probes,
    table occupancy) likewise describe the host's dispatcher as a whole. *)
 let swarm_session = -2
+
+(* Wire-true data-path observations (encode/decode/reject counts, fused
+   checksum passes, pool reuse) describe the codec and buffer pool of a
+   whole stack, not any one connection. *)
+let wire_session = -3
 
 let create ?(whitebox = true) ?(bucket = Time.sec 1.0) ?(reservoir = 8192) engine =
   {

@@ -68,6 +68,15 @@ type metric =
                          insert and retire — the occupancy histogram. *)
   | Timewait_drops  (** Late segments absorbed by a time-wait entry
                         instead of reaching the acceptor. *)
+  | Wire_encodes  (** Frames serialized by the fused wire-true encoder
+                      (recorded under {!wire_session}). *)
+  | Wire_decodes  (** Frames verified and parsed in place at delivery. *)
+  | Wire_rejects  (** Frames the codec rejected (physical corruption
+                      caught by the fused checksum). *)
+  | Wire_fused_sums  (** Payload copies whose Internet checksum was
+                         computed inside the copy pass itself. *)
+  | Wire_pool_reuse  (** Fraction of frame leases served from the buffer
+                         pool rather than freshly allocated. *)
 
 type kind = Blackbox | Whitebox
 
@@ -151,6 +160,12 @@ val swarm_session : int
     them are deterministic functions of the schedule (probe counts, not
     wall-clock), so whitebox reports stay byte-identical across
     parallel-fleet replays. *)
+
+val wire_session : int
+(** Reserved pseudo-session id ([-3]) under which the wire-true data
+    path records {!Wire_encodes}, {!Wire_decodes}, {!Wire_rejects},
+    {!Wire_fused_sums} and {!Wire_pool_reuse} — the codec and buffer
+    pool belong to the stack, not to any one connection. *)
 
 val attach_trace : t -> Trace.t -> unit
 (** Attach a trace sink so {!report} presents its counters — including

@@ -34,3 +34,65 @@ val decode : string -> (Pdu.t, error) result
 val decode_unchecked : string -> (Pdu.t, error) result
 (** Parse without checksum verification — what a no-detection
     configuration does. *)
+
+(** {2 Wire-true zero-copy paths}
+
+    The string codec above touches every byte twice (blit, then
+    checksum) and allocates a fresh string per PDU.  The wire-true paths
+    serialize straight into a caller-owned buffer with the Internet
+    checksum {e fused into the copy pass} — the
+    simultaneous-transmission-and-checksum property §2.2(C) claims for
+    trailer checksums — and parse in place over [(Bytes.t, off, len)]
+    views.  Byte images and error behavior are identical to
+    [encode]/[decode]; the test suite asserts both on random PDUs. *)
+
+type wire
+(** Reusable encoder/scanner state.  One per wire-mode network (and
+    therefore per domain): the record is mutated by every call, so it
+    must not be shared across parallel fleet workers. *)
+
+val wire_state : unit -> wire
+(** Fresh state. *)
+
+val fused_sums : wire -> int
+(** Number of payloads whose checksum was computed during the copy pass
+    (data and parity encodes through this state). *)
+
+val encode_into : wire -> Pdu.t -> Bytes.t -> off:int -> int
+(** [encode_into st pdu b ~off] serializes [pdu] into [b] starting at
+    [off] and returns the number of bytes written, always
+    [Pdu.wire_bytes pdu].  Payload segments are scatter-gathered via
+    {!Msg.iter_data} and stream through {!Checksum.sum_into}: one
+    traversal copies and sums.  At steady state a data PDU allocates
+    zero minor words.  Raises [Invalid_argument] when the buffer cannot
+    hold the PDU. *)
+
+val decode_view : Bytes.t -> off:int -> len:int -> (Pdu.t, error) result
+(** [decode_view b ~off ~len] parses the PDU occupying
+    [b.[off .. off+len)] in place, verifying the checksum during the
+    single read pass without mutating the buffer.  Decoded payloads are
+    {!Msg.of_bytes_slice} views sharing [b]: they are valid only while
+    [b]'s owner keeps the bytes intact — consumers that hold payloads
+    past the delivery boundary must {!Msg.detach} them.  Error-for-error
+    equivalent to [decode] on the same bytes. *)
+
+type scan_result = Scan_ok | Scan_truncated | Scan_not_data | Scan_bad_checksum
+
+val scan_data : wire -> Bytes.t -> off:int -> len:int -> scan_result
+(** Allocation-free verification and field location for data PDUs — the
+    steady-state receive path a kernel-bypass receiver would run.  On
+    [Scan_ok] the header fields are parked in the state record for the
+    [scan_*] accessors; nothing is boxed, so the scan allocates zero
+    minor words. *)
+
+val scan_conn : wire -> int
+val scan_seq : wire -> int
+
+val scan_payload_off : wire -> int
+(** Absolute offset of the payload within the scanned buffer. *)
+
+val scan_payload_len : wire -> int
+val scan_last : wire -> bool
+val scan_retransmit : wire -> bool
+val scan_app_stamp : wire -> int
+val scan_tx_stamp : wire -> int

@@ -86,6 +86,12 @@ val header_bytes : t -> int
     (the paper's "efficient control formats"); control PDUs include their
     blobs. *)
 
+val payload_bytes : t -> int
+(** Declared payload size: the segment's bytes for data, the longest
+    covered segment for parity, zero for control PDUs.  This is the
+    payload room the wire image reserves whether or not actual payload
+    bytes are attached. *)
+
 val wire_bytes : t -> int
 (** Total wire size: header plus payload. *)
 

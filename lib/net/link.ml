@@ -23,6 +23,7 @@ type t = {
   mutable dropped_down : int;
   mutable corrupted_count : int;
   mutable bytes_carried : int;
+  mutable frames_carried : int;
 }
 
 (* Atomic: default names must stay unique when parallel campaign tasks
@@ -52,6 +53,7 @@ let create ?name ~bandwidth_bps ~propagation ?(queue_pkts = 64) ?(ber = 0.0)
     dropped_down = 0;
     corrupted_count = 0;
     bytes_carried = 0;
+    frames_carried = 0;
   }
 
 let name t = t.name
@@ -93,7 +95,19 @@ let congestive_loss_probability u =
     let x = (u -. 0.70) /. 0.28 in
     0.25 *. x *. x
 
-let transmit t ~rng ~now:_ ~arrival ~bytes =
+let transmit t ?frame ~rng ~now:_ ~arrival ~bytes () =
+  (* Wire-true invariant: when the caller threads the physical frame
+     through the hop, the accounted size and the byte image must agree —
+     accounting drift between the simulator's [bytes] and the codec's
+     output is a bug, not a modeling choice. *)
+  (match frame with
+  | Some (fb, foff, flen) ->
+    if flen <> bytes then
+      invalid_arg "Link.transmit: frame length disagrees with accounted bytes";
+    if foff < 0 || foff + flen > Bytes.length fb then
+      invalid_arg "Link.transmit: frame slice out of range";
+    t.frames_carried <- t.frames_carried + 1
+  | None -> ());
   if not t.up then begin
     t.dropped_down <- t.dropped_down + 1;
     Dropped_down
@@ -129,6 +143,8 @@ let utilization_estimate t ~now =
   Float.min 1.0 (t.background +. (fg *. (1.0 -. t.background)))
 
 let queue_delay_estimate t ~now = Time.max 0 (Time.diff t.busy_until now)
+
+let frames_carried t = t.frames_carried
 
 let stats t =
   {

@@ -78,11 +78,30 @@ type verdict =
   | Dropped_down  (** The link is failed. *)
 
 val transmit :
-  t -> rng:Rng.t -> now:Time.t -> arrival:Time.t -> bytes:int -> verdict
-(** [transmit link ~rng ~now ~arrival ~bytes] offers a packet of [bytes]
+  t ->
+  ?frame:Bytes.t * int * int ->
+  rng:Rng.t ->
+  now:Time.t ->
+  arrival:Time.t ->
+  bytes:int ->
+  unit ->
+  verdict
+(** [transmit link ~rng ~now ~arrival ~bytes ()] offers a packet of [bytes]
     bytes to the link; [arrival] is when the packet reaches this hop
     ([>= now]).  Queueing, serialization at the congestion-scaled rate,
-    propagation and loss are applied; statistics are updated. *)
+    propagation and loss are applied; statistics are updated.
+
+    In wire-true mode the caller threads the physical frame through the
+    hop as [?frame:(buf, off, len)].  The link checks the wire-true
+    invariant — the byte image is exactly the [bytes] the simulator
+    accounts for (raising [Invalid_argument] on drift) — and counts the
+    frame in {!frames_carried}.  Corruption stays a verdict flag here;
+    the network applies it to each receiver's copy of the frame, because
+    multicast replicates frames at branch points downstream of the
+    hop. *)
+
+val frames_carried : t -> int
+(** Physical frames threaded through this link in wire-true mode. *)
 
 val utilization_estimate : t -> now:Time.t -> float
 (** Foreground + background utilization estimate in [\[0,1\]]; the signal

@@ -1,4 +1,5 @@
 open Adaptive_sim
+open Adaptive_buf
 
 type addr = Topology.addr
 
@@ -23,11 +24,31 @@ type stats = {
   bytes_sent : int;
 }
 
+type wire_stats = {
+  wire_encoded : int;
+  wire_decoded : int;
+  wire_rejected : int;
+}
+
+(* Wire-true mode: PDUs cross the network as real bytes in leased
+   buffers.  The hooks keep the network parametric in ['m] — the
+   transport above supplies the codec; the network owns frame lifetime
+   (the lease) and per-receiver corruption. *)
+type 'm wire = {
+  wh_encode : 'm -> int -> Pool.lease;
+  wh_decode : Bytes.t -> int -> int -> 'm option;
+  wh_release : Pool.lease -> unit;
+  mutable wh_encoded : int;
+  mutable wh_decoded : int;
+  mutable wh_rejected : int;
+}
+
 type 'm t = {
   engine : Engine.t;
   rng : Rng.t;
   topology : Topology.t;
   handlers : (addr, 'm recv -> unit) Hashtbl.t;
+  mutable wire : 'm wire option;
   mutable s_sent : int;
   mutable s_delivered : int;
   mutable s_dropped_queue : int;
@@ -45,6 +66,7 @@ let create engine ~rng topology =
     rng;
     topology;
     handlers = Hashtbl.create 16;
+    wire = None;
     s_sent = 0;
     s_delivered = 0;
     s_dropped_queue = 0;
@@ -62,6 +84,30 @@ let fresh_conn_id t =
 
 let engine t = t.engine
 let topology t = t.topology
+
+let set_wire t ~encode ~decode ~release =
+  t.wire <-
+    Some
+      {
+        wh_encode = encode;
+        wh_decode = decode;
+        wh_release = release;
+        wh_encoded = 0;
+        wh_decoded = 0;
+        wh_rejected = 0;
+      }
+
+let wire_active t = t.wire <> None
+
+let wire_stats t =
+  Option.map
+    (fun w ->
+      {
+        wire_encoded = w.wh_encoded;
+        wire_decoded = w.wh_decoded;
+        wire_rejected = w.wh_rejected;
+      })
+    t.wire
 let attach t addr handler = Hashtbl.replace t.handlers addr handler
 let detach t addr = Hashtbl.remove t.handlers addr
 
@@ -74,8 +120,13 @@ type outcome =
   | Lost_down
   | Lost_mtu
 
-let traverse t ~cache ~bytes hops =
+let traverse t ~cache ~frame ~bytes hops =
   let now = Engine.now t.engine in
+  let lframe =
+    match frame with
+    | Some lease -> Some (Pool.lease_buf lease, 0, bytes)
+    | None -> None
+  in
   let rec walk arrival corrupted = function
     | [] -> Arrives (arrival, corrupted)
     | link :: rest -> (
@@ -85,7 +136,7 @@ let traverse t ~cache ~bytes hops =
           match List.assq_opt link !cache with
           | Some v -> v
           | None ->
-            let v = Link.transmit link ~rng:t.rng ~now ~arrival ~bytes in
+            let v = Link.transmit link ?frame:lframe ~rng:t.rng ~now ~arrival ~bytes () in
             cache := (link, v) :: !cache;
             v
         in
@@ -97,15 +148,38 @@ let traverse t ~cache ~bytes hops =
   in
   walk now false hops
 
-let deliver t ~src ~dst ~bytes ~sent_at payload outcome =
-  match outcome with
-  | Lost_queue -> t.s_dropped_queue <- t.s_dropped_queue + 1
-  | Lost_down -> t.s_dropped_down <- t.s_dropped_down + 1
-  | Lost_mtu -> t.s_dropped_mtu <- t.s_dropped_mtu + 1
-  | Arrives (at, corrupted) ->
-    if corrupted then t.s_corrupted <- t.s_corrupted + 1;
-    ignore
-      (Engine.schedule t.engine ~at (fun () ->
+(* Wire-true delivery: decode this receiver's copy of the frame at
+   arrival.  Corruption is applied here rather than inside the link
+   because multicast replicates the frame at branch points — a bit error
+   on one branch must not damage the copy another receiver reads.  A
+   single flipped bit is always caught by the Internet checksum, so a
+   corrupted frame either fails the codec's verification or fails to
+   parse at all; both count as wire rejects and the PDU is never
+   delivered. *)
+let deliver_wire t w ~src ~dst ~bytes ~sent_at ~at ~corrupted lease =
+  Pool.retain lease;
+  ignore
+    (Engine.schedule t.engine ~at (fun () ->
+         let buf = Pool.lease_buf lease in
+         let buf =
+           if not corrupted then buf
+           else begin
+             (* Sole holder (plus this delivery): flip in place.  Shared
+                frame: flip a private copy. *)
+             let target =
+               if Pool.lease_refs lease = 1 then buf else Bytes.sub buf 0 bytes
+             in
+             let bit = Rng.int t.rng (bytes * 8) in
+             let byte = bit lsr 3 in
+             Bytes.set_uint8 target byte
+               (Bytes.get_uint8 target byte lxor (1 lsl (bit land 7)));
+             target
+           end
+         in
+         (match w.wh_decode buf 0 bytes with
+         | None -> w.wh_rejected <- w.wh_rejected + 1
+         | Some payload -> (
+           w.wh_decoded <- w.wh_decoded + 1;
            match Hashtbl.find_opt t.handlers dst with
            | None -> ()
            | Some handler ->
@@ -119,27 +193,77 @@ let deliver t ~src ~dst ~bytes ~sent_at payload outcome =
                  sent_at;
                  received_at = at;
                  corrupted;
-               }))
+               }));
+         w.wh_release lease))
 
-let send_on_cache t ~cache ~src ~dst ~bytes payload =
+let deliver t ~src ~dst ~bytes ~sent_at ~frame payload outcome =
+  match outcome with
+  | Lost_queue -> t.s_dropped_queue <- t.s_dropped_queue + 1
+  | Lost_down -> t.s_dropped_down <- t.s_dropped_down + 1
+  | Lost_mtu -> t.s_dropped_mtu <- t.s_dropped_mtu + 1
+  | Arrives (at, corrupted) -> (
+    if corrupted then t.s_corrupted <- t.s_corrupted + 1;
+    match (t.wire, frame) with
+    | Some w, Some lease ->
+      deliver_wire t w ~src ~dst ~bytes ~sent_at ~at ~corrupted lease
+    | _ ->
+      ignore
+        (Engine.schedule t.engine ~at (fun () ->
+             match Hashtbl.find_opt t.handlers dst with
+             | None -> ()
+             | Some handler ->
+               t.s_delivered <- t.s_delivered + 1;
+               handler
+                 {
+                   payload;
+                   src;
+                   dst;
+                   wire_bytes = bytes;
+                   sent_at;
+                   received_at = at;
+                   corrupted;
+                 })))
+
+let send_on_cache t ~cache ~frame ~src ~dst ~bytes payload =
   match Topology.route t.topology ~src ~dst with
   | None -> t.s_dropped_no_route <- t.s_dropped_no_route + 1
   | Some hops ->
     let sent_at = Engine.now t.engine in
-    deliver t ~src ~dst ~bytes ~sent_at payload (traverse t ~cache ~bytes hops)
+    deliver t ~src ~dst ~bytes ~sent_at ~frame payload
+      (traverse t ~cache ~frame ~bytes hops)
+
+(* Serialize the PDU into a leased wire buffer once per injection; the
+   sender's reference is dropped after the fan-out, so the buffer
+   returns to the pool when the last scheduled delivery releases it. *)
+let encode_frame t ~bytes payload =
+  match t.wire with
+  | None -> None
+  | Some w ->
+    let lease = w.wh_encode payload bytes in
+    w.wh_encoded <- w.wh_encoded + 1;
+    Some lease
+
+let release_frame t frame =
+  match (t.wire, frame) with
+  | Some w, Some lease -> w.wh_release lease
+  | _ -> ()
 
 let send t ~src ~dst ~bytes payload =
   if bytes <= 0 then invalid_arg "Network.send: non-positive size";
   t.s_sent <- t.s_sent + 1;
   t.s_bytes_sent <- t.s_bytes_sent + bytes;
-  send_on_cache t ~cache:(ref []) ~src ~dst ~bytes payload
+  let frame = encode_frame t ~bytes payload in
+  send_on_cache t ~cache:(ref []) ~frame ~src ~dst ~bytes payload;
+  release_frame t frame
 
 let multicast t ~src ~dsts ~bytes payload =
   if bytes <= 0 then invalid_arg "Network.multicast: non-positive size";
   t.s_sent <- t.s_sent + 1;
   t.s_bytes_sent <- t.s_bytes_sent + bytes;
   let cache = ref [] in
-  List.iter (fun dst -> send_on_cache t ~cache ~src ~dst ~bytes payload) dsts
+  let frame = encode_frame t ~bytes payload in
+  List.iter (fun dst -> send_on_cache t ~cache ~frame ~src ~dst ~bytes payload) dsts;
+  release_frame t frame
 
 let stats t =
   {

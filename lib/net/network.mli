@@ -14,6 +14,7 @@
     exploits against an N-unicast baseline. *)
 
 open Adaptive_sim
+open Adaptive_buf
 
 type addr = Topology.addr
 (** Host address. *)
@@ -106,3 +107,45 @@ val rtt_estimate : 'm t -> src:addr -> dst:addr -> bytes:int -> Time.t option
 (** Crude round-trip estimate for a [bytes]-byte packet and an equal-size
     reply on the reverse route, ignoring queueing.  Used to seed
     retransmission timers before any measurement exists. *)
+
+(** {2 Wire-true mode}
+
+    Opt-in: PDUs cross the network as real bytes.  Each injection is
+    serialized once into a leased pool buffer, the frame is threaded
+    through every {!Link.transmit} on the route, and each receiver
+    decodes its copy at delivery — after which the lease reference is
+    dropped and the buffer returns to the pool (multicast holds one
+    reference per pending delivery).  The hooks keep the network
+    parametric in ['m]: the transport supplies the codec.
+
+    Corruption becomes physical: a corrupted arrival has one real bit
+    flipped in that receiver's copy of the frame, and the codec's
+    checksum — not a simulation flag — decides detection.  A single-bit
+    error is always caught by the Internet checksum, so corrupted frames
+    are rejected (counted, never delivered).  On a lossless route the
+    hooks perform no extra random draws and add zero simulated time, so
+    wire-true and value-mode runs produce identical traces. *)
+
+val set_wire :
+  'm t ->
+  encode:('m -> int -> Pool.lease) ->
+  decode:(Bytes.t -> int -> int -> 'm option) ->
+  release:(Pool.lease -> unit) ->
+  unit
+(** [set_wire t ~encode ~decode ~release] switches [t] to wire-true
+    mode.  [encode pdu bytes] must serialize into a lease holding exactly
+    [bytes] bytes; [decode buf off len] parses a frame (returning [None]
+    to reject it); [release] drops one lease reference.  Decoded payloads
+    must not alias the frame past the delivery callback — detach them. *)
+
+val wire_active : 'm t -> bool
+(** Whether wire-true mode is installed. *)
+
+type wire_stats = {
+  wire_encoded : int;  (** Frames serialized (one per injection). *)
+  wire_decoded : int;  (** Frames successfully decoded at delivery. *)
+  wire_rejected : int;  (** Frames rejected by the codec (corruption). *)
+}
+
+val wire_stats : 'm t -> wire_stats option
+(** Wire-mode counters, [None] when value mode. *)

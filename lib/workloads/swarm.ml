@@ -11,6 +11,7 @@ type config = {
   open_window : Time.t;
   admission : Mantts.admission_policy option;
   monitored_share : int;
+  wire : bool;
 }
 
 let default_config ~sessions ~seed =
@@ -22,6 +23,7 @@ let default_config ~sessions ~seed =
     open_window = Time.sec 1.0;
     admission = None;
     monitored_share = 10;
+    wire = false;
   }
 
 type outcome = {
@@ -41,6 +43,7 @@ type outcome = {
   occupancy_p99 : float;
   table_capacity : int;
   timewait_drops : int;
+  wire_report : Session.Wire.report option;
   unites : Unites.t;
 }
 
@@ -61,6 +64,9 @@ let run cfg =
   let engine = stack.Adaptive.engine in
   let unites = stack.Adaptive.unites in
   let mantts = Adaptive.mantts stack in
+  let wire_handle =
+    if cfg.wire then Some (Session.Wire.install stack.Adaptive.net) else None
+  in
   Mantts.set_admission mantts cfg.admission;
   let client =
     Adaptive.add_host ~host_cpu:(fast_host engine) stack "swarm-client"
@@ -166,6 +172,7 @@ let run cfg =
   in
   let probes = summary_of Unites.Demux_probes in
   let occupancy = summary_of Unites.Table_occupancy in
+  Option.iter (fun h -> Session.Wire.observe h unites) wire_handle;
   {
     offered = !offered;
     admitted = !admitted;
@@ -184,6 +191,7 @@ let run cfg =
     table_capacity = Session.Dispatcher.table_capacity client_disp;
     timewait_drops =
       int_of_float (Unites.total unites ~session:Unites.swarm_session Unites.Timewait_drops);
+    wire_report = Option.map Session.Wire.report wire_handle;
     unites;
   }
 
@@ -192,7 +200,15 @@ let pp_outcome fmt o =
     "@[<v>swarm: offered=%d admitted=%d degraded=%d refused=%d closed=%d@,\
      delivered: %d msgs, %d bytes; peak live=%d; table capacity=%d@,\
      demux probes: mean=%.3f p99=%.0f; occupancy p99=%.3f; timewait drops=%d@,\
-     events=%d sim_time=%a digest=0x%Lx@]" o.offered o.admitted o.degraded
+     events=%d sim_time=%a digest=0x%Lx" o.offered o.admitted o.degraded
     o.refused o.closed o.delivered_msgs o.delivered_bytes o.peak_live
     o.table_capacity o.demux_probes_mean o.demux_probes_p99 o.occupancy_p99
-    o.timewait_drops o.events_fired Time.pp o.sim_time o.digest
+    o.timewait_drops o.events_fired Time.pp o.sim_time o.digest;
+  (match o.wire_report with
+  | None -> ()
+  | Some w ->
+    Format.fprintf fmt
+      "@,wire: encodes=%d decodes=%d rejects=%d fused_sums=%d pool_reuse=%.3f"
+      w.Session.Wire.encodes w.Session.Wire.decodes w.Session.Wire.rejects
+      w.Session.Wire.fused_sums w.Session.Wire.pool_reuse_rate);
+  Format.fprintf fmt "@]"

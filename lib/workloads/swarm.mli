@@ -26,11 +26,15 @@ type config = {
       (** Admission policy installed on the MANTTS instance. *)
   monitored_share : int;  (** Every n-th slot declares a long duration and
                               keeps a policy monitor. *)
+  wire : bool;  (** Run the stack in wire-true mode: PDUs cross the
+                    network as real bytes through the fused zero-copy
+                    codec path.  On this lossless topology the trace
+                    digest must equal the value-mode digest. *)
 }
 
 val default_config : sessions:int -> seed:int -> config
 (** 2 churn rounds, 2000-byte payloads, a 1 s open window, no admission
-    policy, every 10th slot monitored. *)
+    policy, every 10th slot monitored, value (non-wire) mode. *)
 
 type outcome = {
   offered : int;  (** Open attempts (including churn reopens). *)
@@ -51,6 +55,8 @@ type outcome = {
   occupancy_p99 : float;  (** p99 of the table load-factor samples. *)
   table_capacity : int;  (** Final client-side table capacity. *)
   timewait_drops : int;  (** Late segments absorbed in time-wait. *)
+  wire_report : Session.Wire.report option;
+      (** Wire-path counters when the run was wire-true. *)
   unites : Unites.t;  (** The run's metric repository (for reports). *)
 }
 

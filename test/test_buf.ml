@@ -100,6 +100,32 @@ let test_msg_iter_data () =
   Msg.iter_data back (fun b off len -> Buffer.add_subbytes collected b off len);
   check_str "iter over segments" "cdef" (Buffer.contents collected)
 
+let test_msg_of_bytes_slice () =
+  let base = Bytes.of_string "0123456789" in
+  let m = Msg.of_bytes_slice base ~off:2 ~len:5 in
+  check_int "slice length" 5 (Msg.data_length m);
+  check_str "slice content" "23456" (Msg.data_to_string m);
+  (* The slice is a view: base mutations show through. *)
+  Bytes.set base 3 'X';
+  check_str "aliases base" "2X456" (Msg.data_to_string m);
+  Alcotest.check_raises "overrun" (Invalid_argument "Msg.of_bytes_slice")
+    (fun () -> ignore (Msg.of_bytes_slice base ~off:8 ~len:3));
+  Alcotest.check_raises "negative" (Invalid_argument "Msg.of_bytes_slice")
+    (fun () -> ignore (Msg.of_bytes_slice base ~off:(-1) ~len:2))
+
+let test_msg_detach () =
+  let base = Bytes.of_string "leased frame bytes" in
+  let view = Msg.of_bytes_slice base ~off:7 ~len:5 in
+  Msg.reset_copy_counters ();
+  let owned = Msg.detach view in
+  check_int "detach is one counted copy" 1 (Msg.physical_copies ());
+  check_int "bytes counted" 5 (Msg.copied_bytes ());
+  check_str "same content" "frame" (Msg.data_to_string owned);
+  (* The detached message survives the lease's buffer being recycled. *)
+  Bytes.fill base 0 (Bytes.length base) '\000';
+  check_str "independent of base" "frame" (Msg.data_to_string owned);
+  check_str "view sees the recycle" "\000\000\000\000\000" (Msg.data_to_string view)
+
 let prop_fragment_roundtrip =
   QCheck2.Test.make ~name:"fragment/concat is the identity" ~count:300
     QCheck2.Gen.(pair (string_size (int_range 0 200)) (int_range 1 32))
@@ -236,6 +262,104 @@ let prop_crc32_msg_odd_segments =
       let m = Msg.concat (List.map Msg.of_string pieces) in
       Checksum.crc32_msg m = ref_crc32 (String.concat "" pieces))
 
+(* Fused running sums: the packed-state [sum_*] operations must agree
+   with copy-then-[internet] over any chunking — including odd-length
+   chunks (which exercise the pending-byte carry) and nonzero offsets
+   (which exercise the unaligned bulk loop). *)
+
+(* Cut [s] into chunks whose lengths are drawn from [cuts]. *)
+let chunked s cuts =
+  let n = String.length s in
+  let rec go pos cuts acc =
+    if pos >= n then List.rev acc
+    else
+      match cuts with
+      | [] -> List.rev ((pos, n - pos) :: acc)
+      | c :: rest ->
+        let len = min (1 + c) (n - pos) in
+        go (pos + len) rest ((pos, len) :: acc)
+  in
+  go 0 cuts []
+
+let gen_string_and_cuts =
+  QCheck2.Gen.(
+    pair
+      (string_size (int_range 0 300))
+      (list_size (int_range 0 12) (int_range 0 37)))
+
+let prop_sum_add_chunked_matches_internet =
+  QCheck2.Test.make
+    ~name:"sum_add over any chunking = internet of the whole" ~count:500
+    gen_string_and_cuts
+    (fun (s, cuts) ->
+      let b = Bytes.of_string s in
+      let st =
+        List.fold_left
+          (fun st (off, len) -> Checksum.sum_add st b off len)
+          Checksum.sum_init (chunked s cuts)
+      in
+      Checksum.sum_finish st = Checksum.internet s)
+
+let prop_sum_into_matches_copy_then_internet =
+  (* The satellite property: fused copy+sum = Bytes.blit then
+     [internet], for odd lengths and offset starts on both sides. *)
+  QCheck2.Test.make
+    ~name:"sum_into = blit + internet (odd lengths, offset starts)"
+    ~count:500
+    QCheck2.Gen.(pair gen_string_and_cuts (pair (int_range 0 7) (int_range 0 7)))
+    (fun ((s, cuts), (src_pad, dst_pad)) ->
+      let n = String.length s in
+      (* Embed the source at [src_pad] so bulk loops start unaligned. *)
+      let src = Bytes.make (src_pad + n) '\xAA' in
+      Bytes.blit_string s 0 src src_pad n;
+      let dst = Bytes.make (dst_pad + n) '\x55' in
+      let st =
+        List.fold_left
+          (fun st (off, len) ->
+            Checksum.sum_into st ~src ~src_off:(src_pad + off) ~dst
+              ~dst_off:(dst_pad + off) ~len)
+          Checksum.sum_init (chunked s cuts)
+      in
+      Checksum.sum_finish st = Checksum.internet s
+      && Bytes.sub_string dst dst_pad n = s)
+
+let prop_sum_skip2_is_two_zero_bytes =
+  QCheck2.Test.make
+    ~name:"sum_skip2 = sum_add of two zero bytes at any parity" ~count:300
+    QCheck2.Gen.(pair (string_size (int_range 0 64)) (string_size (int_range 0 64)))
+    (fun (before, after) ->
+      let b1 = Bytes.of_string before and b2 = Bytes.of_string after in
+      let zz = Bytes.make 2 '\000' in
+      let via_skip =
+        Checksum.sum_add
+          (Checksum.sum_skip2
+             (Checksum.sum_add Checksum.sum_init b1 0 (Bytes.length b1)))
+          b2 0 (Bytes.length b2)
+      in
+      let via_zeros =
+        Checksum.sum_add
+          (Checksum.sum_add
+             (Checksum.sum_add Checksum.sum_init b1 0 (Bytes.length b1))
+             zz 0 2)
+          b2 0 (Bytes.length b2)
+      in
+      Checksum.sum_finish via_skip = Checksum.sum_finish via_zeros)
+
+let test_sum_into_bounds () =
+  let src = Bytes.create 8 and dst = Bytes.create 8 in
+  Alcotest.check_raises "src overrun" (Invalid_argument "Checksum.sum_into")
+    (fun () ->
+      ignore
+        (Checksum.sum_into Checksum.sum_init ~src ~src_off:4 ~dst ~dst_off:0
+           ~len:5));
+  Alcotest.check_raises "dst overrun" (Invalid_argument "Checksum.sum_into")
+    (fun () ->
+      ignore
+        (Checksum.sum_into Checksum.sum_init ~src ~src_off:0 ~dst ~dst_off:4
+           ~len:5));
+  Alcotest.check_raises "negative len" (Invalid_argument "Checksum.sum_add")
+    (fun () -> ignore (Checksum.sum_add Checksum.sum_init src 0 (-1)))
+
 (* Cached lengths: [data_length]/[header_length] are O(1) fields now;
    check they always agree with a recount over the actual regions. *)
 
@@ -353,6 +477,66 @@ let test_pool_count_invariant () =
   check_int "in_use matches held buffers" (List.length !held) (Pool.in_use p);
   check_int "no discards without resize" 0 (Pool.free_discarded p)
 
+(* ------------------------------------------------------------ Pool leases *)
+
+let test_lease_reuse () =
+  let p = Pool.create ~buffers:2 ~size:64 in
+  let l1 = Pool.lease p ~min_bytes:32 in
+  check_int "pool served" 1 (Pool.lease_hits p);
+  check_int "one ref" 1 (Pool.lease_refs l1);
+  check_int "taken from free list" 1 (Pool.available p);
+  let b1 = Pool.lease_buf l1 in
+  Pool.release p l1;
+  check_int "returned on final release" 2 (Pool.available p);
+  (* The recycled buffer comes straight back for the next frame. *)
+  let l2 = Pool.lease p ~min_bytes:32 in
+  check_bool "same physical buffer reused" true (Pool.lease_buf l2 == b1);
+  check_int "still zero fresh" 0 (Pool.lease_fresh p);
+  Pool.release p l2
+
+let test_lease_refcount () =
+  let p = Pool.create ~buffers:1 ~size:16 in
+  let l = Pool.lease p ~min_bytes:8 in
+  Pool.retain l;
+  Pool.retain l;
+  check_int "three holders" 3 (Pool.lease_refs l);
+  Pool.release p l;
+  Pool.release p l;
+  check_int "buffer still held" 0 (Pool.available p);
+  check_bool "still readable" true (Bytes.length (Pool.lease_buf l) = 16);
+  Pool.release p l;
+  check_int "final release returns it" 1 (Pool.available p);
+  check_int "refs exhausted" 0 (Pool.lease_refs l)
+
+let test_lease_double_release () =
+  let p = Pool.create ~buffers:1 ~size:16 in
+  let l = Pool.lease p ~min_bytes:8 in
+  Pool.release p l;
+  Alcotest.check_raises "double free" (Invalid_argument "Pool.release: lease already released")
+    (fun () -> Pool.release p l);
+  Alcotest.check_raises "use after free" (Invalid_argument "Pool.lease_buf: lease already released")
+    (fun () -> ignore (Pool.lease_buf l));
+  Alcotest.check_raises "retain after free" (Invalid_argument "Pool.retain: lease already released")
+    (fun () -> Pool.retain l)
+
+let test_lease_fresh_fallbacks () =
+  let p = Pool.create ~buffers:1 ~size:32 in
+  (* Oversized request: fresh buffer sized to the request. *)
+  let big = Pool.lease p ~min_bytes:100 in
+  check_int "oversized is fresh" 1 (Pool.lease_fresh p);
+  check_bool "sized to request" true (Bytes.length (Pool.lease_buf big) >= 100);
+  check_int "pool untouched" 1 (Pool.available p);
+  (* Exhaustion: pool empty, so fresh again (and an alloc miss). *)
+  let a = Pool.lease p ~min_bytes:8 in
+  let b = Pool.lease p ~min_bytes:8 in
+  check_int "second lease fresh on empty pool" 2 (Pool.lease_fresh p);
+  check_bool "exhaustion counted as miss" true (Pool.misses p >= 1);
+  Pool.release p a;
+  check_int "pooled buffer comes back" 1 (Pool.available p);
+  Pool.release p b;
+  Pool.release p big;
+  check_int "fresh buffers are not pooled on release" 1 (Pool.available p)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -367,6 +551,8 @@ let suite =
         Alcotest.test_case "lazy copy shares payload" `Quick test_msg_copy_sharing;
         Alcotest.test_case "copy counters" `Quick test_msg_copy_counters;
         Alcotest.test_case "iter_data" `Quick test_msg_iter_data;
+        Alcotest.test_case "of_bytes_slice views" `Quick test_msg_of_bytes_slice;
+        Alcotest.test_case "detach copies out of a lease" `Quick test_msg_detach;
       ]
       @ qsuite
           [
@@ -383,6 +569,7 @@ let suite =
         Alcotest.test_case "crc32 check value" `Quick test_crc32_known_vector;
         Alcotest.test_case "adler32 vector" `Quick test_adler32_known_vector;
         Alcotest.test_case "detects bit flips" `Quick test_checksum_detects_flip;
+        Alcotest.test_case "sum_into/sum_add bounds" `Quick test_sum_into_bounds;
       ]
       @ qsuite
           [
@@ -393,6 +580,9 @@ let suite =
             prop_crc32_matches_bytewise_reference;
             prop_internet_msg_odd_segments;
             prop_crc32_msg_odd_segments;
+            prop_sum_add_chunked_matches_internet;
+            prop_sum_into_matches_copy_then_internet;
+            prop_sum_skip2_is_two_zero_bytes;
           ] );
     ( "buf.pool",
       [
@@ -404,5 +594,9 @@ let suite =
           test_pool_free_discarded;
         Alcotest.test_case "free-count accounting invariant" `Quick
           test_pool_count_invariant;
+        Alcotest.test_case "lease reuse" `Quick test_lease_reuse;
+        Alcotest.test_case "lease refcounts" `Quick test_lease_refcount;
+        Alcotest.test_case "lease double release" `Quick test_lease_double_release;
+        Alcotest.test_case "lease fresh fallbacks" `Quick test_lease_fresh_fallbacks;
       ] );
   ]

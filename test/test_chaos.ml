@@ -244,6 +244,49 @@ let test_shrink_to_sabotage () =
   | _ -> Alcotest.fail "expected a single-fault repro");
   check_bool "minimal repro still fails" true (not (Soak.ok r.Soak.s_outcome))
 
+(* ------------------------------------------------------ wire-true soak *)
+
+(* A bit-error storm under wire-true mode: corruption lands on the real
+   frame bytes, so it must be caught by the in-place checksum verify
+   ([decode_view]) and counted as wire rejects — never delivered as a
+   damaged PDU, and therefore never able to trip the
+   undetected-corruption oracle. *)
+let test_wire_ber_burst_soak () =
+  let burst start =
+    {
+      Fault.cls = Fault.Ber_burst;
+      start = Time.ms start;
+      duration = Time.ms 2500;
+      target = 0;
+      intensity = 0.9;
+    }
+  in
+  let schedule = [ burst 500; burst 3500 ] in
+  let o = Soak.run_schedule ~wire:true ~env:Soak.Campus ~seed:21 schedule in
+  let w =
+    match o.Soak.o_wire with
+    | Some w -> w
+    | None -> Alcotest.fail "wire-true run carried no wire report"
+  in
+  check_bool "the storm actually corrupted frames" true
+    (w.Session.Wire.rejects > 0);
+  check_bool "every arriving frame was either decoded or rejected" true
+    (w.Session.Wire.decodes + w.Session.Wire.rejects <= w.Session.Wire.encodes
+    && w.Session.Wire.decodes > 0);
+  check_bool "no undetected corruption under wire-true mode" true
+    (not
+       (List.exists
+          (fun v -> v.Invariant.kind = Invariant.Undetected_corruption)
+          o.Soak.o_violations));
+  check_bool "soak passes all oracles" true (Soak.ok o);
+  (* Frame-level determinism: the wire path replays bit-for-bit. *)
+  let o2 = Soak.run_schedule ~wire:true ~env:Soak.Campus ~seed:21 schedule in
+  Alcotest.(check int64) "same trace hash" o.Soak.o_hash o2.Soak.o_hash;
+  check_bool "same reject count" true
+    (match o2.Soak.o_wire with
+    | Some w2 -> w2.Session.Wire.rejects = w.Session.Wire.rejects
+    | None -> false)
+
 let suite =
   [
     ( "chaos.schedule",
@@ -278,6 +321,11 @@ let suite =
           test_liveness_catches_wedge;
         Alcotest.test_case "slow recovery after backoff is exonerated" `Quick
           test_liveness_recovery_exonerated;
+      ] );
+    ( "chaos.wire",
+      [
+        Alcotest.test_case "ber burst is caught at decode_view" `Slow
+          test_wire_ber_burst_soak;
       ] );
     ( "chaos.shrink",
       [

@@ -111,6 +111,101 @@ let test_unites_report () =
   Format.pp_print_flush fmt ();
   check_golden "unites report" unites_report_golden (Buffer.contents buf)
 
+(* One wire-true run pinned end to end: the swarm outcome (with its wire
+   report line) and the full UNITES repository, including the wire
+   pseudo-session.  Any change to the wire path's accounting, the codec's
+   byte counts, or frame-level determinism shows up here as a digest or
+   counter drift. *)
+let wire_swarm_golden =
+  {golden|swarm: offered=10 admitted=10 degraded=0 refused=0 closed=10
+delivered: 10 msgs, 22096 bytes; peak live=5; table capacity=16
+demux probes: mean=1.000 p99=1; occupancy p99=0.500; timewait drops=0
+events=218 sim_time=7.000s digest=0x6bdd92b6ac9d6f04
+wire: encodes=52 decodes=52 rejects=0 fused_sums=0 pool_reuse=1.000
+=== unites ===
+UNITES metric repository (t=7.000s, whitebox=true)
+session -3 (wire):
+  wire_encodes         [wb] n=1 mean=52 sd=nan min=52 p50=52 p95=52 p99=52 max=52
+  wire_decodes         [wb] n=1 mean=52 sd=nan min=52 p50=52 p95=52 p99=52 max=52
+  wire_rejects         [wb] n=1 mean=0 sd=nan min=0 p50=0 p95=0 p99=0 max=0
+  wire_fused_sums      [wb] n=1 mean=0 sd=nan min=0 p50=0 p95=0 p99=0 max=0
+  wire_pool_reuse      [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+session -2 (swarm):
+  sessions_open        [wb] n=10 mean=1 sd=0 min=1 p50=1 p95=1 p99=1 max=1
+  demux_probes         [wb] n=52 mean=1 sd=0 min=1 p50=1 p95=1 p99=1 max=1
+  table_occupancy      [wb] n=54 mean=0.3218 sd=0.1626 min=0 p50=0.375 p95=0.5 p99=0.5 max=0.5
+session 0 (scheduler):
+  sched_events_fired   [wb] n=1 mean=218 sd=nan min=218 p50=218 p95=218 p99=218 max=218
+  sched_timers_rearmed [wb] n=1 mean=29 sd=nan min=29 p50=29 p95=29 p99=29 max=29
+  sched_cancelled_ratio [wb] n=1 mean=0 sd=nan min=0 p50=0 p95=0 p99=0 max=0
+  sched_wheel_hit_rate [wb] n=1 mean=0.5598 sd=nan min=0.5598 p50=0.5598 p95=0.5598 p99=0.5598 max=0.5598
+session 1 (sw-0-0):
+  setup_latency_s      [wb] n=2 mean=0 sd=0 min=0 p50=0 p95=0 p99=0 max=0
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.496e-06 sd=nan min=6.496e-06 p50=6.496e-06 p95=6.496e-06 p99=6.496e-06 max=6.496e-06
+session 2 (sw-1-0):
+  setup_latency_s      [wb] n=2 mean=0 sd=0 min=0 p50=0 p95=0 p99=0 max=0
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.522e-06 sd=nan min=6.522e-06 p50=6.522e-06 p95=6.522e-06 p99=6.522e-06 max=6.522e-06
+session 3 (sw-2-0):
+  setup_latency_s      [wb] n=2 mean=6.135e-05 sd=8.676e-05 min=0 p50=6.135e-05 p95=0.0001166 p99=0.0001215 max=0.0001227
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.483e-06 sd=nan min=6.483e-06 p50=6.483e-06 p95=6.483e-06 p99=6.483e-06 max=6.483e-06
+session 4 (sw-3-0):
+  setup_latency_s      [wb] n=2 mean=6.138e-05 sd=8.68e-05 min=0 p50=6.138e-05 p95=0.0001166 p99=0.0001215 max=0.0001228
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.496e-06 sd=nan min=6.496e-06 p50=6.496e-06 p95=6.496e-06 p99=6.496e-06 max=6.496e-06
+session 5 (sw-1-1):
+  setup_latency_s      [wb] n=2 mean=0 sd=0 min=0 p50=0 p95=0 p99=0 max=0
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.522e-06 sd=nan min=6.522e-06 p50=6.522e-06 p95=6.522e-06 p99=6.522e-06 max=6.522e-06
+session 6 (sw-0-1):
+  setup_latency_s      [wb] n=2 mean=0 sd=0 min=0 p50=0 p95=0 p99=0 max=0
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.496e-06 sd=nan min=6.496e-06 p50=6.496e-06 p95=6.496e-06 p99=6.496e-06 max=6.496e-06
+session 7 (sw-4-0):
+  rtt_s                [bb] n=1 mean=0.002171 sd=nan min=0.002171 p50=0.002171 p95=0.002171 p99=0.002171 max=0.002171
+  setup_latency_s      [wb] n=2 mean=0 sd=0 min=0 p50=0 p95=0 p99=0 max=0
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.314e-06 sd=nan min=6.314e-06 p50=6.314e-06 p95=6.314e-06 p99=6.314e-06 max=6.314e-06
+session 8 (sw-2-1):
+  setup_latency_s      [wb] n=2 mean=6.135e-05 sd=8.676e-05 min=0 p50=6.135e-05 p95=0.0001166 p99=0.0001215 max=0.0001227
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.483e-06 sd=nan min=6.483e-06 p50=6.483e-06 p95=6.483e-06 p99=6.483e-06 max=6.483e-06
+session 9 (sw-4-1):
+  rtt_s                [bb] n=1 mean=0.002221 sd=nan min=0.002221 p50=0.002221 p95=0.002221 p99=0.002221 max=0.002221
+  setup_latency_s      [wb] n=2 mean=0 sd=0 min=0 p50=0 p95=0 p99=0 max=0
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.314e-06 sd=nan min=6.314e-06 p50=6.314e-06 p95=6.314e-06 p99=6.314e-06 max=6.314e-06
+session 10 (sw-3-1):
+  setup_latency_s      [wb] n=2 mean=6.138e-05 sd=8.68e-05 min=0 p50=6.138e-05 p95=0.0001166 p99=0.0001215 max=0.0001228
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.496e-06 sd=nan min=6.496e-06 p50=6.496e-06 p95=6.496e-06 p99=6.496e-06 max=6.496e-06
+trace (dropped log entries: 0):
+  close                        10
+  deliver                      10
+  open                         10
+|golden}
+
+let wire_swarm_output () =
+  let open Adaptive_workloads in
+  let cfg =
+    { (Swarm.default_config ~sessions:5 ~seed:424242) with
+      Swarm.churn_rounds = 1;
+      wire = true }
+  in
+  let o = Swarm.run cfg in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Format.asprintf "%a" Swarm.pp_outcome o);
+  Buffer.add_string buf "\n=== unites ===\n";
+  let fmt = Format.formatter_of_buffer buf in
+  Unites.report fmt o.Swarm.unites;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let test_wire_swarm () =
+  check_golden "wire-true swarm report" wire_swarm_golden (wire_swarm_output ())
+
 let suite =
   [
     ( "golden",
@@ -118,5 +213,7 @@ let suite =
         Alcotest.test_case "table1 output is pinned" `Quick test_table1;
         Alcotest.test_case "table2 output is pinned" `Quick test_table2;
         Alcotest.test_case "UNITES report is pinned" `Quick test_unites_report;
+        Alcotest.test_case "wire-true swarm report is pinned" `Quick
+          test_wire_swarm;
       ] );
   ]

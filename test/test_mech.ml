@@ -667,6 +667,146 @@ let prop_codec_bitflip_detected =
       | Error _ -> true (* structural fields damaged: also caught *)
       | Ok _ -> false)
 
+(* -------------------------------------------------- wire-true codec paths *)
+
+(* Random PDUs over every constructor, for the fused-path equivalence
+   properties below. *)
+let gen_any_pdu =
+  QCheck2.Gen.(
+    let* kind = int_range 0 12 in
+    let* conn = int_range 0 0xFFFF in
+    let* a = int_range 0 100_000 in
+    let* b = int_range 0 1_000 in
+    let* text = string_size (int_range 0 80) in
+    let payload_seg =
+      Pdu.seg ~seq:a ~bytes:(String.length text)
+        ~payload:(Adaptive_buf.Msg.of_string text) ~stamp:b ~last:(b mod 2 = 0)
+        ()
+    in
+    return
+      (match kind with
+      | 0 -> Pdu.Data { conn; seg = payload_seg; retransmit = a mod 2 = 0; tx_stamp = b }
+      | 1 ->
+        (* Payload-less segment: the codec writes zero filler. *)
+        Pdu.Data
+          { conn; seg = seg ~bytes:(1 + (a mod 50)) a; retransmit = false;
+            tx_stamp = Time.us 9 }
+      | 2 ->
+        Pdu.Parity
+          { conn; group_start = a; group_len = 2;
+            covered = [ seg ~bytes:3 a; seg ~bytes:3 (a + 1) ];
+            parity = Some (Adaptive_buf.Msg.of_string text) }
+      | 3 -> Pdu.Ack { conn; cum = a; window = b; sack = [ a + 1; a + 4 ]; echo = b }
+      | 4 -> Pdu.Nack { conn; missing = [ a; a + 2 ] }
+      | 5 -> Pdu.Syn { conn; blob = text; first = None }
+      | 6 ->
+        Pdu.Syn
+          { conn; blob = text;
+            first = Some (Pdu.Data { conn; seg = payload_seg; retransmit = false; tx_stamp = b }) }
+      | 7 -> Pdu.Syn_ack { conn; accepted = a mod 2 = 0; blob = text }
+      | 8 -> Pdu.Ack_of_syn { conn }
+      | 9 -> Pdu.Fin { conn; graceful = a mod 2 = 0 }
+      | 10 -> Pdu.Fin_ack { conn }
+      | 11 -> Pdu.Signal { conn; blob = text }
+      | _ -> Pdu.Signal_ack { conn; blob = text }))
+
+let prop_encode_into_equals_encode =
+  QCheck2.Test.make
+    ~name:"encode_into = encode byte-for-byte, at any offset, all PDU types"
+    ~count:500
+    QCheck2.Gen.(pair gen_any_pdu (int_range 0 9))
+    (fun (pdu, off) ->
+      let st = Codec.wire_state () in
+      let reference = Codec.encode pdu in
+      let need = Pdu.wire_bytes pdu in
+      let buf = Bytes.make (off + need + 4) '\xCC' in
+      let n = Codec.encode_into st pdu buf ~off in
+      n = need
+      && String.length reference = need
+      && Bytes.sub_string buf off n = reference
+      (* Bytes outside [off, off+n) are untouched. *)
+      && (off = 0 || Bytes.get buf (off - 1) = '\xCC')
+      && Bytes.get buf (off + n) = '\xCC')
+
+(* Error-for-error equivalence of the in-place and string decoders, over
+   pristine, truncated, type-damaged and checksum-damaged images. *)
+let mutate image mutation knob =
+  match mutation with
+  | 0 -> image
+  | 1 -> String.sub image 0 (knob mod (String.length image + 1))
+  | 2 ->
+    let b = Bytes.of_string image in
+    let bit = knob mod (8 * Bytes.length b) in
+    Bytes.set b (bit / 8)
+      (Char.chr (Char.code (Bytes.get b (bit / 8)) lxor (1 lsl (bit mod 8))));
+    Bytes.to_string b
+  | _ ->
+    let b = Bytes.of_string image in
+    Bytes.set_uint8 b 0 (100 + (knob mod 100));
+    Bytes.to_string b
+
+let prop_decode_view_equals_decode =
+  QCheck2.Test.make
+    ~name:"decode_view = decode, value and error, on damaged images too"
+    ~count:800
+    QCheck2.Gen.(
+      pair gen_any_pdu (triple (int_range 0 3) (int_range 0 100_000) (int_range 0 9)))
+    (fun (pdu, (mutation, knob, off)) ->
+      let image = mutate (Codec.encode pdu) mutation knob in
+      let len = String.length image in
+      let padded = Bytes.make (off + len + 3) '\xEE' in
+      Bytes.blit_string image 0 padded off len;
+      match (Codec.decode image, Codec.decode_view padded ~off ~len) with
+      | Ok a, Ok b ->
+        (* Re-encoding both results must give identical bytes: metadata
+           and payload content agree. *)
+        metadata_equal a b && Codec.encode a = Codec.encode b
+      | Error ea, Error eb -> ea = eb
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let prop_scan_data_agrees_with_decode_view =
+  QCheck2.Test.make
+    ~name:"scan_data classifies exactly as decode_view" ~count:800
+    QCheck2.Gen.(
+      pair gen_any_pdu (triple (int_range 0 3) (int_range 0 100_000) (int_range 0 9)))
+    (fun (pdu, (mutation, knob, off)) ->
+      let st = Codec.wire_state () in
+      let image = mutate (Codec.encode pdu) mutation knob in
+      let len = String.length image in
+      let padded = Bytes.make (off + len + 3) '\xEE' in
+      Bytes.blit_string image 0 padded off len;
+      let view = Codec.decode_view padded ~off ~len in
+      match Codec.scan_data st padded ~off ~len with
+      | Codec.Scan_not_data -> (
+        match view with
+        | Ok (Pdu.Data _) -> false
+        | Ok _ | Error _ -> true)
+      | Codec.Scan_truncated -> (
+        (* scan_data only judges data PDUs; a short non-data image is
+           classified Scan_truncated before the type check can run. *)
+        match view with
+        | Error Codec.Truncated -> true
+        | Ok (Pdu.Data _) -> false
+        | Ok _ | Error _ -> len < 32)
+      | Codec.Scan_bad_checksum -> view = Error Codec.Bad_checksum
+      | Codec.Scan_ok -> (
+        match view with
+        | Ok (Pdu.Data { conn; seg = s; retransmit; tx_stamp }) ->
+          Codec.scan_conn st = conn
+          && Codec.scan_seq st = s.Pdu.seq
+          && Codec.scan_last st = s.Pdu.app_last
+          && Codec.scan_retransmit st = retransmit
+          && Codec.scan_app_stamp st = s.Pdu.app_stamp
+          && Codec.scan_tx_stamp st = tx_stamp
+          && Codec.scan_payload_len st = s.Pdu.seg_bytes
+          && (match s.Pdu.payload with
+             | None -> true
+             | Some m ->
+               Bytes.sub_string padded (Codec.scan_payload_off st)
+                 (Codec.scan_payload_len st)
+               = Adaptive_buf.Msg.data_to_string m)
+        | Ok _ | Error _ -> false))
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =

@@ -17,7 +17,7 @@ let test_link_timing () =
   let link = mk_link () in
   let rng = Rng.create 1 in
   (* 1000 bytes at 8 Mb/s = 1 ms serialization + 1 ms propagation. *)
-  match Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:1000 with
+  match Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:1000 () with
   | Link.Transmitted { departs; corrupted } ->
     check_int "departure" (Time.ms 2) departs;
     check_bool "clean" false corrupted
@@ -27,12 +27,12 @@ let test_link_fifo_backlog () =
   let link = mk_link () in
   let rng = Rng.create 1 in
   let d1 =
-    match Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:1000 with
+    match Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:1000 () with
     | Link.Transmitted { departs; _ } -> departs
     | _ -> Alcotest.fail "drop"
   in
   let d2 =
-    match Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:1000 with
+    match Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:1000 () with
     | Link.Transmitted { departs; _ } -> departs
     | _ -> Alcotest.fail "drop"
   in
@@ -43,7 +43,7 @@ let test_link_queue_overflow () =
   let rng = Rng.create 1 in
   let dropped = ref 0 and sent = ref 0 in
   for _ = 1 to 10 do
-    match Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:1000 with
+    match Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:1000 () with
     | Link.Transmitted _ -> incr sent
     | Link.Dropped_queue -> incr dropped
     | Link.Dropped_down -> Alcotest.fail "down?"
@@ -58,12 +58,12 @@ let test_link_failure () =
   let rng = Rng.create 1 in
   Link.fail link;
   check_bool "down" false (Link.is_up link);
-  (match Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:100 with
+  (match Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:100 () with
   | Link.Dropped_down -> ()
   | Link.Transmitted _ | Link.Dropped_queue -> Alcotest.fail "expected Dropped_down");
   Link.repair link;
   check_bool "up" true (Link.is_up link);
-  match Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:100 with
+  match Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:100 () with
   | Link.Transmitted _ -> ()
   | Link.Dropped_down | Link.Dropped_queue -> Alcotest.fail "expected delivery"
 
@@ -72,7 +72,7 @@ let test_link_background_scales_rate () =
   Link.set_background_utilization slow 0.5;
   let rng = Rng.create 1 in
   let departs l =
-    match Link.transmit l ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:1000 with
+    match Link.transmit l ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:1000 () with
     | Link.Transmitted { departs; _ } -> departs
     | _ -> Alcotest.fail "drop"
   in
@@ -86,7 +86,7 @@ let test_link_background_scales_rate () =
 let test_link_corruption () =
   let link = mk_link ~ber:1.0 () in
   let rng = Rng.create 1 in
-  match Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:10 with
+  match Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:10 () with
   | Link.Transmitted { corrupted; _ } ->
     check_bool "ber=1 always corrupts" true corrupted;
     check_int "counted" 1 (Link.stats link).Link.corrupted
@@ -96,7 +96,7 @@ let test_link_estimates () =
   let link = mk_link () in
   let rng = Rng.create 1 in
   check_int "idle queue delay" 0 (Link.queue_delay_estimate link ~now:Time.zero);
-  ignore (Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:1000);
+  ignore (Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:1000 ());
   check_bool "busy queue delay" true (Link.queue_delay_estimate link ~now:Time.zero > 0);
   Link.set_background_utilization link 0.4;
   check_bool "estimate includes background" true
@@ -105,7 +105,7 @@ let test_link_estimates () =
 let test_link_reset_stats () =
   let link = mk_link () in
   let rng = Rng.create 1 in
-  ignore (Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:500);
+  ignore (Link.transmit link ~rng ~now:Time.zero ~arrival:Time.zero ~bytes:500 ());
   Link.reset_stats link;
   check_int "accepted reset" 0 (Link.stats link).Link.accepted
 
