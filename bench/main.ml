@@ -39,6 +39,7 @@ let registry =
     ("e10_fleet_scale", Fleet_scale.e10_fleet_scale);
     ("e11_swarm_scale", Swarm_scale.e11_swarm_scale);
     ("e12_wire_path", Wire_path.e12_wire_path);
+    ("e13_megaswarm_scale", Megaswarm_scale.e13_megaswarm_scale);
     ("a1_detection", Ablations.a1_detection);
     ("a2_fec_group", Ablations.a2_fec_group);
     ("a3_ack_delay", Ablations.a3_ack_delay);
@@ -75,6 +76,7 @@ let () =
       Fleet_scale.smoke := true;
       Swarm_scale.smoke := true;
       Wire_path.smoke := true;
+      Megaswarm_scale.smoke := true;
       parse rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with

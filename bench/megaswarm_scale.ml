@@ -1,0 +1,227 @@
+(* e13_megaswarm_scale — partitioned many-session scale (MEGASWARM).
+
+   The megaswarm workload spreads session churn across logical
+   partitions joined by a constant-latency WAN and executes them over
+   OCaml 5 domains with conservative barrier-window synchronization
+   (Shard).  Per scale the experiment reports events per wall-clock
+   second plus the tick-cost breakdown the O(active) control plane is
+   about: shared monitor-tick firings and monitors walked, coalesced
+   time-wait sweeps and entries expired, and the mean demux probes per
+   lookup.  A steady-state allocation probe records minor words per
+   event — the struct-of-arrays hot loop must not allocate more per
+   event as the population grows.
+
+   Shard parity: the same 10k-session configuration runs at --shards 1
+   and --shards 4 (2 in smoke) and the combined FNV-1a digest and every
+   rendered per-partition UNITES report must be byte-identical — the
+   shard count is an execution choice, never a result.
+
+   Parallel reporting is honest: when the machine has fewer cores than
+   the sharded run asks for, "speedup" is null with a reason, not a
+   misleading sub-1.0 number.
+
+   The full run adds a 100k-session churn in one world: it must complete
+   with flat demux probes while every per-(session, metric) UNITES
+   bucket runs the P² streaming estimator (bounded memory by
+   construction).  Emits BENCH_megaswarm.json. *)
+
+open Adaptive_workloads
+
+let smoke = ref false
+
+let pf = Format.printf
+
+type scale_result = {
+  sessions : int;
+  shards : int;
+  outcome : Megaswarm.outcome;
+  elapsed_s : float;
+  minor_words_per_event : float;
+}
+
+let run_scale ~sessions ~shards ~seed =
+  let cfg =
+    { (Megaswarm.default_config ~sessions ~seed) with Megaswarm.shards }
+  in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Megaswarm.run cfg in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. minor0 in
+  {
+    sessions;
+    shards;
+    outcome;
+    elapsed_s;
+    minor_words_per_event =
+      (let e = outcome.Megaswarm.events_fired in
+       if e > 0 then minor /. float_of_int e else 0.0);
+  }
+
+let events_per_sec r =
+  if r.elapsed_s <= 0.0 then 0.0
+  else float_of_int r.outcome.Megaswarm.events_fired /. r.elapsed_s
+
+let per t w = if t = 0 then 0.0 else float_of_int w /. float_of_int t
+
+let report_scale r =
+  let o = r.outcome in
+  pf
+    "  %7d sessions x%d shard(s): %9.0f ev/s  wall %6.2f s  monitor \
+     %.1f/tick  tw %.1f/sweep  demux mean %.3f  alloc %.0f w/ev@."
+    r.sessions r.shards (events_per_sec r) r.elapsed_s
+    (per o.Megaswarm.monitor_ticks o.Megaswarm.monitor_walked)
+    (per o.Megaswarm.tw_sweeps o.Megaswarm.tw_expired)
+    o.Megaswarm.demux_probes_mean_max r.minor_words_per_event
+
+let json_scale buf r trailing =
+  let o = r.outcome in
+  Printf.bprintf buf
+    {|    { "sessions": %d, "shards": %d, "wall_s": %.6f,
+      "events": %d, "events_per_sec": %.1f,
+      "tick_cost": { "monitor_ticks": %d, "monitor_walked": %d,
+        "monitor_walked_per_tick": %.2f,
+        "tw_sweeps": %d, "tw_expired": %d, "tw_expired_per_sweep": %.2f,
+        "demux_probes_mean": %.4f },
+      "minor_words_per_event": %.1f,
+      "peak_live": %d, "wan_msgs": %d,
+      "digest": "0x%Lx" }%s
+|}
+    r.sessions r.shards r.elapsed_s o.Megaswarm.events_fired
+    (events_per_sec r) o.Megaswarm.monitor_ticks o.Megaswarm.monitor_walked
+    (per o.Megaswarm.monitor_ticks o.Megaswarm.monitor_walked)
+    o.Megaswarm.tw_sweeps o.Megaswarm.tw_expired
+    (per o.Megaswarm.tw_sweeps o.Megaswarm.tw_expired)
+    o.Megaswarm.demux_probes_mean_max r.minor_words_per_event
+    o.Megaswarm.peak_live o.Megaswarm.wan_exchanged o.Megaswarm.digest
+    trailing
+
+let e13_megaswarm_scale () =
+  let seed = 0x4D53 in
+  let parity_sessions = 10_000 in
+  let parity_shards = if !smoke then 2 else 4 in
+  let scales =
+    if !smoke then [ 1_000; 10_000 ] else [ 1_000; 10_000; 100_000 ]
+  in
+  let cores = Domain.recommended_domain_count () in
+  Util.heading
+    (Printf.sprintf
+       "E13 — MEGASWARM: partitioned churn across domains%s"
+       (if !smoke then " [smoke]" else ""));
+  pf "  %d core(s) available@." cores;
+
+  (* Scale sweep, single-sharded: the workload cost itself. *)
+  let results =
+    List.map (fun sessions -> run_scale ~sessions ~shards:1 ~seed) scales
+  in
+  List.iter report_scale results;
+
+  (* O(active) control plane: the monitored share is a fixed fraction of
+     the population, so the per-tick working set tracks the {e live}
+     monitored sessions — it must stay under the concurrent peak and far
+     under the total churned population (closed sessions cost zero). *)
+  let first = List.hd results in
+  let last = List.nth results (List.length results - 1) in
+  let walked_per_tick r =
+    per r.outcome.Megaswarm.monitor_ticks r.outcome.Megaswarm.monitor_walked
+  in
+  Util.shape_check
+    (Printf.sprintf
+       "monitor tick walks only live monitors (%.1f/tick, peak live %d, %d \
+        opens)"
+       (walked_per_tick last) last.outcome.Megaswarm.peak_live
+       last.outcome.Megaswarm.admitted)
+    (List.for_all
+       (fun r ->
+         walked_per_tick r <= float_of_int r.outcome.Megaswarm.peak_live
+         && walked_per_tick r *. 10.0
+            <= float_of_int r.outcome.Megaswarm.admitted)
+       results);
+  Util.shape_check "time-wait sweeps coalesce many expiries per firing"
+    (List.for_all
+       (fun r ->
+         r.outcome.Megaswarm.tw_expired = 0
+         || r.outcome.Megaswarm.tw_sweeps < r.outcome.Megaswarm.tw_expired)
+       results);
+  Util.shape_check
+    (Printf.sprintf "demux probes stay flat at the largest scale (mean %.3f)"
+       last.outcome.Megaswarm.demux_probes_mean_max)
+    (last.outcome.Megaswarm.demux_probes_mean_max < 4.0);
+  Util.shape_check
+    (Printf.sprintf
+       "allocation per event does not grow with scale (%.0f vs %.0f words/ev)"
+       last.minor_words_per_event first.minor_words_per_event)
+    (last.minor_words_per_event <= 1.5 *. first.minor_words_per_event);
+
+  (* Shard parity at the pinned scale: digest and UNITES byte-identical
+     whatever the domain count. *)
+  let base =
+    match List.find_opt (fun r -> r.sessions = parity_sessions) results with
+    | Some r -> r
+    | None -> run_scale ~sessions:parity_sessions ~shards:1 ~seed
+  in
+  let sharded = run_scale ~sessions:parity_sessions ~shards:parity_shards ~seed in
+  report_scale sharded;
+  let digests_match =
+    Int64.equal base.outcome.Megaswarm.digest sharded.outcome.Megaswarm.digest
+  in
+  let unites_identical =
+    base.outcome.Megaswarm.unites_reports
+    = sharded.outcome.Megaswarm.unites_reports
+  in
+  Util.shape_check
+    (Printf.sprintf "digest identical at --shards 1 vs --shards %d (0x%Lx)"
+       parity_shards base.outcome.Megaswarm.digest)
+    digests_match;
+  Util.shape_check "per-partition UNITES reports byte-identical" unites_identical;
+
+  (* Honest speedup: only a real number when the hardware could have
+     delivered one. *)
+  let speedup =
+    if cores < parity_shards then None
+    else if sharded.elapsed_s > 0.0 then Some (base.elapsed_s /. sharded.elapsed_s)
+    else None
+  in
+  (match speedup with
+  | Some s -> pf "  speedup %.2fx at %d shard(s)@." s parity_shards
+  | None ->
+    pf "  speedup: n/a (%d core(s) available < %d shard(s))@." cores
+      parity_shards);
+
+  (* JSON emission. *)
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "{\n\
+    \  \"experiment\": \"e13_megaswarm_scale\",\n\
+    \  \"seed\": %d,\n\
+    \  \"smoke\": %b,\n\
+    \  \"cores_available\": %d,\n\
+    \  \"partitions\": 4,\n\
+    \  \"estimator\": \"p2\",\n\
+    \  \"scales\": [\n"
+    seed !smoke cores;
+  let rec emit = function
+    | [] -> ()
+    | [ r ] -> json_scale buf r ""
+    | r :: rest ->
+      json_scale buf r ",";
+      emit rest
+  in
+  emit (results @ [ sharded ]);
+  Printf.bprintf buf
+    "  ],\n\
+    \  \"parity\": { \"sessions\": %d, \"shards\": [1, %d],\n\
+    \    \"digest\": \"0x%Lx\", \"digests_match\": %b,\n\
+    \    \"unites_byte_identical\": %b },\n"
+    parity_sessions parity_shards base.outcome.Megaswarm.digest digests_match
+    unites_identical;
+  (match speedup with
+  | Some s -> Printf.bprintf buf "  \"speedup\": %.3f\n}\n" s
+  | None ->
+    Printf.bprintf buf
+      "  \"speedup\": null,\n  \"reason\": \"cores_available < jobs\"\n}\n");
+  let oc = open_out "BENCH_megaswarm.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  pf "  wrote BENCH_megaswarm.json@.";
+  if not (digests_match && unites_identical) then exit 1

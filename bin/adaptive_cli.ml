@@ -9,6 +9,7 @@
      chaos                     randomized fault-injection soaks
      fleet                     seeds x environments campaign across domains
      swarm                     many-session churn with admission control
+     megaswarm                 partitioned churn sharded across domains
      wire                      wire-true vs value-mode digest parity
 
    Example:
@@ -357,6 +358,42 @@ let run_swarm sessions churn seed soft hard wire =
     (if wall > 0.0 then float_of_int o.Swarm.events_fired /. wall else 0.0);
   `Ok ()
 
+(* ----------------------------------------------------------- megaswarm *)
+
+(* Partitioned churn across domains (the e13 workload).  --parity re-runs
+   the identical configuration single-sharded and checks the combined
+   digest and every rendered UNITES report byte-for-byte — shard count is
+   an execution choice, never a result. *)
+let run_megaswarm sessions partitions shards churn seed parity =
+  let cfg =
+    { (Megaswarm.default_config ~sessions ~seed) with
+      Megaswarm.partitions;
+      shards;
+      churn_rounds = churn }
+  in
+  Format.printf
+    "megaswarm: %d session slot(s), %d partition(s), %d shard(s), %d churn \
+     round(s), seed %d@."
+    sessions partitions shards churn seed;
+  let t0 = Unix.gettimeofday () in
+  let o = Megaswarm.run cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  Format.printf "%a@." Megaswarm.pp_outcome o;
+  Format.printf "wall %.3f s (%.0f events/s)@." wall
+    (if wall > 0.0 then float_of_int o.Megaswarm.events_fired /. wall else 0.0);
+  if (not parity) || shards = 1 then `Ok ()
+  else begin
+    Format.printf "@.parity: re-running with --shards 1...@.";
+    let o1 = Megaswarm.run { cfg with Megaswarm.shards = 1 } in
+    let digests = Int64.equal o.Megaswarm.digest o1.Megaswarm.digest in
+    let unites = o.Megaswarm.unites_reports = o1.Megaswarm.unites_reports in
+    Format.printf "digests %s; UNITES reports %s@."
+      (if digests then "match" else "DIFFER")
+      (if unites then "byte-identical" else "DIFFER");
+    if digests && unites then `Ok ()
+    else `Error (false, "sharded run diverged from the single-shard baseline")
+  end
+
 (* ---------------------------------------------------------------- wire *)
 
 (* Run the same seeded swarm twice — value mode, then wire-true — and
@@ -603,6 +640,46 @@ let swarm_cmd =
         (const run_swarm $ sessions_arg $ churn_arg $ seed_arg $ soft_arg
        $ hard_arg $ wire_flag))
 
+let partitions_arg =
+  Arg.(
+    value
+    & opt int 4
+    & info [ "partitions" ] ~docv:"P"
+        ~doc:
+          "Logical partitions (part of the workload, independent of the \
+           shard count).")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Execution domains; any value produces the same digest and \
+           UNITES output.")
+
+let parity_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "parity" ]
+        ~doc:
+          "Re-run the same configuration with --shards 1 and check the \
+           digest and UNITES reports byte-for-byte.")
+
+let megaswarm_cmd =
+  Cmd.v
+    (Cmd.info "megaswarm"
+       ~doc:
+         "Churn sessions across several logical partitions joined by a \
+          constant-latency WAN, executed over OCaml domains with \
+          conservative barrier-window synchronization; the result is \
+          independent of --shards")
+    Term.(
+      ret
+        (const run_megaswarm $ sessions_arg $ partitions_arg $ shards_arg
+       $ churn_arg $ seed_arg $ parity_arg))
+
 let wire_cmd =
   Cmd.v
     (Cmd.info "wire"
@@ -616,7 +693,7 @@ let main =
        ~doc:"The ADAPTIVE transport system reproduction")
     [
       apps_cmd; networks_cmd; classify_cmd; run_cmd; chaos_cmd; fleet_cmd;
-      swarm_cmd; wire_cmd;
+      swarm_cmd; megaswarm_cmd; wire_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -11,12 +11,16 @@ type stack = {
   mantts : Mantts.t;
 }
 
-let create_stack ?(seed = 1) ?(whitebox = true) ?metric_reservoir () =
+let create_stack ?(seed = 1) ?(whitebox = true) ?metric_reservoir
+    ?metric_estimator () =
   let engine = Engine.create () in
   let rng = Rng.create seed in
   let topology = Topology.create () in
   let net = Network.create engine ~rng:(Rng.split rng) topology in
-  let unites = Unites.create ~whitebox ?reservoir:metric_reservoir engine in
+  let unites =
+    Unites.create ~whitebox ?reservoir:metric_reservoir
+      ?estimator:metric_estimator engine
+  in
   let mantts = Mantts.create ~net ~unites ~rng:(Rng.split rng) () in
   { engine; rng; topology; net; unites; mantts }
 

@@ -30,11 +30,14 @@ type stack = {
 }
 
 val create_stack :
-  ?seed:int -> ?whitebox:bool -> ?metric_reservoir:int -> unit -> stack
+  ?seed:int -> ?whitebox:bool -> ?metric_reservoir:int ->
+  ?metric_estimator:Stats.estimator -> unit -> stack
 (** Build an empty system.  [seed] (default 1) determines every random
     draw; [whitebox] (default [true]) controls UNITES instrumentation.
     [metric_reservoir] bounds each UNITES accumulator's quantile
-    reservoir (default 8192) — many-session workloads shrink it. *)
+    reservoir (default 8192) — many-session workloads shrink it.
+    [metric_estimator] selects the UNITES quantile sketch (default
+    reservoir sampling; megaswarm passes {!Stats.P2} for flat memory). *)
 
 val mantts : stack -> Mantts.t
 (** The policy subsystem. *)

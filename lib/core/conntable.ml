@@ -24,6 +24,16 @@ type 'a t = {
   mutable total_probes : int;
   mutable last_probes : int;
   mutable max_probes : int;
+  (* Time-wait FIFO: [retire] appends (key, expiry) to a ring so the
+     sweeper pops expired entries from the front — O(expired) per sweep
+     instead of a full O(capacity) slot scan.  Expiries are pushed in
+     non-decreasing order in practice (a constant quarantine added to the
+     monotone clock); an out-of-order entry is still expired correctly,
+     just no earlier than the entries queued ahead of it. *)
+  mutable twq_keys : int array;
+  mutable twq_exp : Time.t array;
+  mutable twq_head : int;
+  mutable twq_len : int;
 }
 
 let rec pow2 n c = if c >= n then c else pow2 n (c * 2)
@@ -44,6 +54,10 @@ let create ?(initial_capacity = 16) () =
     total_probes = 0;
     last_probes = 0;
     max_probes = 0;
+    twq_keys = Array.make 16 0;
+    twq_exp = Array.make 16 Time.zero;
+    twq_head = 0;
+    twq_len = 0;
   }
 
 let capacity t = t.mask + 1
@@ -82,6 +96,23 @@ let find t key =
   t.total_probes <- t.total_probes + !probes;
   t.last_probes <- !probes;
   if !probes > t.max_probes then t.max_probes <- !probes;
+  !result
+
+(* Same probe loop as [find] but without touching the demux telemetry:
+   maintenance lookups (the time-wait sweeper) must not count as
+   application demux work. *)
+let find_silent t key =
+  let mask = t.mask in
+  let states = t.states in
+  let keys = t.keys in
+  let i = ref (slot_of t key) in
+  let result = ref (-2) in
+  while !result = -2 do
+    let s = Array.unsafe_get states !i in
+    if s = s_free then result := -1
+    else if s <> s_tomb && Array.unsafe_get keys !i = key then result := !i
+    else i := (!i + 1) land mask
+  done;
   !result
 
 let slot_state t slot =
@@ -174,13 +205,32 @@ let promote t key =
     t.half <- t.half - 1
   end
 
+let twq_push t key expiry =
+  let cap = Array.length t.twq_keys in
+  if t.twq_len = cap then begin
+    let keys = Array.make (cap * 2) 0 in
+    let exp = Array.make (cap * 2) Time.zero in
+    for i = 0 to t.twq_len - 1 do
+      keys.(i) <- t.twq_keys.((t.twq_head + i) land (cap - 1));
+      exp.(i) <- t.twq_exp.((t.twq_head + i) land (cap - 1))
+    done;
+    t.twq_keys <- keys;
+    t.twq_exp <- exp;
+    t.twq_head <- 0
+  end;
+  let tail = (t.twq_head + t.twq_len) land (Array.length t.twq_keys - 1) in
+  t.twq_keys.(tail) <- key;
+  t.twq_exp.(tail) <- expiry;
+  t.twq_len <- t.twq_len + 1
+
 let retire t ~key ~expiry =
-  let slot = find t key in
+  let slot = find_silent t key in
   if slot >= 0 && t.states.(slot) >= s_half && t.states.(slot) <> s_wait then begin
     clear_slot t slot;
     t.states.(slot) <- s_wait;
     t.waiting <- t.waiting + 1;
-    t.expiry.(slot) <- expiry
+    t.expiry.(slot) <- expiry;
+    twq_push t key expiry
   end
 
 let remove t key =
@@ -193,15 +243,33 @@ let remove t key =
     true
   end
 
+(* Pop expired entries off the FIFO front.  A queue entry may be stale —
+   its key re-inserted or re-retired since — so the slot must still be in
+   time-wait with an expiry that has actually passed before it is freed;
+   a later re-retire has its own queue entry. *)
 let sweep t ~now =
   let expired = ref 0 in
-  for slot = 0 to t.mask do
-    if t.states.(slot) = s_wait && Time.compare t.expiry.(slot) now <= 0 then begin
-      t.states.(slot) <- s_tomb;
-      t.tombs <- t.tombs + 1;
-      t.waiting <- t.waiting - 1;
-      incr expired
+  let continue = ref true in
+  while !continue && t.twq_len > 0 do
+    let mask = Array.length t.twq_keys - 1 in
+    let head = t.twq_head land mask in
+    if Time.compare t.twq_exp.(head) now <= 0 then begin
+      let key = t.twq_keys.(head) in
+      t.twq_head <- (t.twq_head + 1) land mask;
+      t.twq_len <- t.twq_len - 1;
+      let slot = find_silent t key in
+      if
+        slot >= 0
+        && t.states.(slot) = s_wait
+        && Time.compare t.expiry.(slot) now <= 0
+      then begin
+        t.states.(slot) <- s_tomb;
+        t.tombs <- t.tombs + 1;
+        t.waiting <- t.waiting - 1;
+        incr expired
+      end
     end
+    else continue := false
   done;
   !expired
 

@@ -51,7 +51,11 @@ val remove : 'a t -> int -> bool
 
 val sweep : 'a t -> now:Time.t -> int
 (** Expire every time-wait entry with [expiry <= now]; returns how many
-    were reclaimed. *)
+    were reclaimed.  Cost is O(entries expired), not O(capacity): retired
+    keys queue in expiry order (retirement uses a fixed quarantine on a
+    monotone clock) and the sweeper pops the expired front.  If expiries
+    are ever enqueued out of order, a late entry is reclaimed no earlier
+    than those queued ahead of it — never dropped. *)
 
 (** {1 Lookup — the demux hot path} *)
 

@@ -40,6 +40,10 @@ type monitor = {
       (* very-short-duration sessions keep a monitor record (so
          renegotiation and sync groups can find them) but are skipped by
          the shared policy tick *)
+  mutable m_dead : bool;
+      (* set when the session closes; the dense tick array skips dead
+         entries and compacts them out lazily, so a close is O(1) and
+         the tick never scans the historical population *)
 }
 
 (* MANTTS admission control (§4.1.1 "reasonable values" under pressure):
@@ -61,6 +65,14 @@ type t = {
   rng : Rng.t;
   entities : (Network.addr, entity) Hashtbl.t;
   monitors : (int, monitor) Hashtbl.t; (* keyed by session id *)
+  (* The shared tick's working set: monitored monitors in insertion
+     order.  Session ids are allocated monotonically, so appending keeps
+     the array sorted by id — the order the tick has always used — with
+     no per-tick rebuild or sort.  Closed entries are marked dead in
+     place and compacted out once they outnumber the live ones. *)
+  mutable mon_arr : monitor option array;
+  mutable mon_len : int;
+  mutable mon_dead : int;
   mutable sync_groups : int list list; (* session-id groups to keep aligned *)
   mutable adaptation_log : (Time.t * int * string) list; (* newest first *)
   (* All policy monitors share one tick timer, armed only while monitors
@@ -68,7 +80,19 @@ type t = {
      and long-lived ones cost one engine event per interval total. *)
   mutable monitor_timer : Engine.Timer.timer option;
   mutable monitor_armed : bool;
+  (* Tick-cost telemetry: shared-tick firings and live monitors walked,
+     cumulative since creation.  walked / ticks is the per-tick working
+     set — the number the O(active) claim is about. *)
+  mutable tick_rounds : int;
+  mutable tick_walked : int;
   mutable admission : admission_policy option;
+  (* Network snapshots shared across one monitor tick.  All monitors on
+     a path read identical link state within a tick instant — no
+     transmission can run between their callbacks — so the first monitor
+     pays for the sample and the rest reuse it.  Cleared on tick entry
+     AND exit, so out-of-tick callers always sample fresh state. *)
+  path_cache : (int * int, Network.hop_state list) Hashtbl.t;
+  rtt_cache : (int * int, Time.t option) Hashtbl.t;
 }
 
 let monitor_interval = Time.ms 100
@@ -87,11 +111,18 @@ let create ~net ~unites ~rng () =
     rng;
     entities = Hashtbl.create 8;
     monitors = Hashtbl.create 64;
+    mon_arr = Array.make 16 None;
+    mon_len = 0;
+    mon_dead = 0;
     sync_groups = [];
     adaptation_log = [];
     monitor_timer = None;
     monitor_armed = false;
+    tick_rounds = 0;
+    tick_walked = 0;
     admission = None;
+    path_cache = Hashtbl.create 16;
+    rtt_cache = Hashtbl.create 16;
   }
 
 let engine t = t.t_engine
@@ -99,6 +130,55 @@ let network t = t.net
 let unites t = t.t_unites
 let set_admission t policy = t.admission <- policy
 let admission_policy t = t.admission
+let tick_stats t = (t.tick_rounds, t.tick_walked)
+
+(* ------------------------------------------------------------------ *)
+(* Dense monitored-set maintenance *)
+
+let mon_append t mon =
+  if t.mon_len = Array.length t.mon_arr then begin
+    let next = Array.make (2 * t.mon_len) None in
+    Array.blit t.mon_arr 0 next 0 t.mon_len;
+    t.mon_arr <- next
+  end;
+  t.mon_arr.(t.mon_len) <- Some mon;
+  t.mon_len <- t.mon_len + 1
+
+let mon_mark_dead t mon =
+  if not mon.m_dead then begin
+    mon.m_dead <- true;
+    if mon.m_monitored then t.mon_dead <- t.mon_dead + 1
+  end
+
+(* Stable in-place compaction: keeps insertion (= id) order so the tick's
+   iteration order is identical to the historical sorted walk. *)
+let mon_compact t =
+  if t.mon_dead * 2 > t.mon_len then begin
+    let w = ref 0 in
+    for r = 0 to t.mon_len - 1 do
+      match t.mon_arr.(r) with
+      | Some mon when not mon.m_dead ->
+        t.mon_arr.(!w) <- t.mon_arr.(r);
+        incr w
+      | Some _ | None -> ()
+    done;
+    for i = !w to t.mon_len - 1 do
+      t.mon_arr.(i) <- None
+    done;
+    t.mon_len <- !w;
+    t.mon_dead <- 0
+  end
+
+(* A session can be torn down without [close_session] (setup give-up,
+   peer-initiated Fin); the dispatcher's close hook retires the monitor
+   record the moment the endpoint leaves the live set. *)
+let retire_monitor t session =
+  let id = Session.id session in
+  match Hashtbl.find_opt t.monitors id with
+  | Some mon when mon.m_session == session ->
+    mon_mark_dead t mon;
+    Hashtbl.remove t.monitors id
+  | Some _ | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Admission control *)
@@ -198,12 +278,7 @@ let add_host ?host ?(buffer_segments = 4096) t ~addr =
           | Some (_, scs) -> scs
           | None -> degrade_scs default_accept_scs)
       in
-      let committed =
-        List.fold_left
-          (fun acc ep -> acc + (Session.scs ep).Scs.recv_buffer_segments)
-          0
-          (Session.Dispatcher.endpoints disp)
-      in
+      let committed = Session.Dispatcher.committed_recv_segments disp in
       let available = max 4 (Pool.capacity entity.e_pool - committed) in
       let final =
         if proposed.Scs.recv_buffer_segments <= available then proposed
@@ -216,6 +291,7 @@ let add_host ?host ?(buffer_segments = 4096) t ~addr =
           on_deliver = Some (fun session d -> entity.e_app session d);
           on_signal = None;
         });
+  Session.Dispatcher.set_on_close disp (fun session -> retire_monitor t session);
   Hashtbl.replace t.entities addr entity;
   entity
 
@@ -468,6 +544,26 @@ let builtin_rules (scs : Scs.t) (qos : Qos.t) pol =
 (* ------------------------------------------------------------------ *)
 (* Condition evaluation and action application *)
 
+let cached_path_state t ~src ~dst =
+  match Hashtbl.find_opt t.path_cache (src, dst) with
+  | Some hops -> hops
+  | None ->
+    let hops = Network.path_state t.net ~src ~dst in
+    Hashtbl.add t.path_cache (src, dst) hops;
+    hops
+
+let cached_rtt_estimate t ~src ~dst =
+  match Hashtbl.find_opt t.rtt_cache (src, dst) with
+  | Some r -> r
+  | None ->
+    let r = Network.rtt_estimate t.net ~src ~dst ~bytes:1024 in
+    Hashtbl.add t.rtt_cache (src, dst) r;
+    r
+
+let clear_path_caches t =
+  Hashtbl.reset t.path_cache;
+  Hashtbl.reset t.rtt_cache
+
 (* Congestion means cross traffic: a session pacing near the bottleneck's
    capacity must not read its own queueing as a reason to back off. *)
 let worst_utilization t ~src session =
@@ -476,7 +572,7 @@ let worst_utilization t ~src session =
       List.fold_left
         (fun acc (h : Network.hop_state) -> Float.max acc h.Network.cross_traffic)
         acc
-        (Network.path_state t.net ~src ~dst))
+        (cached_path_state t ~src ~dst))
     0.0 (Session.peers session)
 
 let route_names t ~src session =
@@ -484,7 +580,7 @@ let route_names t ~src session =
     (fun dst ->
       List.map
         (fun (h : Network.hop_state) -> h.Network.link_name)
-        (Network.path_state t.net ~src ~dst))
+        (cached_path_state t ~src ~dst))
     (Session.peers session)
 
 (* Sessions without acknowledgment traffic have no measured RTT; fall back
@@ -497,13 +593,13 @@ let session_rtt t mon =
   | None ->
     List.fold_left
       (fun acc dst ->
-        match Network.rtt_estimate t.net ~src:mon.m_src ~dst ~bytes:1024 with
+        match cached_rtt_estimate t ~src:mon.m_src ~dst with
         | Some base ->
           let queueing =
             List.fold_left
               (fun acc (h : Network.hop_state) -> Time.add acc h.Network.queue_delay)
               Time.zero
-              (Network.path_state t.net ~src:mon.m_src ~dst)
+              (cached_path_state t ~src:mon.m_src ~dst)
           in
           let rtt = Time.add base queueing in
           Some (match acc with Some a -> Time.max a rtt | None -> rtt)
@@ -598,8 +694,15 @@ let rederive_playout t mon on_notify =
   | (Some _ | None), _ -> ()
 
 (* Lift every grouped member's playout point to the group maximum so
-   related streams stay in step. *)
+   related streams stay in step.  Groups whose members have all closed
+   are dropped on the way, so long-running systems do not re-walk the
+   ghosts of finished synchronization sets every tick. *)
 let align_sync_groups t =
+  t.sync_groups <-
+    List.filter
+      (fun group ->
+        List.exists (fun id -> Hashtbl.mem t.monitors id) group)
+      t.sync_groups;
   List.iter
     (fun group ->
       let members =
@@ -697,22 +800,23 @@ let rec arm_monitor_timer t =
 
 and shared_monitor_tick t =
   t.monitor_armed <- false;
-  (* Sessions torn down without [close_session] drop off the table here. *)
-  let closed =
-    Hashtbl.fold
-      (fun id mon acc ->
-        if Session.state mon.m_session = Session.Closed then id :: acc else acc)
-      t.monitors []
-  in
-  List.iter (Hashtbl.remove t.monitors) closed;
-  let monitored =
-    Hashtbl.fold
-      (fun _ mon acc -> if mon.m_monitored then mon :: acc else acc)
-      t.monitors []
-    |> List.sort (fun a b -> compare (Session.id a.m_session) (Session.id b.m_session))
-  in
-  List.iter (fun mon -> monitor_tick t mon mon.m_notify ()) monitored;
-  if monitored <> [] then arm_monitor_timer t
+  t.tick_rounds <- t.tick_rounds + 1;
+  clear_path_caches t;
+  mon_compact t;
+  (* Walk the dense monitored set in insertion (= session id) order; dead
+     entries cost one flag test.  Closing retired the monitor through the
+     dispatcher hook already — the state check is a backstop for any
+     teardown path that bypassed it. *)
+  for i = 0 to t.mon_len - 1 do
+    match t.mon_arr.(i) with
+    | Some mon when not mon.m_dead ->
+      t.tick_walked <- t.tick_walked + 1;
+      if Session.state mon.m_session = Session.Closed then retire_monitor t mon.m_session
+      else monitor_tick t mon mon.m_notify ()
+    | Some _ | None -> ()
+  done;
+  clear_path_caches t;
+  if t.mon_len > t.mon_dead then arm_monitor_timer t
 
 (* ------------------------------------------------------------------ *)
 (* Session lifecycle *)
@@ -782,11 +886,15 @@ let try_open_session ?name ?on_deliver ?on_notify t ~src ~acd () =
       m_last_change = Time.zero;
       m_notify = on_notify;
       m_monitored = monitored;
+      m_dead = false;
     }
   in
   mon.m_route <- route_names t ~src session;
   Hashtbl.replace t.monitors (Session.id session) mon;
-  if monitored then arm_monitor_timer t;
+  if monitored then begin
+    mon_append t mon;
+    arm_monitor_timer t
+  end;
   Ok (session, decision)
 
 let open_session ?name ?on_deliver ?on_notify t ~src ~acd () =
@@ -795,7 +903,7 @@ let open_session ?name ?on_deliver ?on_notify t ~src ~acd () =
   | Error reason -> failwith ("Mantts.open_session: " ^ reason)
 
 let close_session ?graceful t session =
-  Hashtbl.remove t.monitors (Session.id session);
+  retire_monitor t session;
   Session.close ?graceful session
 
 let renegotiate ?acd t session =

@@ -102,6 +102,13 @@ val set_admission : t -> admission_policy option -> unit
 val admission_policy : t -> admission_policy option
 (** The policy currently in force. *)
 
+val tick_stats : t -> int * int
+(** [(rounds, walked)] — cumulative shared-monitor-tick firings and live
+    monitors walked across them.  [walked / rounds] is the mean per-tick
+    working set: with the dense monitored array it tracks the {e
+    monitored} population, not the session population, which is the
+    O(active) control-plane claim the megaswarm bench records. *)
+
 val degrade_scs : Scs.t -> Scs.t
 (** The graceful-degradation transform: preserves reliability, ordering,
     duplicate handling and delivery semantics, but shrinks the window (or

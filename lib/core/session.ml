@@ -32,11 +32,25 @@ type dispatcher = {
   mutable d_tap : (t -> delivery -> unit) option;
       (* Invoked on every application delivery, before the endpoint's own
          [on_deliver] — the chaos invariant monitors' observation point. *)
+  mutable d_on_close : (t -> unit) option;
+      (* Invoked once per endpoint when it leaves the live set (whatever
+         the teardown path) — MANTTS retires its monitor here instead of
+         sweeping the whole population every tick. *)
+  mutable d_committed : int;
+      (* Running sum of every live endpoint's [recv_buffer_segments]:
+         the acceptor's admission math reads this in O(1) where folding
+         the connection table was O(capacity) per accept. *)
   (* One coalesced sweeper expires every time-wait entry in the table;
      it is armed only while such entries exist, so an idle dispatcher
      schedules nothing. *)
   mutable tw_timer : Engine.Timer.timer option;
   mutable tw_armed : bool;
+  mutable tw_sweeps : int; (* sweeper firings, cumulative *)
+  mutable tw_expired : int; (* time-wait entries expired, cumulative *)
+  d_soa : Sessoa.t;
+      (* Flat columns for every endpoint's per-event-touched counters;
+         see sessoa.mli.  The boxed record below keeps only cold and
+         setup state. *)
 }
 
 and accept_decision =
@@ -52,6 +66,11 @@ and t = {
   id : int;
   ep_name : string;
   disp : dispatcher;
+  soa_slot : int;
+      (* Index of this endpoint's row in the dispatcher's [Sessoa]
+         columns: send-side sequencing and recovery marks, queue and
+         delivery counters, the receiver echo stamp.  Accessed only via
+         the helpers right below the type definitions. *)
   mutable peers : Network.addr list;
   ctx : Tko.context;
   mutable ep_state : state;
@@ -60,15 +79,6 @@ and t = {
   mutable pending_peers : Network.addr list; (* awaiting Syn_ack *)
   (* sender half *)
   sendq : pending_send Queue.t;
-  mutable sendq_bytes : int;
-  mutable next_seq : int;
-  mutable peer_window : int;
-  mutable dup_acks : int;
-  mutable last_cum : int;
-  mutable recover : int; (* RFC 6582: highest seq sent when the current
-                            loss-recovery episode began *)
-  mutable first_tx : int;
-  mutable rtx_count : int;
   mutable rtx_timer : Engine.Timer.timer option;
   mutable pump_event : Engine.handle option;
   mutable syn_timer : Engine.Timer.timer option;
@@ -79,10 +89,7 @@ and t = {
   mutable ack_with_sack : bool; (* read by the persistent ack timer callback *)
   mutable skip_timer : Engine.Timer.timer option;
   mutable nack_timer : Engine.Timer.timer option;
-  mutable delivered_segments : int;
-  mutable delivered_bytes : int;
   mutable last_latency : Time.t option;
-  mutable echo_stamp : Time.t; (* newest data tx_stamp seen, echoed in acks *)
   (* signaling *)
   signal_queue : string Queue.t;
   mutable signal_inflight : string option;
@@ -97,6 +104,41 @@ and t = {
    session reports — identically regardless of what ran before it or
    runs beside it on another domain. *)
 let fresh_conn_id disp = Network.fresh_conn_id disp.net
+
+(* ------------------------------------------------------------------ *)
+(* Struct-of-arrays hot counters.  These helpers are the only access
+   path to the dispatcher's [Sessoa] columns; everything below reads
+   like the old record fields but compiles to immediate int loads and
+   stores into flat arrays. *)
+
+let next_seq t = Sessoa.get_next_seq t.disp.d_soa t.soa_slot
+let set_next_seq t v = Sessoa.set_next_seq t.disp.d_soa t.soa_slot v
+let peer_window t = Sessoa.get_peer_window t.disp.d_soa t.soa_slot
+let set_peer_window t v = Sessoa.set_peer_window t.disp.d_soa t.soa_slot v
+let dup_acks t = Sessoa.get_dup_acks t.disp.d_soa t.soa_slot
+let set_dup_acks t v = Sessoa.set_dup_acks t.disp.d_soa t.soa_slot v
+let last_cum t = Sessoa.get_last_cum t.disp.d_soa t.soa_slot
+let set_last_cum t v = Sessoa.set_last_cum t.disp.d_soa t.soa_slot v
+
+(* RFC 6582: highest seq sent when the current loss-recovery episode
+   began. *)
+let recover_mark t = Sessoa.get_recover t.disp.d_soa t.soa_slot
+let set_recover_mark t v = Sessoa.set_recover t.disp.d_soa t.soa_slot v
+let first_tx t = Sessoa.get_first_tx t.disp.d_soa t.soa_slot
+let set_first_tx t v = Sessoa.set_first_tx t.disp.d_soa t.soa_slot v
+let rtx_count t = Sessoa.get_rtx_count t.disp.d_soa t.soa_slot
+let set_rtx_count t v = Sessoa.set_rtx_count t.disp.d_soa t.soa_slot v
+let sendq_bytes t = Sessoa.get_sendq_bytes t.disp.d_soa t.soa_slot
+let set_sendq_bytes t v = Sessoa.set_sendq_bytes t.disp.d_soa t.soa_slot v
+let delivered_segments t = Sessoa.get_delivered_segments t.disp.d_soa t.soa_slot
+let set_delivered_segments t v =
+  Sessoa.set_delivered_segments t.disp.d_soa t.soa_slot v
+let delivered_bytes t = Sessoa.get_delivered_bytes t.disp.d_soa t.soa_slot
+let set_delivered_bytes t v = Sessoa.set_delivered_bytes t.disp.d_soa t.soa_slot v
+
+(* Newest data tx_stamp seen, echoed in acks. *)
+let echo_stamp t : Time.t = Sessoa.get_echo_stamp t.disp.d_soa t.soa_slot
+let set_echo_stamp t (v : Time.t) = Sessoa.set_echo_stamp t.disp.d_soa t.soa_slot v
 
 (* ------------------------------------------------------------------ *)
 (* Connection-table maintenance (time-wait, swarm telemetry) *)
@@ -129,6 +171,8 @@ let rec arm_tw_sweeper disp =
 and tw_sweep disp =
   disp.tw_armed <- false;
   let expired = Conntable.sweep disp.conns ~now:(Engine.now disp.d_engine) in
+  disp.tw_sweeps <- disp.tw_sweeps + 1;
+  disp.tw_expired <- disp.tw_expired + expired;
   if expired > 0 then observe_table disp;
   if Conntable.time_wait_count disp.conns > 0 then arm_tw_sweeper disp
 
@@ -143,16 +187,29 @@ let context t = t.ctx
 let peers t = t.peers
 let local_addr t = t.disp.d_addr
 let established_at t = t.established_time
-let bytes_delivered t = t.delivered_bytes
-let segments_delivered t = t.delivered_segments
+let bytes_delivered t = delivered_bytes t
+let segments_delivered t = delivered_segments t
 let engine t = t.disp.d_engine
 let now t = Engine.now (engine t)
 let unites t = t.disp.d_unites
 let smoothed_rtt t = Rtt.srtt t.ctx.Tko.rtt
 
+(* Every reconfiguration funnels through here so the dispatcher's
+   committed-buffer counter tracks [recv_buffer_segments] changes made
+   after setup (segue can renegotiate the receive commitment). *)
+let segue_ctx t next =
+  let before = (scs t).Scs.recv_buffer_segments in
+  let r = Tko.segue t.ctx next in
+  (match r with
+  | Ok _ when t.ep_state <> Closed ->
+    t.disp.d_committed <-
+      t.disp.d_committed + ((scs t).Scs.recv_buffer_segments - before)
+  | Ok _ | Error _ -> ());
+  r
+
 let loss_rate_estimate t =
-  if t.first_tx = 0 then 0.0
-  else float_of_int t.rtx_count /. float_of_int (t.first_tx + t.rtx_count)
+  if first_tx t = 0 then 0.0
+  else float_of_int (rtx_count t) /. float_of_int (first_tx t + rtx_count t)
 
 (* For NACK-based and silent reporting, the in-flight set is only a repair
    history: it never drains via acks and must not hold up close. *)
@@ -164,8 +221,8 @@ let is_multicast t = List.length t.peers > 1
 
 let backlog_delay t =
   match t.ctx.Tko.rate with
-  | Some pacer when t.sendq_bytes > 0 ->
-    Time.of_rate ~bits:(t.sendq_bytes * 8) ~bps:(Rate.rate_bps pacer)
+  | Some pacer when sendq_bytes t > 0 ->
+    Time.of_rate ~bits:(sendq_bytes t * 8) ~bps:(Rate.rate_bps pacer)
   | Some _ | None -> Time.zero
 
 (* ------------------------------------------------------------------ *)
@@ -264,7 +321,7 @@ let rec ensure_rtx_armed t =
 and on_rtx_timeout t =
   if not (Window.is_empty t.ctx.Tko.window) && t.ep_state <> Closed then begin
     Unites.count (unites t) ~session:t.id Unites.Timeouts;
-    t.recover <- t.next_seq - 1;
+    set_recover_mark t (next_seq t - 1);
     Rtt.on_timeout t.ctx.Tko.rtt;
     (match t.ctx.Tko.cc with Some cc -> Slowstart.on_loss cc | None -> ());
     (match (scs t).Scs.recovery with
@@ -272,7 +329,7 @@ and on_rtx_timeout t =
       match Window.lowest_outstanding t.ctx.Tko.window with
       | Some low ->
         let segs = Window.unsacked_from t.ctx.Tko.window low in
-        let window = Tko.effective_send_window t.ctx ~peer_window:t.peer_window in
+        let window = Tko.effective_send_window t.ctx ~peer_window:(peer_window t) in
         let capped = List.filteri (fun i _ -> i < max 1 window) segs in
         List.iter (retransmit t ~dsts:t.peers) capped
       | None -> ())
@@ -285,7 +342,7 @@ and on_rtx_timeout t =
       List.iter (retransmit t ~dsts:t.peers) (List.rev !holes)
     | Params.No_recovery | Params.Forward_error_correction _ ->
       (* No ARQ: free stalled in-flight state so the window never wedges. *)
-      let given_up = Window.on_cumulative_ack t.ctx.Tko.window ~cum:t.next_seq in
+      let given_up = Window.on_cumulative_ack t.ctx.Tko.window ~cum:(next_seq t) in
       Unites.observe (unites t) ~session:t.id Unites.Losses_unrecovered
         (float_of_int (List.length given_up)));
     ensure_rtx_armed t;
@@ -293,7 +350,7 @@ and on_rtx_timeout t =
   end
 
 and retransmit t ~dsts (seg : Pdu.seg) =
-  t.rtx_count <- t.rtx_count + 1;
+  set_rtx_count t (rtx_count t + 1);
   Unites.count (unites t) ~session:t.id Unites.Retransmissions;
   Window.touch t.ctx.Tko.window seg.Pdu.seq ~at:(now t);
   inject_to t dsts (Pdu.Data { conn = t.id; seg; retransmit = true; tx_stamp = now t })
@@ -313,7 +370,7 @@ and pump t =
         if not tracks then true
         else
           Window.in_flight ctx.Tko.window
-          < Tko.effective_send_window ctx ~peer_window:t.peer_window
+          < Tko.effective_send_window ctx ~peer_window:(peer_window t)
       in
       if not window_ok then continue := false
       else begin
@@ -350,18 +407,18 @@ and schedule_pump t ~at =
 
 and transmit_next t =
   let { ps_bytes; ps_stamp; ps_last; ps_payload } = Queue.pop t.sendq in
-  t.sendq_bytes <- t.sendq_bytes - ps_bytes;
+  set_sendq_bytes t (sendq_bytes t - ps_bytes);
   let seg =
     {
-      Pdu.seq = t.next_seq;
+      Pdu.seq = next_seq t;
       seg_bytes = ps_bytes;
       app_stamp = ps_stamp;
       app_last = ps_last;
       payload = ps_payload;
     }
   in
-  t.next_seq <- t.next_seq + 1;
-  t.first_tx <- t.first_tx + 1;
+  set_next_seq t (next_seq t + 1);
+  set_first_tx t (first_tx t + 1);
   let ctx = t.ctx in
   if Scs.tracks_peer_feedback (scs t) then begin
     Window.track ctx.Tko.window seg ~at:(now t);
@@ -370,7 +427,7 @@ and transmit_next t =
     if (scs t).Scs.reporting = Params.Nack_on_gap then begin
       let cap = max 256 (4 * (scs t).Scs.recv_buffer_segments) in
       if Window.in_flight ctx.Tko.window > cap then
-        ignore (Window.on_cumulative_ack ctx.Tko.window ~cum:(t.next_seq - cap))
+        ignore (Window.on_cumulative_ack ctx.Tko.window ~cum:(next_seq t - cap))
     end
   end;
   Unites.count (unites t) ~session:t.id Unites.Segments_sent;
@@ -404,7 +461,7 @@ and send_parity t covered =
 (* Connection management: active open *)
 
 and send_syn t =
-  let blob = encode_proposal (scs t) ~start_seq:t.next_seq in
+  let blob = encode_proposal (scs t) ~start_seq:(next_seq t) in
   count_control t;
   let dsts = if t.pending_peers = [] then t.peers else t.pending_peers in
   inject_to t dsts (Pdu.Syn { conn = t.id; blob; first = None });
@@ -466,9 +523,14 @@ and send_fin t ~graceful =
     t.fin_timer <- Some (Engine.Timer.one_shot (engine t) ~delay (fun () -> finish_close t)))
 
 and finish_close t =
+  let was_closed = t.ep_state = Closed in
   t.ep_state <- Closed;
   cancel_all_timers t;
   let disp = t.disp in
+  if not was_closed then begin
+    disp.d_committed <- disp.d_committed - (scs t).Scs.recv_buffer_segments;
+    match disp.d_on_close with Some f -> f t | None -> ()
+  end;
   (* The id lingers in time-wait so stray retransmissions are absorbed
      rather than offered to the acceptor as a fresh connection. *)
   Conntable.retire disp.conns ~key:t.id
@@ -498,7 +560,7 @@ and send_ack_now t ~with_sack =
          cum = Reorder.expected reorder;
          window = advertised_window t;
          sack;
-         echo = t.echo_stamp;
+         echo = echo_stamp t;
        })
 
 and schedule_ack t ~delay ~with_sack =
@@ -526,8 +588,8 @@ and send_nack t missing =
 
 and deliver_segment t (seg : Pdu.seg) ~damaged =
   let release arrival_point =
-    t.delivered_segments <- t.delivered_segments + 1;
-    t.delivered_bytes <- t.delivered_bytes + seg.Pdu.seg_bytes;
+    set_delivered_segments t (delivered_segments t + 1);
+    set_delivered_bytes t (delivered_bytes t + seg.Pdu.seg_bytes);
     Unites.count (unites t) ~session:t.id Unites.Segments_delivered;
     Unites.observe (unites t) ~session:t.id Unites.Bytes_delivered
       (float_of_int seg.Pdu.seg_bytes);
@@ -642,7 +704,7 @@ and on_renack_timeout t =
 
 and handle_data t ?(tx_stamp = Time.zero) (recv : Pdu.t Network.recv) (seg : Pdu.seg) =
   let detection = (scs t).Scs.detection in
-  if tx_stamp > t.echo_stamp then t.echo_stamp <- tx_stamp;
+  if tx_stamp > echo_stamp t then set_echo_stamp t tx_stamp;
   if recv.Network.corrupted && detection <> Params.No_detection then
     Unites.count (unites t) ~session:t.id Unites.Corrupt_detected
   else begin
@@ -713,7 +775,7 @@ and handle_parity t (recv : Pdu.t Network.recv) ~covered ~parity =
 (* Sender: feedback processing *)
 
 and handle_ack t ~cum ~window ~sack ~echo =
-  t.peer_window <- max 1 window;
+  set_peer_window t (max 1 window);
   let ctx = t.ctx in
   let newly = Window.on_cumulative_ack ctx.Tko.window ~cum in
   (* RTT sampling via timestamp echo (RFC 7323 style): the receiver
@@ -753,20 +815,20 @@ and handle_ack t ~cum ~window ~sack ~echo =
     List.iter (retransmit t ~dsts:t.peers) (List.rev !holes)
   | Params.Selective_repeat | Params.Go_back_n | Params.No_recovery
   | Params.Forward_error_correction _ -> ());
-  if newly = [] && cum = t.last_cum && cum < t.next_seq then begin
-    t.dup_acks <- t.dup_acks + 1;
+  if newly = [] && cum = last_cum t && cum < next_seq t then begin
+    set_dup_acks t (dup_acks t + 1);
     (* One fast retransmit per recovery episode (RFC 6582): duplicate
        acks below [recover] are echoes of our own retransmission burst,
        not evidence of a new loss. *)
-    let fresh_episode = cum > t.recover in
-    if t.dup_acks >= 3 && fresh_episode then begin
-      t.dup_acks <- 0;
-      t.recover <- t.next_seq - 1;
+    let fresh_episode = cum > recover_mark t in
+    if dup_acks t >= 3 && fresh_episode then begin
+      set_dup_acks t 0;
+      set_recover_mark t (next_seq t - 1);
       (match ctx.Tko.cc with Some cc -> Slowstart.on_loss cc | None -> ());
       match (scs t).Scs.recovery with
       | Params.Go_back_n ->
         let segs = Window.unsacked_from ctx.Tko.window cum in
-        let cap = max 1 (Tko.effective_send_window ctx ~peer_window:t.peer_window) in
+        let cap = max 1 (Tko.effective_send_window ctx ~peer_window:(peer_window t)) in
         List.iteri (fun i seg -> if i < cap then retransmit t ~dsts:t.peers seg) segs
       | Params.Selective_repeat -> (
         (* Without SACK blocks in this ack, fall back to resending the
@@ -779,8 +841,8 @@ and handle_ack t ~cum ~window ~sack ~echo =
     end
   end
   else begin
-    t.dup_acks <- 0;
-    t.last_cum <- cum
+    set_dup_acks t 0;
+    set_last_cum t cum
   end;
   if newly <> [] then begin
     (* Forward progress: re-arm the timer afresh and drop any timeout
@@ -842,7 +904,7 @@ and default_on_signal t blob =
     let body = String.sub blob plen (String.length blob - plen) in
     match Scs.of_blob body with
     | Some next -> (
-      match Tko.segue t.ctx next with
+      match segue_ctx t next with
       | Ok changed ->
         Unites.observe (unites t) ~session:t.id Unites.Reconfigurations
           (float_of_int (max 1 (List.length changed)));
@@ -863,6 +925,7 @@ and make_endpoint ~disp ~conn ~ep_name ~binding ~peers ~scs ~start_seq ~on_deliv
     ctx.Tko.reorder <-
       Reorder.create ~start:start_seq ~ordering:scs.Scs.ordering
         ~duplicates:scs.Scs.duplicates ();
+  let soa_slot = Sessoa.alloc disp.d_soa in
   let t =
     {
       id = conn;
@@ -875,14 +938,7 @@ and make_endpoint ~disp ~conn ~ep_name ~binding ~peers ~scs ~start_seq ~on_deliv
       established_time = None;
       pending_peers = [];
       sendq = Queue.create ();
-      sendq_bytes = 0;
-      next_seq = start_seq;
-      peer_window = scs.Scs.recv_buffer_segments;
-      dup_acks = 0;
-      last_cum = start_seq;
-      recover = -1;
-      first_tx = 0;
-      rtx_count = 0;
+      soa_slot;
       rtx_timer = None;
       pump_event = None;
       syn_timer = None;
@@ -892,10 +948,7 @@ and make_endpoint ~disp ~conn ~ep_name ~binding ~peers ~scs ~start_seq ~on_deliv
       ack_with_sack = false;
       skip_timer = None;
       nack_timer = None;
-      delivered_segments = 0;
-      delivered_bytes = 0;
       last_latency = None;
-      echo_stamp = Time.zero;
       signal_queue = Queue.create ();
       signal_inflight = None;
       signal_timer = None;
@@ -904,6 +957,11 @@ and make_endpoint ~disp ~conn ~ep_name ~binding ~peers ~scs ~start_seq ~on_deliv
       on_signal_reply = (match on_signal_reply with Some f -> f | None -> fun _ _ -> ());
     }
   in
+  (* Fresh columns are zero; only the non-zero hot state needs setting. *)
+  set_next_seq t start_seq;
+  set_peer_window t scs.Scs.recv_buffer_segments;
+  set_last_cum t start_seq;
+  set_recover_mark t (-1);
   t.on_signal <-
     (fun ep blob ->
       let builtin = default_on_signal ep blob in
@@ -911,6 +969,7 @@ and make_endpoint ~disp ~conn ~ep_name ~binding ~peers ~scs ~start_seq ~on_deliv
       | Some custom -> if builtin = "" then custom ep blob else builtin
       | None -> builtin);
   Conntable.insert disp.conns ~key:conn ~half_open:(initial_state = Opening) t;
+  disp.d_committed <- disp.d_committed + scs.Scs.recv_buffer_segments;
   (* One count per session, charged to the initiating endpoint — the
      responder's endpoint is the same session arriving at the peer. *)
   if initial_state = Opening then
@@ -1042,7 +1101,7 @@ and handle_syn_ack t (recv : Pdu.t Network.recv) ~accepted ~blob =
     (* Adopt the responder's (possibly counter-proposed) configuration. *)
     (match Scs.of_blob blob with
     | Some final when not (Scs.equal final (scs t)) -> (
-      match Tko.segue t.ctx final with Ok _ -> () | Error _ -> ())
+      match segue_ctx t final with Ok _ -> () | Error _ -> ())
     | Some _ | None -> ());
     if (scs t).Scs.connection = Params.Three_way then begin
       count_control t;
@@ -1081,8 +1140,13 @@ module Dispatcher = struct
         conns = Conntable.create ();
         acceptor = None;
         d_tap = None;
+        d_on_close = None;
+        d_committed = 0;
+        d_soa = Sessoa.create ();
         tw_timer = None;
         tw_armed = false;
+        tw_sweeps = 0;
+        tw_expired = 0;
       }
     in
     Unites.register_session unites ~id:Unites.swarm_session ~name:"swarm";
@@ -1121,12 +1185,15 @@ module Dispatcher = struct
   let network d = d.net
   let set_acceptor d f = d.acceptor <- Some f
   let set_delivery_tap d f = d.d_tap <- Some f
+  let set_on_close d f = d.d_on_close <- Some f
   let endpoints d = Conntable.fold_live (fun _ ep acc -> ep :: acc) d.conns []
+  let committed_recv_segments d = d.d_committed
   let session_count d = Conntable.live_count d.conns
   let half_open_count d = Conntable.half_open_count d.conns
   let time_wait_count d = Conntable.time_wait_count d.conns
   let table_capacity d = Conntable.capacity d.conns
   let table_occupancy d = Conntable.occupancy d.conns
+  let tw_sweep_stats d = (d.tw_sweeps, d.tw_expired)
   let time_wait_period = time_wait_period
 end
 
@@ -1196,7 +1263,7 @@ let send t ~bytes ?payload ?app_stamp () =
         t.sendq
   in
   split bytes;
-  t.sendq_bytes <- t.sendq_bytes + bytes;
+  set_sendq_bytes t (sendq_bytes t + bytes);
   pump t
 
 let close ?(graceful = true) t =
@@ -1225,7 +1292,7 @@ let signal t blob =
   try_send_signal t
 
 let reconfigure t next =
-  match Tko.segue t.ctx next with
+  match segue_ctx t next with
   | Error e -> Error e
   | Ok changed ->
     if changed <> [] then begin
@@ -1242,7 +1309,7 @@ let add_peer t addr =
     count_control t;
     inject_to t [ addr ]
       (Pdu.Syn
-         { conn = t.id; blob = encode_proposal (scs t) ~start_seq:t.next_seq; first = None });
+         { conn = t.id; blob = encode_proposal (scs t) ~start_seq:(next_seq t); first = None });
     arm_syn_timer t
   end
 

@@ -79,8 +79,21 @@ module Dispatcher : sig
       exactly-once and corruption-detection properties without touching
       application wiring. *)
 
+  val set_on_close : dispatcher -> (t -> unit) -> unit
+  (** Install an observer invoked exactly once per endpoint when it
+      leaves the live set, whatever the teardown path (local close, peer
+      [Fin], setup give-up).  MANTTS retires its policy monitor here
+      instead of sweeping the whole monitor population every tick. *)
+
   val endpoints : dispatcher -> t list
-  (** Live endpoints at this host. *)
+  (** Live endpoints at this host.  O(table capacity) — maintenance code
+      only; the hot paths use the running counters below. *)
+
+  val committed_recv_segments : dispatcher -> int
+  (** Sum of every live endpoint's negotiated [recv_buffer_segments],
+      maintained incrementally (insert, segue, close) so admission
+      policies can read the host's outstanding receive commitment in
+      O(1) rather than folding the connection table per accept. *)
 
   val session_count : dispatcher -> int
   (** Live (half-open + open) entries in the connection table. *)
@@ -96,6 +109,13 @@ module Dispatcher : sig
 
   val table_occupancy : dispatcher -> float
   (** (live + time-wait) / capacity, in [0, 1]. *)
+
+  val tw_sweep_stats : dispatcher -> int * int
+  (** [(sweeps, expired)] — cumulative coalesced time-wait sweeper
+      firings and entries they expired.  [expired / sweeps] shows the
+      sweeper doing O(expired) work per firing rather than one timer per
+      closed connection; the megaswarm bench reports it alongside the
+      monitor-tick stats. *)
 
   val time_wait_period : Time.t
   (** How long a closed connection id lingers in time-wait.  Late

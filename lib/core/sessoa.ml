@@ -1,0 +1,107 @@
+(* Struct-of-arrays session hot state.
+
+   The per-event-touched counters of every endpoint at a dispatcher live
+   here as flat int columns indexed by a dense slot, instead of as
+   mutable fields scattered across boxed session records.  The event hot
+   loop (data/ack handling, the pump) then reads and writes immediate
+   ints in a handful of contiguous arrays — no pointer chasing into
+   per-session records, no write barriers, and the working set for ten
+   thousand sessions is eleven arrays rather than ten thousand heap
+   blocks.  Cold and setup state (timers, queues, closures, the TKO
+   context) stays on the boxed record, which remains the right shape for
+   it.
+
+   Slots are allocated monotonically and never recycled: a closed
+   session's delivery counters stay readable (reports and tests consult
+   them after teardown), slot indices stay stable across connection-table
+   rehashes, and memory is bounded by the total number of endpoints the
+   dispatcher ever created — 11 words each. *)
+
+type t = {
+  mutable cap : int;
+  mutable used : int;
+  mutable next_seq : int array;
+  mutable peer_window : int array;
+  mutable dup_acks : int array;
+  mutable last_cum : int array;
+  mutable recover : int array;
+  mutable first_tx : int array;
+  mutable rtx_count : int array;
+  mutable sendq_bytes : int array;
+  mutable delivered_segments : int array;
+  mutable delivered_bytes : int array;
+  mutable echo_stamp : int array; (* Time.t is an int of nanoseconds *)
+}
+
+let create ?(initial_capacity = 64) () =
+  let cap = max 16 initial_capacity in
+  {
+    cap;
+    used = 0;
+    next_seq = Array.make cap 0;
+    peer_window = Array.make cap 0;
+    dup_acks = Array.make cap 0;
+    last_cum = Array.make cap 0;
+    recover = Array.make cap 0;
+    first_tx = Array.make cap 0;
+    rtx_count = Array.make cap 0;
+    sendq_bytes = Array.make cap 0;
+    delivered_segments = Array.make cap 0;
+    delivered_bytes = Array.make cap 0;
+    echo_stamp = Array.make cap 0;
+  }
+
+let slots t = t.used
+
+let grow t =
+  let cap = t.cap * 2 in
+  let widen col =
+    let next = Array.make cap 0 in
+    Array.blit col 0 next 0 t.used;
+    next
+  in
+  t.next_seq <- widen t.next_seq;
+  t.peer_window <- widen t.peer_window;
+  t.dup_acks <- widen t.dup_acks;
+  t.last_cum <- widen t.last_cum;
+  t.recover <- widen t.recover;
+  t.first_tx <- widen t.first_tx;
+  t.rtx_count <- widen t.rtx_count;
+  t.sendq_bytes <- widen t.sendq_bytes;
+  t.delivered_segments <- widen t.delivered_segments;
+  t.delivered_bytes <- widen t.delivered_bytes;
+  t.echo_stamp <- widen t.echo_stamp;
+  t.cap <- cap
+
+let alloc t =
+  if t.used = t.cap then grow t;
+  let slot = t.used in
+  t.used <- slot + 1;
+  slot
+
+(* Slot validity is by construction — every slot handed out by [alloc]
+   stays valid for the dispatcher's lifetime — so accessors elide the
+   bounds check: this is the innermost event loop. *)
+
+let get_next_seq t s = Array.unsafe_get t.next_seq s
+let set_next_seq t s v = Array.unsafe_set t.next_seq s v
+let get_peer_window t s = Array.unsafe_get t.peer_window s
+let set_peer_window t s v = Array.unsafe_set t.peer_window s v
+let get_dup_acks t s = Array.unsafe_get t.dup_acks s
+let set_dup_acks t s v = Array.unsafe_set t.dup_acks s v
+let get_last_cum t s = Array.unsafe_get t.last_cum s
+let set_last_cum t s v = Array.unsafe_set t.last_cum s v
+let get_recover t s = Array.unsafe_get t.recover s
+let set_recover t s v = Array.unsafe_set t.recover s v
+let get_first_tx t s = Array.unsafe_get t.first_tx s
+let set_first_tx t s v = Array.unsafe_set t.first_tx s v
+let get_rtx_count t s = Array.unsafe_get t.rtx_count s
+let set_rtx_count t s v = Array.unsafe_set t.rtx_count s v
+let get_sendq_bytes t s = Array.unsafe_get t.sendq_bytes s
+let set_sendq_bytes t s v = Array.unsafe_set t.sendq_bytes s v
+let get_delivered_segments t s = Array.unsafe_get t.delivered_segments s
+let set_delivered_segments t s v = Array.unsafe_set t.delivered_segments s v
+let get_delivered_bytes t s = Array.unsafe_get t.delivered_bytes s
+let set_delivered_bytes t s v = Array.unsafe_set t.delivered_bytes s v
+let get_echo_stamp t s = Array.unsafe_get t.echo_stamp s
+let set_echo_stamp t s v = Array.unsafe_set t.echo_stamp s v

@@ -1,0 +1,58 @@
+(** Struct-of-arrays session hot state.
+
+    Flat int columns, indexed by a dense per-dispatcher slot, holding the
+    per-event-touched counters of every endpoint: sequence/window state on
+    the send side, duplicate-ack and recovery marks, send-queue and
+    delivery byte counters, and the receiver's echo timestamp.  The event
+    hot loop touches these as immediate ints in contiguous arrays —
+    allocation-free and cache-linear — while boxed session records keep
+    the cold and setup state (timers, queues, closures, the TKO context).
+
+    Slots are allocated monotonically and never recycled: counters stay
+    readable after a session closes, indices survive connection-table
+    rehashes, and memory is bounded at 11 words per endpoint ever
+    created. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+(** Fresh column set.  Columns double as slots are allocated. *)
+
+val alloc : t -> int
+(** Allocate the next slot, zero-initialised.  Slots are never freed. *)
+
+val slots : t -> int
+(** Number of slots allocated so far. *)
+
+val get_next_seq : t -> int -> int
+val set_next_seq : t -> int -> int -> unit
+
+val get_peer_window : t -> int -> int
+val set_peer_window : t -> int -> int -> unit
+
+val get_dup_acks : t -> int -> int
+val set_dup_acks : t -> int -> int -> unit
+
+val get_last_cum : t -> int -> int
+val set_last_cum : t -> int -> int -> unit
+
+val get_recover : t -> int -> int
+val set_recover : t -> int -> int -> unit
+
+val get_first_tx : t -> int -> int
+val set_first_tx : t -> int -> int -> unit
+
+val get_rtx_count : t -> int -> int
+val set_rtx_count : t -> int -> int -> unit
+
+val get_sendq_bytes : t -> int -> int
+val set_sendq_bytes : t -> int -> int -> unit
+
+val get_delivered_segments : t -> int -> int
+val set_delivered_segments : t -> int -> int -> unit
+
+val get_delivered_bytes : t -> int -> int
+val set_delivered_bytes : t -> int -> int -> unit
+
+val get_echo_stamp : t -> int -> int
+val set_echo_stamp : t -> int -> int -> unit

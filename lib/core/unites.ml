@@ -147,6 +147,7 @@ type t = {
   mutable whitebox : bool;
   bucket : Time.t;
   res_size : int; (* per-accumulator reservoir bound *)
+  estimator : Stats.estimator; (* quantile sketch for every accumulator *)
   table : (int * metric, Stats.t) Hashtbl.t;
   buckets : (int * metric, (int, float) Hashtbl.t) Hashtbl.t;
   names : (int, string) Hashtbl.t;
@@ -176,12 +177,14 @@ let swarm_session = -2
    whole stack, not any one connection. *)
 let wire_session = -3
 
-let create ?(whitebox = true) ?(bucket = Time.sec 1.0) ?(reservoir = 8192) engine =
+let create ?(whitebox = true) ?(bucket = Time.sec 1.0) ?(reservoir = 8192)
+    ?(estimator = Stats.Reservoir) engine =
   {
     engine;
     whitebox;
     bucket = Time.max 1 bucket;
     res_size = max 8 reservoir;
+    estimator;
     table = Hashtbl.create 64;
     buckets = Hashtbl.create 64;
     names = Hashtbl.create 16;
@@ -203,7 +206,7 @@ let accumulator t key =
   match Hashtbl.find_opt t.table key with
   | Some s -> s
   | None ->
-    let s = Stats.create ~reservoir:t.res_size () in
+    let s = Stats.create ~estimator:t.estimator ~reservoir:t.res_size () in
     Hashtbl.add t.table key s;
     s
 

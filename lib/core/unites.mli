@@ -92,13 +92,19 @@ val all_metrics : metric list
 type t
 (** A metric repository. *)
 
-val create : ?whitebox:bool -> ?bucket:Time.t -> ?reservoir:int -> Engine.t -> t
+val create :
+  ?whitebox:bool -> ?bucket:Time.t -> ?reservoir:int ->
+  ?estimator:Stats.estimator -> Engine.t -> t
 (** [create engine] makes a repository; [whitebox] (default [true])
     enables whitebox collection.  [bucket] (default 1 s) is the width of
     the time buckets behind {!series} — the TMC "sampling rate".
     [reservoir] (default 8192) bounds each per-session accumulator's
     quantile sample; many-session workloads shrink it so tens of
-    thousands of sessions do not cost 64 KiB of reservoir each. *)
+    thousands of sessions do not cost 64 KiB of reservoir each.
+    [estimator] (default {!Stats.Reservoir}) selects the quantile sketch
+    for every accumulator: megaswarm-scale runs pass {!Stats.P2} so the
+    repository's memory is ~15 floats per (session, metric) bucket
+    regardless of sample volume. *)
 
 val whitebox_enabled : t -> bool
 (** Whether whitebox metrics are being recorded. *)

@@ -1,0 +1,101 @@
+open Adaptive_sim
+
+type 'm outgoing = {
+  out_at : Time.t;
+  out_dst : int;
+  out_payload : 'm;
+}
+
+type 'm t = {
+  lookahead : Time.t;
+  partitions : int;
+  run_to : int -> Time.t -> unit;
+  drain : int -> 'm outgoing list;
+  inject : int -> at:Time.t -> src:int -> 'm -> unit;
+}
+
+let create ~lookahead ~partitions ~run_to ~drain ~inject =
+  if Time.compare lookahead Time.zero <= 0 then
+    invalid_arg
+      "Shard.create: lookahead must be positive — a zero-lookahead \
+       cross-partition link admits no conservative synchronization window";
+  if partitions < 1 then invalid_arg "Shard.create: partitions must be >= 1";
+  { lookahead; partitions; run_to; drain; inject }
+
+(* One barrier exchange: drain every partition in index order, stamp each
+   message with its (source, outbox position), and inject the union in
+   canonical (arrival, source, sequence) order.  The sort key is total
+   over distinct messages, so the injection order — and therefore every
+   same-timestamp tie-break inside the destination engines — is the same
+   whatever shard grouping produced the outboxes. *)
+let exchange t ~window_end =
+  let all = ref [] in
+  for p = t.partitions - 1 downto 0 do
+    let seq = ref 0 in
+    let msgs =
+      List.map
+        (fun m ->
+          let s = !seq in
+          incr seq;
+          (m.out_at, p, s, m))
+        (t.drain p)
+    in
+    all := msgs @ !all
+  done;
+  let all =
+    List.sort
+      (fun (at_a, src_a, seq_a, _) (at_b, src_b, seq_b, _) ->
+        let c = Time.compare at_a at_b in
+        if c <> 0 then c
+        else
+          let c = compare (src_a : int) src_b in
+          if c <> 0 then c else compare (seq_a : int) seq_b)
+      !all
+  in
+  List.iter
+    (fun (at, src, _, m) ->
+      if Time.compare at window_end <= 0 then
+        failwith
+          (Printf.sprintf
+             "Shard.run: lookahead violated — partition %d emitted a message \
+              arriving at %s, inside the window that just ran (ended %s); \
+              every cross-partition path must have latency >= the lookahead"
+             src
+             (Format.asprintf "%a" Time.pp at)
+             (Format.asprintf "%a" Time.pp window_end));
+      if m.out_dst < 0 || m.out_dst >= t.partitions then
+        failwith
+          (Printf.sprintf "Shard.run: message addressed to unknown partition %d"
+             m.out_dst);
+      t.inject m.out_dst ~at ~src m.out_payload)
+    all;
+  List.length all
+
+let run_on_pool t ~pool ~shards ~until =
+  (* Fixed partition->shard grouping, round-robin.  The grouping affects
+     only which domain executes a partition, never the result. *)
+  let groups = Array.make shards [] in
+  for p = t.partitions - 1 downto 0 do
+    groups.(p mod shards) <- p :: groups.(p mod shards)
+  done;
+  let exchanged = ref 0 in
+  let horizon = ref Time.zero in
+  while Time.compare !horizon until < 0 do
+    let window_end = Time.min until (Time.add !horizon t.lookahead) in
+    ignore
+      (Fleet.map ~pool ~jobs:shards
+         (fun group -> List.iter (fun p -> t.run_to p window_end) group)
+         groups);
+    exchanged := !exchanged + exchange t ~window_end;
+    horizon := window_end
+  done;
+  !exchanged
+
+let run ?pool t ~shards ~until =
+  if shards < 1 then invalid_arg "Shard.run: shards must be >= 1";
+  match pool with
+  | Some pool -> run_on_pool t ~pool ~shards ~until
+  | None ->
+    (* One pool for the whole run: a window is a few hundred microseconds
+       of work, so spawning domains per window would dominate it. *)
+    Pool.with_pool ~jobs:shards (fun pool -> run_on_pool t ~pool ~shards ~until)

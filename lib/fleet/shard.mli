@@ -1,0 +1,60 @@
+(** SHARD — conservative domain-sharded parallel discrete-event simulation.
+
+    A partitioned simulation runs [P] independent logical partitions,
+    each with its own engine, and exchanges timestamped messages between
+    them.  SHARD advances all partitions in lockstep {e barrier windows}
+    of one lookahead [L] — the minimum cross-partition latency — which
+    is the classical conservative-synchronization guarantee: a message
+    generated inside window [k] cannot arrive before the end of window
+    [k], so exchanging outboxes at each barrier never delivers into a
+    partition's past.
+
+    Within a window the partitions are executed across OCaml 5 domains
+    ([shards] of them), but the {e result} is independent of the shard
+    count by construction: each partition's window is a deterministic
+    function of its own state plus the messages injected at the previous
+    barrier, and the barrier itself injects messages in one canonical
+    order — sorted by (arrival time, source partition, outbox sequence) —
+    whatever grouping produced them.  [--shards 1] and [--shards N] are
+    therefore bit-identical, which is what the megaswarm parity tests
+    pin. *)
+
+open Adaptive_sim
+
+type 'm outgoing = {
+  out_at : Time.t;  (** Modeled arrival time at the destination. *)
+  out_dst : int;  (** Destination partition index. *)
+  out_payload : 'm;
+}
+(** One cross-partition message drained from a partition's outbox. *)
+
+type 'm t
+(** A sharded simulation: partition callbacks plus the lookahead. *)
+
+val create :
+  lookahead:Time.t ->
+  partitions:int ->
+  run_to:(int -> Time.t -> unit) ->
+  drain:(int -> 'm outgoing list) ->
+  inject:(int -> at:Time.t -> src:int -> 'm -> unit) ->
+  'm t
+(** [run_to p horizon] must advance partition [p]'s engine through every
+    event at or before [horizon]; [drain p] returns the cross-partition
+    messages partition [p] generated since the last drain, in generation
+    order; [inject p ~at ~src m] must schedule [m]'s delivery inside
+    partition [p] at time [at].  [run_to] may run on any domain;
+    [drain]/[inject] are only called between windows, on the
+    coordinating domain.
+
+    Raises [Invalid_argument] if [lookahead <= 0] — a zero-lookahead
+    link admits no conservative window and the simulation could not be
+    parallelized without violating causality — or if [partitions < 1]. *)
+
+val run : ?pool:Pool.t -> 'm t -> shards:int -> until:Time.t -> int
+(** Drive every partition to [until] in lookahead-wide barrier windows,
+    executing each window's partitions across [shards] domains (with
+    [?pool], on the given pool — its job count then bounds the real
+    parallelism).  Returns the number of cross-partition messages
+    exchanged.  Raises [Failure] if a drained message's arrival time
+    violates the lookahead contract (it would land in a window that
+    already ran). *)

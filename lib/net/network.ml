@@ -49,6 +49,7 @@ type 'm t = {
   topology : Topology.t;
   handlers : (addr, 'm recv -> unit) Hashtbl.t;
   mutable wire : 'm wire option;
+  mutable remote : (src:addr -> dst:addr -> bytes:int -> 'm -> unit) option;
   mutable s_sent : int;
   mutable s_delivered : int;
   mutable s_dropped_queue : int;
@@ -57,7 +58,11 @@ type 'm t = {
   mutable s_dropped_mtu : int;
   mutable s_corrupted : int;
   mutable s_bytes_sent : int;
+  mutable s_remote_out : int;
+  mutable s_remote_in : int;
   mutable s_conn_counter : int;
+  mutable conn_stride : int;
+  mutable conn_offset : int;
 }
 
 let create engine ~rng topology =
@@ -67,6 +72,7 @@ let create engine ~rng topology =
     topology;
     handlers = Hashtbl.create 16;
     wire = None;
+    remote = None;
     s_sent = 0;
     s_delivered = 0;
     s_dropped_queue = 0;
@@ -75,17 +81,32 @@ let create engine ~rng topology =
     s_dropped_mtu = 0;
     s_corrupted = 0;
     s_bytes_sent = 0;
+    s_remote_out = 0;
+    s_remote_in = 0;
     s_conn_counter = 0;
+    conn_stride = 1;
+    conn_offset = 0;
   }
 
 let fresh_conn_id t =
   t.s_conn_counter <- t.s_conn_counter + 1;
-  t.s_conn_counter
+  ((t.s_conn_counter - 1) * t.conn_stride) + t.conn_offset + 1
+
+let set_conn_stripe t ~stride ~offset =
+  if stride < 1 then invalid_arg "Network.set_conn_stripe: stride must be >= 1";
+  if offset < 0 || offset >= stride then
+    invalid_arg "Network.set_conn_stripe: offset must be in [0, stride)";
+  if t.s_conn_counter > 0 then
+    invalid_arg "Network.set_conn_stripe: connection ids already allocated";
+  t.conn_stride <- stride;
+  t.conn_offset <- offset
 
 let engine t = t.engine
 let topology t = t.topology
 
 let set_wire t ~encode ~decode ~release =
+  if t.remote <> None then
+    invalid_arg "Network.set_wire: incompatible with a remote-delivery hook";
   t.wire <-
     Some
       {
@@ -110,6 +131,36 @@ let wire_stats t =
     t.wire
 let attach t addr handler = Hashtbl.replace t.handlers addr handler
 let detach t addr = Hashtbl.remove t.handlers addr
+
+(* Remote delivery: a shard coordinator owns the path between this
+   network and its peers, so packets to unrouted destinations are handed
+   over instead of dropped, and arrivals from other partitions are
+   delivered through the normal handler path.  Wire-true mode is
+   value-incompatible with hand-over (the frame lease cannot cross a
+   domain boundary), so the two hooks are mutually exclusive. *)
+let set_remote t f =
+  if t.wire <> None then
+    invalid_arg "Network.set_remote: incompatible with wire-true mode";
+  t.remote <- Some f
+
+let remote_counts t = (t.s_remote_out, t.s_remote_in)
+
+let deliver_remote t ~src ~dst ~bytes ~sent_at payload =
+  t.s_remote_in <- t.s_remote_in + 1;
+  match Hashtbl.find_opt t.handlers dst with
+  | None -> ()
+  | Some handler ->
+    t.s_delivered <- t.s_delivered + 1;
+    handler
+      {
+        payload;
+        src;
+        dst;
+        wire_bytes = bytes;
+        sent_at;
+        received_at = Engine.now t.engine;
+        corrupted = false;
+      }
 
 (* Walk the hop list, reusing cached verdicts for links this packet has
    already crossed (multicast replication at branch points).  Returns the
@@ -226,7 +277,12 @@ let deliver t ~src ~dst ~bytes ~sent_at ~frame payload outcome =
 
 let send_on_cache t ~cache ~frame ~src ~dst ~bytes payload =
   match Topology.route t.topology ~src ~dst with
-  | None -> t.s_dropped_no_route <- t.s_dropped_no_route + 1
+  | None -> (
+    match t.remote with
+    | Some hand_over ->
+      t.s_remote_out <- t.s_remote_out + 1;
+      hand_over ~src ~dst ~bytes payload
+    | None -> t.s_dropped_no_route <- t.s_dropped_no_route + 1)
   | Some hops ->
     let sent_at = Engine.now t.engine in
     deliver t ~src ~dst ~bytes ~sent_at ~frame payload

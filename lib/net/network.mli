@@ -49,7 +49,17 @@ val fresh_conn_id : 'm t -> int
     namespace.  Per-network — not process-global — so a freshly built
     stack always numbers its connections (and therefore its UNITES
     session reports) identically, however many stacks ran before it or
-    run beside it on other domains. *)
+    run beside it on other domains.  Under a {!set_conn_stripe}
+    configuration the ids are [offset + 1, stride + offset + 1, …]. *)
+
+val set_conn_stripe : 'm t -> stride:int -> offset:int -> unit
+(** Stripe this network's connection ids: the k-th allocation returns
+    [(k-1) * stride + offset + 1].  Partitioned (megaswarm) runs give
+    partition [p] of [P] the stripe [~stride:P ~offset:p], so ids are
+    globally unique and a cross-partition session never collides with a
+    local one at the remote dispatcher.  Must be called before any id is
+    allocated; [stride >= 1], [0 <= offset < stride]
+    ([Invalid_argument] otherwise). *)
 
 val attach : 'm t -> addr -> ('m recv -> unit) -> unit
 (** Register the receive handler for a host (replacing any previous
@@ -66,6 +76,32 @@ val send : 'm t -> src:addr -> dst:addr -> bytes:int -> 'm -> unit
 val multicast : 'm t -> src:addr -> dsts:addr list -> bytes:int -> 'm -> unit
 (** Inject one packet toward every destination, paying each shared link
     once (replication happens where routes diverge). *)
+
+(** {2 Remote delivery (partitioned simulations)}
+
+    A domain-sharded simulation runs one network per partition; packets
+    between partitions leave through a {e remote-delivery hook} and
+    re-enter through {!deliver_remote}.  The shard coordinator owns
+    everything in between — the cross-partition latency model and the
+    conservative synchronization that keeps event order deterministic. *)
+
+val set_remote :
+  'm t -> (src:addr -> dst:addr -> bytes:int -> 'm -> unit) -> unit
+(** Install the hand-over hook: packets whose destination has no local
+    route are passed to it (synchronously, at injection time) instead of
+    counting as [dropped_no_route].  Incompatible with wire-true mode —
+    a frame lease cannot cross a domain boundary — so installing both
+    raises [Invalid_argument]. *)
+
+val deliver_remote :
+  'm t -> src:addr -> dst:addr -> bytes:int -> sent_at:Time.t -> 'm -> unit
+(** Deliver a packet that crossed a remote path: invokes [dst]'s handler
+    immediately, at the engine's current time (the caller schedules this
+    at the modeled arrival time).  Unknown destinations are dropped
+    silently, mirroring a detached local host. *)
+
+val remote_counts : 'm t -> int * int
+(** [(handed_over, delivered_in)] counts for the remote path. *)
 
 type stats = {
   sent : int;  (** Packets injected (multicast counts once). *)

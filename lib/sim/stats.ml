@@ -1,3 +1,96 @@
+type estimator = Reservoir | P2
+
+(* The P² algorithm (Jain & Chlamtac 1985): one 5-marker structure per
+   target quantile, updated in O(1) per observation with no stored
+   samples.  The markers track the running estimate of the quantile and
+   of four bracketing positions; heights move by parabolic (falling back
+   to linear) interpolation as desired marker positions drift. *)
+type p2m = {
+  pq : float;  (* target quantile *)
+  h : float array;  (* 5 marker heights *)
+  np : float array;  (* actual marker positions, 1-based *)
+  nd : float array;  (* desired marker positions *)
+  dn : float array;  (* desired-position increments *)
+}
+
+let p2m_create q =
+  {
+    pq = q;
+    h = Array.make 5 0.0;
+    np = [| 1.0; 2.0; 3.0; 4.0; 5.0 |];
+    nd = [| 1.0; 1.0 +. (2.0 *. q); 1.0 +. (4.0 *. q); 3.0 +. (2.0 *. q); 5.0 |];
+    dn = [| 0.0; q /. 2.0; q; (1.0 +. q) /. 2.0; 1.0 |];
+  }
+
+let p2m_init m sorted5 =
+  Array.blit sorted5 0 m.h 0 5;
+  m.np.(0) <- 1.0;
+  m.np.(1) <- 2.0;
+  m.np.(2) <- 3.0;
+  m.np.(3) <- 4.0;
+  m.np.(4) <- 5.0;
+  m.nd.(0) <- 1.0;
+  m.nd.(1) <- 1.0 +. (2.0 *. m.pq);
+  m.nd.(2) <- 1.0 +. (4.0 *. m.pq);
+  m.nd.(3) <- 3.0 +. (2.0 *. m.pq);
+  m.nd.(4) <- 5.0
+
+let p2m_add m x =
+  let k =
+    if x < m.h.(0) then begin
+      m.h.(0) <- x;
+      0
+    end
+    else if x >= m.h.(4) then begin
+      m.h.(4) <- x;
+      3
+    end
+    else begin
+      let k = ref 0 in
+      for i = 1 to 3 do
+        if x >= m.h.(i) then k := i
+      done;
+      !k
+    end
+  in
+  for i = k + 1 to 4 do
+    m.np.(i) <- m.np.(i) +. 1.0
+  done;
+  for i = 0 to 4 do
+    m.nd.(i) <- m.nd.(i) +. m.dn.(i)
+  done;
+  for i = 1 to 3 do
+    let d = m.nd.(i) -. m.np.(i) in
+    if
+      (d >= 1.0 && m.np.(i + 1) -. m.np.(i) > 1.0)
+      || (d <= -1.0 && m.np.(i - 1) -. m.np.(i) < -1.0)
+    then begin
+      let s = if d >= 0.0 then 1.0 else -1.0 in
+      let hi = m.h.(i) and hp = m.h.(i + 1) and hm = m.h.(i - 1) in
+      let ni = m.np.(i) and np1 = m.np.(i + 1) and nm1 = m.np.(i - 1) in
+      let parabolic =
+        hi
+        +. s /. (np1 -. nm1)
+           *. (((ni -. nm1 +. s) *. (hp -. hi) /. (np1 -. ni))
+              +. ((np1 -. ni -. s) *. (hi -. hm) /. (ni -. nm1)))
+      in
+      let next =
+        if hm < parabolic && parabolic < hp then parabolic
+        else if s > 0.0 then hi +. ((hp -. hi) /. (np1 -. ni))
+        else hi -. ((hm -. hi) /. (nm1 -. ni))
+      in
+      m.h.(i) <- next;
+      m.np.(i) <- ni +. s
+    end
+  done
+
+(* Marker targets: exactly the quantiles {!summary} reports. *)
+let p2_targets = [| 0.50; 0.95; 0.99 |]
+
+type store =
+  | Res of { data : float array; mutable stored : int; rng : Rng.t }
+  | Stream of { head : float array; markers : p2m array }
+
 type t = {
   mutable n : int;
   mutable mean : float;
@@ -5,23 +98,23 @@ type t = {
   mutable sum : float;
   mutable mn : float;
   mutable mx : float;
-  reservoir : float array;
-  mutable stored : int;
-  rng : Rng.t;
+  store : store;
 }
 
-let create ?(reservoir = 8192) ?(seed = 0x5747) () =
-  {
-    n = 0;
-    mean = 0.0;
-    m2 = 0.0;
-    sum = 0.0;
-    mn = infinity;
-    mx = neg_infinity;
-    reservoir = Array.make reservoir 0.0;
-    stored = 0;
-    rng = Rng.create seed;
-  }
+let create ?(estimator = Reservoir) ?(reservoir = 8192) ?(seed = 0x5747) () =
+  let store =
+    match estimator with
+    | Reservoir ->
+      Res { data = Array.make reservoir 0.0; stored = 0; rng = Rng.create seed }
+    | P2 ->
+      Stream { head = Array.make 5 0.0; markers = Array.map p2m_create p2_targets }
+  in
+  { n = 0; mean = 0.0; m2 = 0.0; sum = 0.0; mn = infinity; mx = neg_infinity; store }
+
+let estimator_kind t = match t.store with Res _ -> Reservoir | Stream _ -> P2
+
+let reservoir_capacity t =
+  match t.store with Res r -> Array.length r.data | Stream _ -> 8
 
 let add t x =
   t.n <- t.n + 1;
@@ -31,15 +124,27 @@ let add t x =
   t.m2 <- t.m2 +. (delta *. (x -. t.mean));
   if x < t.mn then t.mn <- x;
   if x > t.mx then t.mx <- x;
-  let cap = Array.length t.reservoir in
-  if t.stored < cap then begin
-    t.reservoir.(t.stored) <- x;
-    t.stored <- t.stored + 1
-  end
-  else
-    (* Vitter's algorithm R keeps a uniform sample of the stream. *)
-    let j = Rng.int t.rng t.n in
-    if j < cap then t.reservoir.(j) <- x
+  match t.store with
+  | Res r ->
+    let cap = Array.length r.data in
+    if r.stored < cap then begin
+      r.data.(r.stored) <- x;
+      r.stored <- r.stored + 1
+    end
+    else
+      (* Vitter's algorithm R keeps a uniform sample of the stream. *)
+      let j = Rng.int r.rng t.n in
+      if j < cap then r.data.(j) <- x
+  | Stream s ->
+    if t.n <= 5 then begin
+      s.head.(t.n - 1) <- x;
+      if t.n = 5 then begin
+        let sorted = Array.copy s.head in
+        Array.sort Float.compare sorted;
+        Array.iter (fun m -> p2m_init m sorted) s.markers
+      end
+    end
+    else Array.iter (fun m -> p2m_add m x) s.markers
 
 let count t = t.n
 let total t = t.sum
@@ -49,27 +154,77 @@ let stddev t = sqrt (variance t)
 let min_value t = if t.n = 0 then nan else t.mn
 let max_value t = if t.n = 0 then nan else t.mx
 
+let sorted_quantile xs q =
+  Array.sort Float.compare xs;
+  let q = Float.max 0.0 (Float.min 1.0 q) in
+  let pos = q *. float_of_int (Array.length xs - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then xs.(lo)
+  else
+    let w = pos -. float_of_int lo in
+    (xs.(lo) *. (1.0 -. w)) +. (xs.(hi) *. w)
+
 let quantile t q =
-  if t.stored = 0 then 0.0
-  else begin
-    let xs = Array.sub t.reservoir 0 t.stored in
-    Array.sort Float.compare xs;
-    let q = Float.max 0.0 (Float.min 1.0 q) in
-    let pos = q *. float_of_int (t.stored - 1) in
-    let lo = int_of_float (Float.floor pos) in
-    let hi = int_of_float (Float.ceil pos) in
-    if lo = hi then xs.(lo)
-    else
-      let w = pos -. float_of_int lo in
-      (xs.(lo) *. (1.0 -. w)) +. (xs.(hi) *. w)
-  end
+  match t.store with
+  | Res r ->
+    if r.stored = 0 then 0.0 else sorted_quantile (Array.sub r.data 0 r.stored) q
+  | Stream s ->
+    if t.n = 0 then 0.0
+    else if t.n <= 5 then sorted_quantile (Array.sub s.head 0 t.n) q
+    else begin
+      (* Piecewise-linear through (0, min), the marker estimates, and
+         (1, max).  Running max keeps the curve monotone even if marker
+         heights cross on an adversarial stream. *)
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let pts = Array.make (Array.length s.markers + 2) (0.0, t.mn) in
+      let level = ref t.mn in
+      Array.iteri
+        (fun i m ->
+          level := Float.max !level (Float.min t.mx m.h.(2));
+          pts.(i + 1) <- (m.pq, !level))
+        s.markers;
+      pts.(Array.length pts - 1) <- (1.0, t.mx);
+      let result = ref t.mx in
+      (try
+         for i = 0 to Array.length pts - 2 do
+           let x0, y0 = pts.(i) and x1, y1 = pts.(i + 1) in
+           if q <= x1 then begin
+             result :=
+               (if x1 -. x0 <= 0.0 then y1
+                else y0 +. ((q -. x0) /. (x1 -. x0) *. (y1 -. y0)));
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+
+(* Deterministically re-feed one accumulator's distribution sketch into
+   another.  Reservoirs replay their stored sample; P² sketches replay a
+   bounded number of reconstructed quantile points, so merging stays O(1)
+   in the source stream length (the moments are corrected exactly by the
+   caller either way). *)
+let feed_into t src =
+  match src.store with
+  | Res r -> Array.iter (add t) (Array.sub r.data 0 r.stored)
+  | Stream s ->
+    if src.n > 0 then
+      if src.n <= 5 then Array.iter (add t) (Array.sub s.head 0 src.n)
+      else begin
+        let k = min src.n 64 in
+        for j = 0 to k - 1 do
+          add t (quantile src ((float_of_int j +. 0.5) /. float_of_int k))
+        done
+      end
 
 let merge a b =
-  let t = create ~reservoir:(Array.length a.reservoir) () in
-  let feed src = Array.iter (add t) (Array.sub src.reservoir 0 src.stored) in
-  feed a;
-  feed b;
-  (* Correct the exact moments, which reservoirs would only approximate. *)
+  let t =
+    create ~estimator:(estimator_kind a) ~reservoir:(reservoir_capacity a) ()
+  in
+  feed_into t a;
+  feed_into t b;
+  (* Correct the exact moments, which the sketches would only approximate. *)
   t.n <- a.n + b.n;
   t.sum <- a.sum +. b.sum;
   if t.n > 0 then begin
@@ -90,7 +245,12 @@ let clear t =
   t.sum <- 0.0;
   t.mn <- infinity;
   t.mx <- neg_infinity;
-  t.stored <- 0
+  match t.store with
+  | Res r -> r.stored <- 0
+  | Stream _ ->
+    (* The head buffer refills and the markers re-initialize once five
+       fresh observations arrive; [n] gates every read until then. *)
+    ()
 
 type summary = {
   n : int;

@@ -1,0 +1,375 @@
+open Adaptive_sim
+open Adaptive_net
+open Adaptive_mech
+open Adaptive_core
+open Adaptive_fleet
+
+type config = {
+  sessions : int;
+  partitions : int;
+  shards : int;
+  churn_rounds : int;
+  seed : int;
+  payload_bytes : int;
+  open_window : Time.t;
+  monitored_share : int;
+  cross_share : int;
+  wan_latency : Time.t;
+}
+
+let default_config ~sessions ~seed =
+  {
+    sessions;
+    partitions = 4;
+    shards = 1;
+    churn_rounds = 1;
+    seed;
+    payload_bytes = 2000;
+    open_window = Time.sec 1.0;
+    monitored_share = 10;
+    cross_share = 16;
+    wan_latency = Time.ms 5;
+  }
+
+type outcome = {
+  offered : int;
+  admitted : int;
+  refused : int;
+  cross_opened : int;
+  delivered_msgs : int;
+  delivered_bytes : int;
+  wan_exchanged : int;
+  peak_live : int;
+  events_fired : int;
+  sim_time : Time.t;
+  digest : int64;
+  partition_digests : int64 list;
+  demux_probes_mean_max : float;
+  monitor_ticks : int;
+  monitor_walked : int;
+  tw_sweeps : int;
+  tw_expired : int;
+  unites_reports : string list;
+}
+
+(* Cross-partition PDUs travel the WAN as plain values: the frame, its
+   size, and the addresses as the {e receiver} must see them.  Virtual
+   addresses above [wan_base] name (partition, role) pairs; they are
+   routeless in every local topology, so the dispatcher's replies to a
+   remote peer leave through the same remote hook that delivered it. *)
+let wan_base = 0x10000
+
+type wan_msg = {
+  w_src : Network.addr;  (* virtual (partition, role) of the sender *)
+  w_dst : Network.addr;  (* real address in the destination partition *)
+  w_bytes : int;
+  w_sent : Time.t;
+  w_pdu : Pdu.t;
+}
+
+type partition = {
+  p_index : int;
+  p_stack : Adaptive.stack;
+  p_client : Network.addr;
+  p_server : Network.addr;
+  p_trace : Trace.t;
+  mutable p_outbox : (Time.t * int * wan_msg) list;  (* newest first *)
+  mutable p_offered : int;
+  mutable p_admitted : int;
+  mutable p_refused : int;
+  mutable p_cross : int;
+  mutable p_delivered_msgs : int;
+  mutable p_delivered_bytes : int;
+  mutable p_peak_live : int;
+}
+
+let fast_host engine =
+  Host.create ~per_packet:(Time.us 2) ~per_byte_copy:(Time.ns 1) ~copies:1 engine
+
+let short_duration = Time.ms 600
+let long_duration = Time.minutes 2
+
+(* Virtual address of (partition, role): role 0 = client, 1 = server. *)
+let virtual_addr ~partition ~role = wan_base + (partition * 2) + role
+
+let cross_scs = { Scs.default with Scs.connection = Params.Implicit }
+
+let build_partition cfg ~index ~seed =
+  let stack =
+    Adaptive.create_stack ~seed ~metric_reservoir:64
+      ~metric_estimator:Stats.P2 ()
+  in
+  let engine = stack.Adaptive.engine in
+  (* Stripe connection ids by partition so a cross-partition session can
+     never collide with a local one in the remote connection table — and
+     so the id space is identical however many shards execute. *)
+  Network.set_conn_stripe stack.Adaptive.net ~stride:cfg.partitions ~offset:index;
+  let mantts = Adaptive.mantts stack in
+  let client = Adaptive.add_host ~host_cpu:(fast_host engine) stack "ms-client" in
+  let server = Adaptive.add_host ~host_cpu:(fast_host engine) stack "ms-server" in
+  Adaptive.connect_hosts stack client server
+    [ Profiles.custom ~name:"ms-lan" ~bandwidth_bps:1e9 ~propagation:(Time.us 50)
+        ~queue_pkts:4096 () ];
+  let trace = Trace.create ~log_capacity:256 () in
+  Unites.attach_trace stack.Adaptive.unites trace;
+  let p =
+    {
+      p_index = index;
+      p_stack = stack;
+      p_client = client;
+      p_server = server;
+      p_trace = trace;
+      p_outbox = [];
+      p_offered = 0;
+      p_admitted = 0;
+      p_refused = 0;
+      p_cross = 0;
+      p_delivered_msgs = 0;
+      p_delivered_bytes = 0;
+      p_peak_live = 0;
+    }
+  in
+  Mantts.set_app_handler (Mantts.entity mantts server) (fun session d ->
+      p.p_delivered_msgs <- p.p_delivered_msgs + 1;
+      p.p_delivered_bytes <- p.p_delivered_bytes + d.Session.bytes;
+      Trace.event trace ~at:d.Session.delivered_at ~category:"deliver"
+        ~detail:(Printf.sprintf "%d:%d" (Session.id session) d.Session.bytes));
+  p
+
+(* Install partition [p]'s remote hook: map the unrouted virtual
+   destination to (partition, real address), the real source to its
+   virtual name, stamp the WAN arrival, and queue for the next barrier. *)
+let install_wan cfg parts p =
+  let net = p.p_stack.Adaptive.net in
+  let engine = p.p_stack.Adaptive.engine in
+  Network.set_remote net (fun ~src ~dst ~bytes pdu ->
+      if dst >= wan_base && dst < wan_base + (cfg.partitions * 2) then begin
+        let target = (dst - wan_base) / 2 in
+        let role = (dst - wan_base) mod 2 in
+        let dest_part = parts.(target) in
+        let real_dst =
+          if role = 1 then dest_part.p_server else dest_part.p_client
+        in
+        let src_role = if src = p.p_server then 1 else 0 in
+        let now = Engine.now engine in
+        p.p_outbox <-
+          ( Time.add now cfg.wan_latency,
+            target,
+            {
+              w_src = virtual_addr ~partition:p.p_index ~role:src_role;
+              w_dst = real_dst;
+              w_bytes = bytes;
+              w_sent = now;
+              w_pdu = pdu;
+            } )
+          :: p.p_outbox
+      end)
+
+let schedule_opens cfg p ~local_slots =
+  let stack = p.p_stack in
+  let engine = stack.Adaptive.engine in
+  let mantts = Adaptive.mantts stack in
+  let client_disp = Mantts.dispatcher (Mantts.entity mantts p.p_client) in
+  let base_rng =
+    Rng.split_ix (Rng.create (cfg.seed lxor 0x4D534D53 (* "MSMS" *))) p.p_index
+  in
+  let apps = Array.of_list Workloads.all in
+  let acd_for slot =
+    let app = apps.(slot mod Array.length apps) in
+    let monitored =
+      cfg.monitored_share > 0 && slot mod cfg.monitored_share = 0
+    in
+    let qos =
+      {
+        (Workloads.qos app) with
+        Qos.duration = Some (if monitored then long_duration else short_duration);
+      }
+    in
+    Acd.make
+      ~tmc:{ Acd.collect = [ Unites.Setup_latency ]; sample_every = Time.sec 1.0 }
+      ~participants:[ p.p_server ] ~qos ()
+  in
+  (* Global stagger: partition [p] owns global slots p, p+P, p+2P, … so
+     offered load is phase-interleaved across partitions exactly as one
+     flat swarm would see it.  The +1 ns keeps the very first injection
+     strictly inside the first conservative window. *)
+  let open_at slot =
+    1 + (((slot * cfg.partitions) + p.p_index) * cfg.open_window / cfg.sessions)
+  in
+  let open_cross slot round =
+    p.p_cross <- p.p_cross + 1;
+    let peer_part = (p.p_index + 1) mod cfg.partitions in
+    let peer = virtual_addr ~partition:peer_part ~role:1 in
+    let name = Printf.sprintf "xms-%d-%d-%d" p.p_index slot round in
+    let session =
+      Session.connect ~name client_disp ~peers:[ peer ] ~scs:cross_scs ()
+    in
+    Trace.event p.p_trace ~at:(Engine.now engine) ~category:"xopen"
+      ~detail:(string_of_int (Session.id session));
+    Session.send session ~bytes:(max 64 (cfg.payload_bytes / 2)) ();
+    ignore
+      (Engine.schedule engine
+         ~at:(Time.add (Engine.now engine) short_duration)
+         (fun () ->
+           Trace.event p.p_trace ~at:(Engine.now engine) ~category:"xclose"
+             ~detail:(string_of_int (Session.id session));
+           Session.close session))
+  in
+  let rec attempt slot round ~at =
+    ignore (Engine.schedule engine ~at (fun () -> open_now slot round))
+  and open_now slot round =
+    p.p_offered <- p.p_offered + 1;
+    let rng = Rng.split_ix base_rng ((slot * 131) + round) in
+    let name = Printf.sprintf "ms-%d-%d-%d" p.p_index slot round in
+    let acd = acd_for slot in
+    let lifetime = Time.ms (300 + Rng.int rng 500) in
+    (match Mantts.try_open_session ~name mantts ~src:p.p_client ~acd () with
+    | Error _ ->
+      p.p_refused <- p.p_refused + 1;
+      Trace.event p.p_trace ~at:(Engine.now engine) ~category:"refuse"
+        ~detail:(string_of_int slot);
+      if round < cfg.churn_rounds then
+        attempt slot (round + 1) ~at:(Time.add (Engine.now engine) (Time.ms 200))
+    | Ok (session, _decision) ->
+      p.p_admitted <- p.p_admitted + 1;
+      Trace.event p.p_trace ~at:(Engine.now engine) ~category:"open"
+        ~detail:(string_of_int (Session.id session));
+      let live = Session.Dispatcher.session_count client_disp in
+      if live > p.p_peak_live then p.p_peak_live <- live;
+      let bytes =
+        max 64 ((cfg.payload_bytes / 2) + Rng.int rng cfg.payload_bytes)
+      in
+      Session.send session ~bytes ();
+      ignore
+        (Engine.schedule engine
+           ~at:(Time.add (Engine.now engine) lifetime)
+           (fun () ->
+             Trace.event p.p_trace ~at:(Engine.now engine) ~category:"close"
+               ~detail:(string_of_int (Session.id session));
+             Mantts.close_session mantts session;
+             if round < cfg.churn_rounds then
+               attempt slot (round + 1)
+                 ~at:(Time.add (Engine.now engine) (Time.ms 100)))));
+    if cfg.cross_share > 0 && slot mod cfg.cross_share = 0 && round = 0 then
+      open_cross slot round
+  in
+  for slot = 0 to local_slots - 1 do
+    attempt slot 0 ~at:(open_at slot)
+  done
+
+let run cfg =
+  if cfg.sessions <= 0 then invalid_arg "Megaswarm.run: sessions must be positive";
+  if cfg.partitions < 1 then
+    invalid_arg "Megaswarm.run: partitions must be >= 1";
+  if cfg.shards < 1 then invalid_arg "Megaswarm.run: shards must be >= 1";
+  let seeds = Array.of_list (Fleet.seeds_of ~master:cfg.seed ~n:cfg.partitions) in
+  let parts =
+    Array.init cfg.partitions (fun i ->
+        build_partition cfg ~index:i ~seed:seeds.(i))
+  in
+  Array.iter (install_wan cfg parts) parts;
+  Array.iter
+    (fun p ->
+      let local_slots =
+        (cfg.sessions / cfg.partitions)
+        + (if p.p_index < cfg.sessions mod cfg.partitions then 1 else 0)
+      in
+      schedule_opens cfg p ~local_slots)
+    parts;
+  let horizon =
+    Time.add cfg.open_window
+      (Time.sec (3.0 *. float_of_int (cfg.churn_rounds + 1)))
+  in
+  let shard =
+    Shard.create ~lookahead:cfg.wan_latency ~partitions:cfg.partitions
+      ~run_to:(fun i until ->
+        Engine.run ~until parts.(i).p_stack.Adaptive.engine)
+      ~drain:(fun i ->
+        let msgs = List.rev parts.(i).p_outbox in
+        parts.(i).p_outbox <- [];
+        List.map
+          (fun (at, dst, m) ->
+            { Shard.out_at = at; out_dst = dst; out_payload = m })
+          msgs)
+      ~inject:(fun i ~at ~src:_ m ->
+        let net = parts.(i).p_stack.Adaptive.net in
+        ignore
+          (Engine.schedule parts.(i).p_stack.Adaptive.engine ~at (fun () ->
+               Network.deliver_remote net ~src:m.w_src ~dst:m.w_dst
+                 ~bytes:m.w_bytes ~sent_at:m.w_sent m.w_pdu)))
+  in
+  let wan_exchanged = Shard.run shard ~shards:cfg.shards ~until:horizon in
+  let digests =
+    Array.to_list (Array.map (fun p -> Trace.hash p.p_trace) parts)
+  in
+  let probes_mean p =
+    match
+      Unites.stats p.p_stack.Adaptive.unites ~session:Unites.swarm_session
+        Unites.Demux_probes
+    with
+    | Some s -> s.Stats.mean
+    | None -> 0.0
+  in
+  let sum f = Array.fold_left (fun acc p -> acc + f p) 0 parts in
+  (* Tick-cost telemetry across every partition: monitor-tick working
+     set and coalesced time-wait sweeps (client + server dispatchers). *)
+  let tick_stats p = Mantts.tick_stats (Adaptive.mantts p.p_stack) in
+  let tw_stats p =
+    let mantts = Adaptive.mantts p.p_stack in
+    List.fold_left
+      (fun (s, e) addr ->
+        let disp = Mantts.dispatcher (Mantts.entity mantts addr) in
+        let s', e' = Session.Dispatcher.tw_sweep_stats disp in
+        (s + s', e + e'))
+      (0, 0)
+      [ p.p_client; p.p_server ]
+  in
+  {
+    offered = sum (fun p -> p.p_offered);
+    admitted = sum (fun p -> p.p_admitted);
+    refused = sum (fun p -> p.p_refused);
+    cross_opened = sum (fun p -> p.p_cross);
+    delivered_msgs = sum (fun p -> p.p_delivered_msgs);
+    delivered_bytes = sum (fun p -> p.p_delivered_bytes);
+    wan_exchanged;
+    peak_live = Array.fold_left (fun acc p -> max acc p.p_peak_live) 0 parts;
+    events_fired =
+      sum (fun p ->
+          (Engine.counters p.p_stack.Adaptive.engine).Engine.events_fired);
+    sim_time =
+      Array.fold_left
+        (fun acc p -> Time.max acc (Adaptive.now p.p_stack))
+        Time.zero parts;
+    digest = Fleet.combine_hashes digests;
+    partition_digests = digests;
+    demux_probes_mean_max =
+      Array.fold_left (fun acc p -> Float.max acc (probes_mean p)) 0.0 parts;
+    monitor_ticks = sum (fun p -> fst (tick_stats p));
+    monitor_walked = sum (fun p -> snd (tick_stats p));
+    tw_sweeps = sum (fun p -> fst (tw_stats p));
+    tw_expired = sum (fun p -> snd (tw_stats p));
+    unites_reports =
+      Array.to_list
+        (Array.map
+           (fun p ->
+             Format.asprintf "partition %d@.%a" p.p_index Unites.report
+               p.p_stack.Adaptive.unites)
+           parts);
+  }
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "@[<v>megaswarm: offered=%d admitted=%d refused=%d cross=%d@,\
+     delivered: %d msgs, %d bytes; peak live=%d; wan msgs=%d@,\
+     demux probes mean (worst partition)=%.3f@,\
+     monitor ticks=%d walked=%d; tw sweeps=%d expired=%d@,\
+     events=%d sim_time=%a digest=0x%Lx@,\
+     partition digests: %a@]"
+    o.offered o.admitted o.refused o.cross_opened o.delivered_msgs
+    o.delivered_bytes o.peak_live o.wan_exchanged o.demux_probes_mean_max
+    o.monitor_ticks o.monitor_walked o.tw_sweeps o.tw_expired
+    o.events_fired Time.pp o.sim_time o.digest
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt " ")
+       (fun fmt d -> Format.fprintf fmt "0x%Lx" d))
+    o.partition_digests

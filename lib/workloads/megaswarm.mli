@@ -1,0 +1,76 @@
+(** MEGASWARM — a partitioned, domain-sharded many-session workload.
+
+    The swarm workload stressed one dispatcher; megaswarm runs [P]
+    logical partitions — each a complete ADAPTIVE stack with its own
+    engine, hosts, MANTTS entities and UNITES repository — connected by
+    a constant-latency WAN, and executes them across OCaml 5 domains
+    with {!Adaptive_fleet.Shard}'s conservative barrier-window
+    synchronization.
+
+    The partition count is part of the {e logical} configuration: it
+    fixes the workload, the connection-id stripes, and the traffic.  The
+    shard count is purely an {e execution} choice — [shards = 1] and
+    [shards = N] produce the same combined digest and byte-identical
+    UNITES reports, which the parity tests pin.
+
+    Every [cross_share]-th local slot also opens a session to the next
+    partition's server over the WAN (ring order), so the conservative
+    exchange path carries real protocol traffic: connection setup, data,
+    acks and release all cross the partition boundary.
+
+    Per-partition UNITES repositories run the {!Adaptive_sim.Stats.P2}
+    streaming quantile estimator, so metric memory stays flat however
+    many sessions churn through a partition. *)
+
+open Adaptive_sim
+
+type config = {
+  sessions : int;  (** Total session slots across all partitions. *)
+  partitions : int;  (** Logical partitions (fixed per workload). *)
+  shards : int;  (** Execution domains; result-invariant. *)
+  churn_rounds : int;  (** Reopen rounds per slot after first close. *)
+  seed : int;
+  payload_bytes : int;  (** Mean application message size. *)
+  open_window : Time.t;  (** Window over which opens are staggered. *)
+  monitored_share : int;  (** Every Nth local session keeps a monitor. *)
+  cross_share : int;  (** Every Nth local slot opens a WAN session
+                          (0 disables cross traffic). *)
+  wan_latency : Time.t;  (** One-way cross-partition latency; also the
+                             conservative lookahead. *)
+}
+
+val default_config : sessions:int -> seed:int -> config
+(** 4 partitions, 1 shard, 5 ms WAN, cross traffic every 16th slot. *)
+
+type outcome = {
+  offered : int;
+  admitted : int;
+  refused : int;
+  cross_opened : int;  (** WAN sessions opened. *)
+  delivered_msgs : int;
+  delivered_bytes : int;
+  wan_exchanged : int;  (** Cross-partition PDUs through the barriers. *)
+  peak_live : int;  (** Max live sessions at any one dispatcher. *)
+  events_fired : int;  (** Summed over partition engines. *)
+  sim_time : Time.t;
+  digest : int64;  (** Combined partition trace digests, in order. *)
+  partition_digests : int64 list;
+  demux_probes_mean_max : float;  (** Worst partition's mean demux probes. *)
+  monitor_ticks : int;  (** Shared monitor-tick firings, all partitions. *)
+  monitor_walked : int;  (** Live monitors walked across those ticks —
+                             [walked / ticks] is the per-tick working
+                             set, O(monitored) not O(sessions). *)
+  tw_sweeps : int;  (** Coalesced time-wait sweeper firings. *)
+  tw_expired : int;  (** Time-wait entries those sweeps expired. *)
+  unites_reports : string list;  (** Rendered per-partition UNITES
+                                     reports, in partition order. *)
+}
+
+val run : config -> outcome
+(** Build the partitions, run them to quiescence under conservative
+    barrier-window synchronization, and reduce.  Deterministic in
+    [config]; independent of [shards] by construction.  Raises
+    [Invalid_argument] on a non-positive session/partition/shard count
+    (a zero [wan_latency] is rejected by {!Adaptive_fleet.Shard}). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

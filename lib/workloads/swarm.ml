@@ -12,6 +12,7 @@ type config = {
   admission : Mantts.admission_policy option;
   monitored_share : int;
   wire : bool;
+  estimator : Stats.estimator;
 }
 
 let default_config ~sessions ~seed =
@@ -24,6 +25,9 @@ let default_config ~sessions ~seed =
     admission = None;
     monitored_share = 10;
     wire = false;
+    (* Reservoir is the golden default; the goldens pin its quantiles.
+       Megaswarm-scale runs switch to [Stats.P2] for flat metric memory. *)
+    estimator = Stats.Reservoir;
   }
 
 type outcome = {
@@ -60,7 +64,10 @@ let long_duration = Time.minutes 2
 
 let run cfg =
   if cfg.sessions <= 0 then invalid_arg "Swarm.run: sessions must be positive";
-  let stack = Adaptive.create_stack ~seed:cfg.seed ~metric_reservoir:64 () in
+  let stack =
+    Adaptive.create_stack ~seed:cfg.seed ~metric_reservoir:64
+      ~metric_estimator:cfg.estimator ()
+  in
   let engine = stack.Adaptive.engine in
   let unites = stack.Adaptive.unites in
   let mantts = Adaptive.mantts stack in

@@ -30,11 +30,17 @@ type config = {
                     network as real bytes through the fused zero-copy
                     codec path.  On this lossless topology the trace
                     digest must equal the value-mode digest. *)
+  estimator : Stats.estimator;
+      (** Quantile estimator for the run's UNITES repository.
+          [Reservoir] (the default) is what the goldens pin; [P2] caps
+          metric memory at a few floats per (session, metric) for
+          megaswarm-scale churn. *)
 }
 
 val default_config : sessions:int -> seed:int -> config
 (** 2 churn rounds, 2000-byte payloads, a 1 s open window, no admission
-    policy, every 10th slot monitored, value (non-wire) mode. *)
+    policy, every 10th slot monitored, value (non-wire) mode, reservoir
+    quantiles. *)
 
 type outcome = {
   offered : int;  (** Open attempts (including churn reopens). *)

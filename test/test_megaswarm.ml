@@ -1,0 +1,191 @@
+(* MEGASWARM test layer: shard-count invariance of the partitioned
+   workload (the digest and every rendered UNITES report must not depend
+   on how many domains execute it), rejection of zero-lookahead
+   configurations, and the P² streaming quantile estimator against exact
+   order statistics. *)
+
+open Adaptive_sim
+open Adaptive_fleet
+open Adaptive_workloads
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Shard-count invariance *)
+
+(* Random small configurations, each executed at 1, 2 and 4 shards.  The
+   partition count stays fixed across the three runs — it is part of the
+   workload — while the shard grouping varies; combined digest and the
+   per-partition UNITES reports must be byte-identical. *)
+let prop_shard_parity =
+  let gen =
+    QCheck2.Gen.(
+      let* seed = int_range 1 10_000 in
+      let* sessions = int_range 80 200 in
+      let* partitions = int_range 2 5 in
+      return (seed, sessions, partitions))
+  in
+  QCheck2.Test.make
+    ~name:"megaswarm digest and UNITES independent of shard count" ~count:3
+    ~print:(fun (seed, sessions, partitions) ->
+      Printf.sprintf "seed=%d sessions=%d partitions=%d" seed sessions
+        partitions)
+    gen
+    (fun (seed, sessions, partitions) ->
+      let cfg =
+        { (Megaswarm.default_config ~sessions ~seed) with
+          Megaswarm.partitions;
+          churn_rounds = 1 }
+      in
+      let run shards = Megaswarm.run { cfg with Megaswarm.shards } in
+      let o1 = run 1 and o2 = run 2 and o4 = run 4 in
+      Int64.equal o1.Megaswarm.digest o2.Megaswarm.digest
+      && Int64.equal o1.Megaswarm.digest o4.Megaswarm.digest
+      && o1.Megaswarm.partition_digests = o2.Megaswarm.partition_digests
+      && o1.Megaswarm.unites_reports = o2.Megaswarm.unites_reports
+      && o1.Megaswarm.unites_reports = o4.Megaswarm.unites_reports)
+
+let test_megaswarm_deterministic () =
+  let cfg = Megaswarm.default_config ~sessions:150 ~seed:11 in
+  let o1 = Megaswarm.run cfg in
+  let o2 = Megaswarm.run cfg in
+  check_bool "same seed, same digest" true
+    (Int64.equal o1.Megaswarm.digest o2.Megaswarm.digest);
+  check_int "all opens admitted without a policy" o1.Megaswarm.offered
+    o1.Megaswarm.admitted;
+  check_bool "cross-partition traffic flowed" true
+    (o1.Megaswarm.wan_exchanged > 0);
+  check_bool "cross sessions opened" true (o1.Megaswarm.cross_opened > 0);
+  (* O(active) control plane: the monitor tick walks the monitored
+     share, not the whole population, and the time-wait sweeper fires
+     far fewer times than there are closed connections. *)
+  check_bool "monitor tick working set stayed O(monitored)" true
+    (o1.Megaswarm.monitor_ticks = 0
+    || o1.Megaswarm.monitor_walked / o1.Megaswarm.monitor_ticks
+       <= o1.Megaswarm.admitted);
+  check_bool "time-wait sweeps coalesced" true
+    (o1.Megaswarm.tw_expired = 0
+    || o1.Megaswarm.tw_sweeps < o1.Megaswarm.tw_expired)
+
+(* ------------------------------------------------------------------ *)
+(* Zero-lookahead rejection *)
+
+let test_zero_lookahead_rejected () =
+  let dummy_run _ _ = () in
+  let dummy_drain _ = [] in
+  let dummy_inject _ ~at:_ ~src:_ () = () in
+  Alcotest.check_raises "Time.zero lookahead is rejected"
+    (Invalid_argument
+       "Shard.create: lookahead must be positive — a zero-lookahead \
+        cross-partition link admits no conservative synchronization window")
+    (fun () ->
+      ignore
+        (Shard.create ~lookahead:Time.zero ~partitions:2 ~run_to:dummy_run
+           ~drain:dummy_drain ~inject:dummy_inject));
+  (* The same guard reaches megaswarm configs through wan_latency. *)
+  match
+    Megaswarm.run
+      { (Megaswarm.default_config ~sessions:50 ~seed:3) with
+        Megaswarm.wan_latency = Time.zero }
+  with
+  | _ -> Alcotest.fail "zero wan_latency must not run"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* P² estimator vs exact order statistics *)
+
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+(* On a uniform stream the P² markers track their target quantiles
+   closely; we assert a conservative bound — within 10% of the sample
+   range of the exact order statistic — plus exact moments and extrema,
+   which the estimator maintains independently of the sketch. *)
+let prop_p2_error_bound =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 50 1500) (float_bound_inclusive 1000.0))
+  in
+  QCheck2.Test.make ~name:"P2 quantiles within 10% of range of exact"
+    ~count:50
+    ~print:(fun l -> Printf.sprintf "%d samples" (List.length l))
+    gen
+    (fun samples ->
+      QCheck2.assume (samples <> []);
+      let p2 = Stats.create ~estimator:Stats.P2 () in
+      List.iter (Stats.add p2) samples;
+      let sorted = Array.of_list samples in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      let range = sorted.(n - 1) -. sorted.(0) in
+      let tol = Float.max (0.10 *. range) 1e-9 in
+      let close q =
+        Float.abs (Stats.quantile p2 q -. exact_quantile sorted q) <= tol
+      in
+      let exact_sum = List.fold_left ( +. ) 0.0 samples in
+      close 0.5 && close 0.95 && close 0.99
+      && Stats.count p2 = n
+      && Float.abs (Stats.mean p2 -. (exact_sum /. float_of_int n)) <= 1e-6
+      && Stats.min_value p2 = sorted.(0)
+      && Stats.max_value p2 = sorted.(n - 1))
+
+(* The first five observations are stored verbatim: quantiles are exact
+   order statistics, not marker reads. *)
+let test_p2_small_n_exact () =
+  let p2 = Stats.create ~estimator:Stats.P2 () in
+  List.iter (Stats.add p2) [ 9.0; 1.0; 5.0; 3.0; 7.0 ];
+  Alcotest.(check (float 1e-9)) "median of five" 5.0 (Stats.quantile p2 0.5);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.quantile p2 0.0);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.quantile p2 1.0)
+
+(* Merging two P² accumulators: counts, moments and extrema combine
+   exactly; quantiles stay plausible (inside the merged extrema). *)
+let test_p2_merge () =
+  let a = Stats.create ~estimator:Stats.P2 () in
+  let b = Stats.create ~estimator:Stats.P2 () in
+  for i = 1 to 400 do
+    Stats.add a (float_of_int i)
+  done;
+  for i = 401 to 1000 do
+    Stats.add b (float_of_int i)
+  done;
+  let m = Stats.merge a b in
+  Alcotest.(check int) "count" 1000 (Stats.count m);
+  Alcotest.(check (float 1e-6)) "mean" 500.5 (Stats.mean m);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_value m);
+  Alcotest.(check (float 1e-9)) "max" 1000.0 (Stats.max_value m);
+  check_bool "merged estimator stays P2" true
+    (Stats.estimator_kind m = Stats.P2);
+  let p50 = Stats.quantile m 0.5 in
+  check_bool "merged median within the merged range" true
+    (p50 >= 1.0 && p50 <= 1000.0 && Float.abs (p50 -. 500.5) <= 100.0)
+
+let suite =
+  [
+    ( "megaswarm.parity",
+      List.map QCheck_alcotest.to_alcotest [ prop_shard_parity ]
+      @ [
+          Alcotest.test_case "megaswarm is deterministic" `Quick
+            test_megaswarm_deterministic;
+        ] );
+    ( "megaswarm.lookahead",
+      [
+        Alcotest.test_case "zero lookahead rejected" `Quick
+          test_zero_lookahead_rejected;
+      ] );
+    ( "megaswarm.p2",
+      List.map QCheck_alcotest.to_alcotest [ prop_p2_error_bound ]
+      @ [
+          Alcotest.test_case "first five observations are exact" `Quick
+            test_p2_small_n_exact;
+          Alcotest.test_case "merge combines moments exactly" `Quick
+            test_p2_merge;
+        ] );
+  ]
