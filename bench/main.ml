@@ -40,6 +40,7 @@ let registry =
     ("e11_swarm_scale", Swarm_scale.e11_swarm_scale);
     ("e12_wire_path", Wire_path.e12_wire_path);
     ("e13_megaswarm_scale", Megaswarm_scale.e13_megaswarm_scale);
+    ("e14_steer", Steer_bench.e14_steer);
     ("a1_detection", Ablations.a1_detection);
     ("a2_fec_group", Ablations.a2_fec_group);
     ("a3_ack_delay", Ablations.a3_ack_delay);
@@ -77,6 +78,7 @@ let () =
       Swarm_scale.smoke := true;
       Wire_path.smoke := true;
       Megaswarm_scale.smoke := true;
+      Steer_bench.smoke := true;
       parse rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with

@@ -287,7 +287,7 @@ let run_fleet replicas seed seeds env jobs no_baseline =
 
 (* Many-session churn on one host pair (the e11 workload), with optional
    MANTTS admission thresholds to demonstrate graceful degradation. *)
-let run_swarm sessions churn seed soft hard wire =
+let run_swarm sessions churn seed soft hard wire steer chaos_seed =
   let admission =
     match (soft, hard) with
     | None, None -> None
@@ -301,19 +301,39 @@ let run_swarm sessions churn seed soft hard wire =
           max_cpu_backlog = Time.ms 50;
         }
   in
-  Format.printf "swarm: %d session slot(s), %d churn round(s), seed %d%s%s@."
+  Format.printf "swarm: %d session slot(s), %d churn round(s), seed %d%s%s%s%s@."
     sessions churn seed
     (match admission with
     | None -> ""
     | Some p ->
       Printf.sprintf ", admission soft=%d hard=%d" p.Mantts.soft_sessions
         p.Mantts.hard_sessions)
-    (if wire then ", wire-true mode" else "");
+    (if wire then ", wire-true mode" else "")
+    (if steer then ", steered" else "")
+    (match chaos_seed with
+    | None -> ""
+    | Some s -> Printf.sprintf ", chaos seed %d" s);
+  let chaos =
+    Option.map
+      (fun s ->
+        Adaptive_chaos.Fault.random_schedule ~rng:(Rng.create s)
+          ~classes:
+            [
+              Adaptive_chaos.Fault.Ber_burst;
+              Adaptive_chaos.Fault.Congestion_storm;
+              Adaptive_chaos.Fault.Route_flap;
+            ]
+          ())
+      chaos_seed
+  in
   let cfg =
     { (Swarm.default_config ~sessions ~seed) with
       Swarm.churn_rounds = churn;
       admission;
-      wire }
+      wire;
+      steer = (if steer then Some Steer.default_policy else None);
+      chaos;
+      check_invariants = steer || chaos <> None }
   in
   let t0 = Unix.gettimeofday () in
   let o = Swarm.run cfg in
@@ -353,10 +373,27 @@ let run_swarm sessions churn seed soft hard wire =
         Unites.Wire_pool_reuse;
       ]
   end;
+  (match o.Swarm.steer_stats with
+  | None -> ()
+  | Some _ ->
+    Format.printf "UNITES steer session:@.";
+    List.iter
+      (fun m ->
+        match Unites.stats o.Swarm.unites ~session:Unites.steer_session m with
+        | None -> ()
+        | Some s ->
+          Format.printf "  %-22s n=%-6d mean=%.3f max=%.3f@."
+            (Unites.metric_name m) s.Stats.n s.Stats.mean s.Stats.max)
+      [ Unites.Steer_swaps; Unites.Steer_blocked; Unites.Steer_time_in_config ];
+    List.iter
+      (fun v ->
+        Format.printf "  violation: %a@." Adaptive_chaos.Invariant.pp_violation v)
+      o.Swarm.violations);
   Format.printf "wall %.3f s (%.0f admitted sessions/s, %.0f events/s)@." wall
     (if wall > 0.0 then float_of_int o.Swarm.admitted /. wall else 0.0)
     (if wall > 0.0 then float_of_int o.Swarm.events_fired /. wall else 0.0);
-  `Ok ()
+  if o.Swarm.violations <> [] then `Error (false, "invariant violations found")
+  else `Ok ()
 
 (* ----------------------------------------------------------- megaswarm *)
 
@@ -364,12 +401,13 @@ let run_swarm sessions churn seed soft hard wire =
    the identical configuration single-sharded and checks the combined
    digest and every rendered UNITES report byte-for-byte — shard count is
    an execution choice, never a result. *)
-let run_megaswarm sessions partitions shards churn seed parity =
+let run_megaswarm sessions partitions shards churn seed parity steer =
   let cfg =
     { (Megaswarm.default_config ~sessions ~seed) with
       Megaswarm.partitions;
       shards;
-      churn_rounds = churn }
+      churn_rounds = churn;
+      steer = (if steer then Some Steer.default_policy else None) }
   in
   Format.printf
     "megaswarm: %d session slot(s), %d partition(s), %d shard(s), %d churn \
@@ -616,6 +654,27 @@ let wire_flag =
         ~doc:
           "Run in wire-true mode: every PDU crosses the network as real            bytes through the fused zero-copy codec path.")
 
+let steer_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "steer" ]
+        ~doc:
+          "Put every admitted session under the STEER closed-loop policy \
+           engine: loss-driven ARQ swaps, burst-loss FEC, congestion rate \
+           backoff and idle shedding, each gated by hysteresis and the \
+           500 ms reconfigure cooldown.")
+
+let chaos_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos-seed" ] ~docv:"SEED"
+        ~doc:
+          "Install a seeded random ber-burst / congestion-storm / \
+           route-flap schedule against the swarm link — the backdrop the \
+           steered population adapts to.")
+
 let fleet_cmd =
   Cmd.v
     (Cmd.info "fleet"
@@ -638,7 +697,7 @@ let swarm_cmd =
     Term.(
       ret
         (const run_swarm $ sessions_arg $ churn_arg $ seed_arg $ soft_arg
-       $ hard_arg $ wire_flag))
+       $ hard_arg $ wire_flag $ steer_flag $ chaos_seed_arg))
 
 let partitions_arg =
   Arg.(
@@ -678,7 +737,7 @@ let megaswarm_cmd =
     Term.(
       ret
         (const run_megaswarm $ sessions_arg $ partitions_arg $ shards_arg
-       $ churn_arg $ seed_arg $ parity_arg))
+       $ churn_arg $ seed_arg $ parity_arg $ steer_flag))
 
 let wire_cmd =
   Cmd.v

@@ -821,7 +821,7 @@ and shared_monitor_tick t =
 (* ------------------------------------------------------------------ *)
 (* Session lifecycle *)
 
-let try_open_session ?name ?on_deliver ?on_notify t ~src ~acd () =
+let try_open_session ?name ?on_deliver ?on_notify ?scs_transform t ~src ~acd () =
   let e = entity t src in
   let decision = admission_decision t e in
   count_admission t decision;
@@ -836,6 +836,10 @@ let try_open_session ?name ?on_deliver ?on_notify t ~src ~acd () =
   let tsc = classify acd in
   let scs = derive_scs t ~src acd tsc in
   let scs = if decision = Degraded then degrade_scs scs else scs in
+  (* Experiment hook: pin population-wide configuration choices (the
+     static-baseline arms of the steering experiments) after derivation
+     and degradation but before synthesis. *)
+  let scs = match scs_transform with Some f -> f scs | None -> scs in
   let monitored =
     match acd.Acd.qos.Qos.duration with
     | Some d -> d >= min_monitored_duration
@@ -897,8 +901,8 @@ let try_open_session ?name ?on_deliver ?on_notify t ~src ~acd () =
   end;
   Ok (session, decision)
 
-let open_session ?name ?on_deliver ?on_notify t ~src ~acd () =
-  match try_open_session ?name ?on_deliver ?on_notify t ~src ~acd () with
+let open_session ?name ?on_deliver ?on_notify ?scs_transform t ~src ~acd () =
+  match try_open_session ?name ?on_deliver ?on_notify ?scs_transform t ~src ~acd () with
   | Ok (session, _) -> session
   | Error reason -> failwith ("Mantts.open_session: " ^ reason)
 
@@ -931,3 +935,17 @@ let synchronize t sessions =
   align_sync_groups t
 
 let adaptations t = List.rev t.adaptation_log
+
+(* External steering engines share the per-session anti-flapping clock
+   with the built-in monitor: both read and advance [m_last_change], so
+   the combined switch stream respects one cooldown. *)
+let last_reconfigured t session =
+  match Hashtbl.find_opt t.monitors (Session.id session) with
+  | None -> None
+  | Some mon -> Some mon.m_last_change
+
+let note_switch t session text =
+  (match Hashtbl.find_opt t.monitors (Session.id session) with
+  | Some mon -> mon.m_last_change <- Engine.now t.t_engine
+  | None -> ());
+  log_adaptation t session text

@@ -119,6 +119,7 @@ val open_session :
   ?name:string ->
   ?on_deliver:(Session.t -> Session.delivery -> unit) ->
   ?on_notify:(Session.t -> string -> unit) ->
+  ?scs_transform:(Scs.t -> Scs.t) ->
   t ->
   src:Network.addr ->
   acd:Acd.t ->
@@ -127,7 +128,10 @@ val open_session :
 (** Run all three stages and start the connection.  Installs the
     data-transfer-phase monitor that evaluates the ACD's TSA rules and
     the built-in adaptation policies.  [on_notify] receives
-    [Notify_application] actions.
+    [Notify_application] actions.  [scs_transform] rewrites the derived
+    (and possibly degraded) SCS just before Stage III synthesis — the
+    hook the steering experiments use to pin a whole population to one
+    static configuration.
     @raise Failure when the admission policy refuses the open — callers
     that expect refusals should use {!try_open_session}. *)
 
@@ -135,6 +139,7 @@ val try_open_session :
   ?name:string ->
   ?on_deliver:(Session.t -> Session.delivery -> unit) ->
   ?on_notify:(Session.t -> string -> unit) ->
+  ?scs_transform:(Scs.t -> Scs.t) ->
   t ->
   src:Network.addr ->
   acd:Acd.t ->
@@ -164,6 +169,20 @@ val synchronize : t -> Session.t list -> unit
 val adaptations : t -> (Time.t * int * string) list
 (** Every reconfiguration the policy monitors applied: time, session id,
     human-readable description — oldest first. *)
+
+val last_reconfigured : t -> Session.t -> Time.t option
+(** When a policy actor — the built-in monitor or an external steering
+    engine — last applied a component switch to this session
+    ([Time.zero] if never).  [None] when the session was not opened
+    through {!open_session}/{!try_open_session}. *)
+
+val note_switch : t -> Session.t -> string -> unit
+(** Record an externally-applied component switch: appends to the
+    {!adaptations} log and advances the session's cooldown clock, so an
+    external steering engine (STEER) shares one anti-flapping clock with
+    the built-in monitor and stays visible to the chaos flap-cooldown
+    oracle.  Descriptions beginning with ["switch "] are the ones that
+    oracle audits. *)
 
 val monitor_interval : Time.t
 (** How often session monitors sample conditions (100 ms). *)

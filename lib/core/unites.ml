@@ -41,6 +41,9 @@ type metric =
   | Wire_rejects
   | Wire_fused_sums
   | Wire_pool_reuse
+  | Steer_swaps
+  | Steer_blocked
+  | Steer_time_in_config
 
 type kind = Blackbox | Whitebox
 
@@ -54,7 +57,8 @@ let metric_kind = function
   | Sched_cancelled_ratio | Sched_wheel_hit_rate | Faults_injected
   | Fault_recovery | Sessions_open | Sessions_refused | Sessions_degraded
   | Demux_probes | Table_occupancy | Timewait_drops | Wire_encodes
-  | Wire_decodes | Wire_rejects | Wire_fused_sums | Wire_pool_reuse -> Whitebox
+  | Wire_decodes | Wire_rejects | Wire_fused_sums | Wire_pool_reuse
+  | Steer_swaps | Steer_blocked | Steer_time_in_config -> Whitebox
 
 let metric_name = function
   | Throughput -> "throughput_bps"
@@ -97,6 +101,9 @@ let metric_name = function
   | Wire_rejects -> "wire_rejects"
   | Wire_fused_sums -> "wire_fused_sums"
   | Wire_pool_reuse -> "wire_pool_reuse"
+  | Steer_swaps -> "steer_swaps"
+  | Steer_blocked -> "steer_blocked"
+  | Steer_time_in_config -> "steer_time_in_config_s"
 
 let all_metrics =
   [
@@ -140,6 +147,9 @@ let all_metrics =
     Wire_rejects;
     Wire_fused_sums;
     Wire_pool_reuse;
+    Steer_swaps;
+    Steer_blocked;
+    Steer_time_in_config;
   ]
 
 type t = {
@@ -176,6 +186,10 @@ let swarm_session = -2
    checksum passes, pool reuse) describe the codec and buffer pool of a
    whole stack, not any one connection. *)
 let wire_session = -3
+
+(* Closed-loop steering observations (swap counts, cooldown blocks,
+   time-in-config) describe the STEER policy engine of a whole stack. *)
+let steer_session = -4
 
 let create ?(whitebox = true) ?(bucket = Time.sec 1.0) ?(reservoir = 8192)
     ?(estimator = Stats.Reservoir) engine =

@@ -77,6 +77,13 @@ type metric =
                          computed inside the copy pass itself. *)
   | Wire_pool_reuse  (** Fraction of frame leases served from the buffer
                          pool rather than freshly allocated. *)
+  | Steer_swaps  (** Component swaps the STEER policy engine applied
+                     (recorded under {!steer_session}). *)
+  | Steer_blocked  (** Swap decisions suppressed by the per-session
+                       reconfigure cooldown. *)
+  | Steer_time_in_config  (** Seconds a steered session spent in a
+                              configuration before STEER swapped it out —
+                              the per-swap dwell-time distribution. *)
 
 type kind = Blackbox | Whitebox
 
@@ -172,6 +179,12 @@ val wire_session : int
     path records {!Wire_encodes}, {!Wire_decodes}, {!Wire_rejects},
     {!Wire_fused_sums} and {!Wire_pool_reuse} — the codec and buffer
     pool belong to the stack, not to any one connection. *)
+
+val steer_session : int
+(** Reserved pseudo-session id ([-4]) under which the STEER closed-loop
+    policy engine records {!Steer_swaps}, {!Steer_blocked} and
+    {!Steer_time_in_config} — the steering loop belongs to the stack,
+    not to any one connection. *)
 
 val attach_trace : t -> Trace.t -> unit
 (** Attach a trace sink so {!report} presents its counters — including

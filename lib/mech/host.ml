@@ -4,6 +4,7 @@ type t = {
   engine : Engine.t;
   per_packet : Time.t;
   per_byte_copy : Time.t;
+  speed : float;
   mutable copy_count : int;
   mutable busy : Time.t;
   mutable busy_expedited : Time.t;
@@ -13,11 +14,13 @@ type t = {
 }
 
 let create ?(per_packet = Time.us 100) ?(per_byte_copy = Time.ns 25) ?(copies = 2)
-    engine =
+    ?(speed = 1.0) engine =
+  if speed <= 0.0 then invalid_arg "Host.create: non-positive speed";
   {
     engine;
     per_packet;
     per_byte_copy;
+    speed;
     copy_count = copies;
     busy = Time.zero;
     busy_expedited = Time.zero;
@@ -30,10 +33,22 @@ let zero_cost engine = create ~per_packet:Time.zero ~per_byte_copy:Time.zero ~co
 
 let process t ~bytes ?(extra = Time.zero) ?(expedited = false) () =
   let now = Engine.now t.engine in
-  let cost =
+  let nominal =
     Time.add t.per_packet
       (Time.add t.stall_extra
          (Time.add extra (t.copy_count * bytes * t.per_byte_copy)))
+  in
+  (* [speed] divides the WHOLE per-packet cost — including the caller's
+     [extra] (checksum verification, instrumentation) and fault stalls.
+     Scaling only the fixed components would leave the per-byte extras
+     as an unscaled floor that quietly becomes the binding constraint of
+     population-scale experiments. *)
+  let cost =
+    if t.speed = 1.0 then nominal
+    else
+      Time.ns
+        (Stdlib.max 0
+           (int_of_float (Float.round (float_of_int nominal /. t.speed))))
   in
   t.accumulated <- Time.add t.accumulated cost;
   t.packet_count <- t.packet_count + 1;

@@ -15,11 +15,22 @@ type t
 (** One host CPU. *)
 
 val create :
-  ?per_packet:Time.t -> ?per_byte_copy:Time.t -> ?copies:int -> Engine.t -> t
+  ?per_packet:Time.t ->
+  ?per_byte_copy:Time.t ->
+  ?copies:int ->
+  ?speed:float ->
+  Engine.t ->
+  t
 (** [create engine] models a host.  Defaults are 1992-class: 100 us fixed
     per-packet cost (interrupt, context switch, protocol control),
     25 ns per byte per copy (a ~40 MB/s memory system) and 2 copies per
-    packet traversal (user/kernel and kernel/interface). *)
+    packet traversal (user/kernel and kernel/interface).  [speed]
+    (default 1.0) divides every packet's total CPU cost — the fixed and
+    copy components, the caller's [extra] work and fault stalls alike —
+    for experiments where one endpoint stands for a population of hosts.
+    Pre-scaling [per_packet] alone is not equivalent: the per-byte
+    [extra] charges (checksum verification) would remain an unscaled
+    floor and become the binding constraint at scale. *)
 
 val zero_cost : Engine.t -> t
 (** An infinitely fast host: packets pass through for free (isolates

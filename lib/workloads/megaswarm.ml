@@ -15,6 +15,7 @@ type config = {
   monitored_share : int;
   cross_share : int;
   wan_latency : Time.t;
+  steer : Steer.policy option;
 }
 
 let default_config ~sessions ~seed =
@@ -29,6 +30,7 @@ let default_config ~sessions ~seed =
     monitored_share = 10;
     cross_share = 16;
     wan_latency = Time.ms 5;
+    steer = None;
   }
 
 type outcome = {
@@ -39,6 +41,7 @@ type outcome = {
   delivered_msgs : int;
   delivered_bytes : int;
   wan_exchanged : int;
+  steer_swaps : int;
   peak_live : int;
   events_fired : int;
   sim_time : Time.t;
@@ -73,6 +76,9 @@ type partition = {
   p_client : Network.addr;
   p_server : Network.addr;
   p_trace : Trace.t;
+  p_steer : Steer.t option;  (* partition-local steering engine: state
+                                never crosses the barrier, so the shard
+                                digest-parity witness is unaffected *)
   mutable p_outbox : (Time.t * int * wan_msg) list;  (* newest first *)
   mutable p_offered : int;
   mutable p_admitted : int;
@@ -119,6 +125,7 @@ let build_partition cfg ~index ~seed =
       p_client = client;
       p_server = server;
       p_trace = trace;
+      p_steer = Option.map (fun policy -> Steer.create ~policy mantts) cfg.steer;
       p_outbox = [];
       p_offered = 0;
       p_admitted = 0;
@@ -234,6 +241,11 @@ let schedule_opens cfg p ~local_slots =
       p.p_admitted <- p.p_admitted + 1;
       Trace.event p.p_trace ~at:(Engine.now engine) ~category:"open"
         ~detail:(string_of_int (Session.id session));
+      Option.iter
+        (fun st ->
+          Steer.watch st session
+            ~loss_tolerant:(acd.Acd.qos.Qos.loss_tolerance > 0.0))
+        p.p_steer;
       let live = Session.Dispatcher.session_count client_disp in
       if live > p.p_peak_live then p.p_peak_live <- live;
       let bytes =
@@ -332,6 +344,9 @@ let run cfg =
     delivered_msgs = sum (fun p -> p.p_delivered_msgs);
     delivered_bytes = sum (fun p -> p.p_delivered_bytes);
     wan_exchanged;
+    steer_swaps =
+      sum (fun p ->
+          match p.p_steer with Some st -> Steer.swap_count st | None -> 0);
     peak_live = Array.fold_left (fun acc p -> max acc p.p_peak_live) 0 parts;
     events_fired =
       sum (fun p ->
@@ -358,6 +373,8 @@ let run cfg =
   }
 
 let pp_outcome fmt o =
+  if o.steer_swaps > 0 then
+    Format.fprintf fmt "@[<v>steer swaps=%d@,@]" o.steer_swaps;
   Format.fprintf fmt
     "@[<v>megaswarm: offered=%d admitted=%d refused=%d cross=%d@,\
      delivered: %d msgs, %d bytes; peak live=%d; wan msgs=%d@,\

@@ -23,6 +23,7 @@
     many sessions churn through a partition. *)
 
 open Adaptive_sim
+open Adaptive_core
 
 type config = {
   sessions : int;  (** Total session slots across all partitions. *)
@@ -37,6 +38,10 @@ type config = {
                           (0 disables cross traffic). *)
   wan_latency : Time.t;  (** One-way cross-partition latency; also the
                              conservative lookahead. *)
+  steer : Steer.policy option;
+      (** When set, each partition runs its own STEER engine over its
+          locally opened sessions.  Steering state is partition-local, so
+          the shards=1 vs shards=N digest parity is preserved. *)
 }
 
 val default_config : sessions:int -> seed:int -> config
@@ -50,6 +55,7 @@ type outcome = {
   delivered_msgs : int;
   delivered_bytes : int;
   wan_exchanged : int;  (** Cross-partition PDUs through the barriers. *)
+  steer_swaps : int;  (** STEER swaps applied, summed over partitions. *)
   peak_live : int;  (** Max live sessions at any one dispatcher. *)
   events_fired : int;  (** Summed over partition engines. *)
   sim_time : Time.t;

@@ -2,6 +2,7 @@ open Adaptive_sim
 open Adaptive_net
 open Adaptive_mech
 open Adaptive_core
+open Adaptive_chaos
 
 type config = {
   sessions : int;
@@ -13,6 +14,14 @@ type config = {
   monitored_share : int;
   wire : bool;
   estimator : Stats.estimator;
+  steer : Steer.policy option;
+  chaos : Fault.schedule option;
+  check_invariants : bool;
+  scs_transform : (Scs.t -> Scs.t) option;
+  link_bps : float;
+  link_mtu : int;
+  link_queue_pkts : int;
+  host_speed : float;
 }
 
 let default_config ~sessions ~seed =
@@ -28,6 +37,14 @@ let default_config ~sessions ~seed =
     (* Reservoir is the golden default; the goldens pin its quantiles.
        Megaswarm-scale runs switch to [Stats.P2] for flat metric memory. *)
     estimator = Stats.Reservoir;
+    steer = None;
+    chaos = None;
+    check_invariants = false;
+    scs_transform = None;
+    link_bps = 1e9;
+    link_mtu = 65535;
+    link_queue_pkts = 4096;
+    host_speed = 1.0;
   }
 
 type outcome = {
@@ -38,6 +55,7 @@ type outcome = {
   closed : int;
   delivered_msgs : int;
   delivered_bytes : int;
+  goodput_bytes : int;  (* application-useful bytes: see the .mli *)
   peak_live : int;
   sim_time : Time.t;
   events_fired : int;
@@ -48,14 +66,26 @@ type outcome = {
   table_capacity : int;
   timewait_drops : int;
   wire_report : Session.Wire.report option;
+  steer_stats : (int * int) option;  (* (swaps applied, blocked) *)
+  faults_injected : int;
+  violations : Invariant.violation list;
   unites : Unites.t;
 }
 
 (* A modern host CPU: the 1992 defaults (100 us/packet) would serialize
    10k sessions' traffic into minutes of simulated backlog and measure the
-   host model, not the dispatcher. *)
-let fast_host engine =
-  Host.create ~per_packet:(Time.us 2) ~per_byte_copy:(Time.ns 1) ~copies:1 engine
+   host model, not the dispatcher.  [speed] scales it further: the two
+   endpoints stand for a whole population of hosts, so benches that scale
+   the link with the session count scale the CPU the same way — at
+   2 us/packet a fixed host saturates near 140k pkts/s and quietly
+   becomes the experiment.  The speed knob lives in [Host] itself so it
+   also divides the per-byte checksum work the session layer charges —
+   pre-scaling only the constructor costs here would leave that charge
+   as an unscaled floor (~18 us per full-size checksummed frame, a
+   ~55k pkts/s ceiling no matter how fast the host claims to be). *)
+let fast_host ~speed engine =
+  Host.create ~per_packet:(Time.us 2) ~per_byte_copy:(Time.ns 1) ~copies:1 ~speed
+    engine
 
 (* Short-declared sessions (the bulk) skip the MANTTS policy monitor;
    every [monitored_share]-th is long-declared and keeps one. *)
@@ -75,25 +105,63 @@ let run cfg =
     if cfg.wire then Some (Session.Wire.install stack.Adaptive.net) else None
   in
   Mantts.set_admission mantts cfg.admission;
-  let client =
-    Adaptive.add_host ~host_cpu:(fast_host engine) stack "swarm-client"
+  let client_cpu = fast_host ~speed:cfg.host_speed engine
+  and server_cpu = fast_host ~speed:cfg.host_speed engine in
+  let client = Adaptive.add_host ~host_cpu:client_cpu stack "swarm-client" in
+  let server = Adaptive.add_host ~host_cpu:server_cpu stack "swarm-server" in
+  let lan =
+    Profiles.custom ~name:"swarm-lan" ~bandwidth_bps:cfg.link_bps
+      ~propagation:(Time.us 50) ~queue_pkts:cfg.link_queue_pkts
+      ~mtu:cfg.link_mtu ()
   in
-  let server =
-    Adaptive.add_host ~host_cpu:(fast_host engine) stack "swarm-server"
-  in
-  Adaptive.connect_hosts stack client server
-    [ Profiles.custom ~name:"swarm-lan" ~bandwidth_bps:1e9
-        ~propagation:(Time.us 50) ~queue_pkts:4096 () ];
+  Adaptive.connect_hosts stack client server [ lan ];
   let trace = Trace.create ~log_capacity:256 () in
   Unites.attach_trace unites trace;
   let client_disp = Mantts.dispatcher (Mantts.entity mantts client) in
+  let server_disp = Mantts.dispatcher (Mantts.entity mantts server) in
+  let steer = Option.map (fun policy -> Steer.create ~policy mantts) cfg.steer in
+  let checker =
+    if cfg.check_invariants then
+      (* No [?trace]: the checker's per-delivery events would swamp the
+         digest; violations surface through [violations] instead. *)
+      Some (Invariant.create ~engine ~unites ~mantts ())
+    else None
+  in
+  let injector =
+    Option.map
+      (fun schedule ->
+        Fault.install ~engine ~trace ~unites
+          { Fault.links = [ lan ]; tail_links = [];
+            hosts = [ client_cpu; server_cpu ]; routing = None }
+          schedule)
+      cfg.chaos
+  in
+  (match (checker, injector) with
+  | Some c, Some inj -> Invariant.set_injector c inj
+  | (Some _ | None), _ -> ());
+  Option.iter
+    (fun c ->
+      Invariant.attach_dispatcher c client_disp;
+      Invariant.attach_dispatcher c server_disp;
+      Invariant.start c)
+    checker;
   let offered = ref 0 and admitted = ref 0 in
   let degraded = ref 0 and refused = ref 0 in
   let delivered_msgs = ref 0 and delivered_bytes = ref 0 in
   let peak_live = ref 0 in
+  (* Goodput accounting: both endpoints of a connection share the wire
+     connection id, so the client side records what each session promised
+     its application (bytes requested, whether the class tolerates loss)
+     and the server side accumulates what actually arrived. *)
+  let conn_contract = Hashtbl.create 1024 in
+  let conn_received = Hashtbl.create 1024 in
   Mantts.set_app_handler (Mantts.entity mantts server) (fun session d ->
       incr delivered_msgs;
       delivered_bytes := !delivered_bytes + d.Session.bytes;
+      let conn = Session.id session in
+      Hashtbl.replace conn_received conn
+        (d.Session.bytes
+        + Option.value ~default:0 (Hashtbl.find_opt conn_received conn));
       Trace.event trace ~at:d.Session.delivered_at ~category:"deliver"
         ~detail:(Printf.sprintf "%d:%d" (Session.id session) d.Session.bytes));
   let base_rng = Rng.create (cfg.seed lxor 0x53574152 (* "SWAR" *)) in
@@ -123,7 +191,10 @@ let run cfg =
     let name = Printf.sprintf "sw-%d-%d" slot round in
     let acd = acd_for slot in
     let lifetime = Time.ms (300 + Rng.int rng 500) in
-    match Mantts.try_open_session ~name mantts ~src:client ~acd () with
+    match
+      Mantts.try_open_session ~name ?scs_transform:cfg.scs_transform mantts
+        ~src:client ~acd ()
+    with
     | Error _ ->
       incr refused;
       Trace.event trace
@@ -146,9 +217,16 @@ let run cfg =
         ~at:(Engine.now engine)
         ~category:"open"
         ~detail:(string_of_int (Session.id session));
+      Option.iter
+        (fun st ->
+          Steer.watch st session
+            ~loss_tolerant:(acd.Acd.qos.Qos.loss_tolerance > 0.0))
+        steer;
       let live = Session.Dispatcher.session_count client_disp in
       if live > !peak_live then peak_live := live;
       let bytes = max 64 ((cfg.payload_bytes / 2) + Rng.int rng cfg.payload_bytes) in
+      Hashtbl.replace conn_contract (Session.id session)
+        (bytes, acd.Acd.qos.Qos.loss_tolerance > 0.0);
       Session.send session ~bytes ();
       ignore
         (Engine.schedule engine
@@ -172,6 +250,7 @@ let run cfg =
       (Time.sec (3.0 *. float_of_int (cfg.churn_rounds + 1)))
   in
   Adaptive.run stack ~until:horizon;
+  Option.iter Invariant.finish checker;
   let summary_of m =
     Option.value
       ~default:(Stats.summarize (Stats.create ~reservoir:8 ()))
@@ -188,6 +267,19 @@ let run cfg =
     closed = Trace.counter trace "close";
     delivered_msgs = !delivered_msgs;
     delivered_bytes = !delivered_bytes;
+    goodput_bytes =
+      (* Loss-tolerant classes use whatever arrived; a fully-reliable
+         application's transfer is only useful if all of it arrived (a
+         file with holes is not partial goodput, it is waste). *)
+      Hashtbl.fold
+        (fun conn (requested, tolerant) acc ->
+          let got =
+            Option.value ~default:0 (Hashtbl.find_opt conn_received conn)
+          in
+          if tolerant then acc + min got requested
+          else if got >= requested then acc + requested
+          else acc)
+        conn_contract 0;
     peak_live = !peak_live;
     sim_time = Adaptive.now stack;
     events_fired = (Engine.counters engine).Engine.events_fired;
@@ -199,6 +291,11 @@ let run cfg =
     timewait_drops =
       int_of_float (Unites.total unites ~session:Unites.swarm_session Unites.Timewait_drops);
     wire_report = Option.map Session.Wire.report wire_handle;
+    steer_stats =
+      Option.map (fun st -> (Steer.swap_count st, Steer.blocked_count st)) steer;
+    faults_injected =
+      (match injector with Some inj -> Fault.injected inj | None -> 0);
+    violations = (match checker with Some c -> Invariant.violations c | None -> []);
     unites;
   }
 
@@ -218,4 +315,11 @@ let pp_outcome fmt o =
       "@,wire: encodes=%d decodes=%d rejects=%d fused_sums=%d pool_reuse=%.3f"
       w.Session.Wire.encodes w.Session.Wire.decodes w.Session.Wire.rejects
       w.Session.Wire.fused_sums w.Session.Wire.pool_reuse_rate);
+  (match o.steer_stats with
+  | None -> ()
+  | Some (applied, blocked) ->
+    Format.fprintf fmt
+      "@,steer: swaps=%d blocked=%d faults=%d violations=%d goodput=%d"
+      applied blocked o.faults_injected (List.length o.violations)
+      o.goodput_bytes);
   Format.fprintf fmt "@]"

@@ -14,6 +14,7 @@
 
 open Adaptive_sim
 open Adaptive_core
+open Adaptive_chaos
 
 type config = {
   sessions : int;  (** Target number of session slots (concurrent). *)
@@ -35,12 +36,55 @@ type config = {
           [Reservoir] (the default) is what the goldens pin; [P2] caps
           metric memory at a few floats per (session, metric) for
           megaswarm-scale churn. *)
+  steer : Steer.policy option;
+      (** When set, every admitted session is put under a STEER
+          closed-loop policy engine with this policy (loss-tolerant
+          applications get the wider semantics-trading action space). *)
+  chaos : Fault.schedule option;
+      (** When set, the schedule is installed against the swarm link and
+          both host CPUs — the chaos backdrop the steered population is
+          measured against. *)
+  check_invariants : bool;
+      (** Attach the chaos invariant checker (delivery oracles at both
+          dispatchers, counter monotonicity, the MANTTS/STEER
+          flap-cooldown oracle) and report its violations. *)
+  scs_transform : (Scs.t -> Scs.t) option;
+      (** Pin every admitted session's derived SCS through this rewrite —
+          the static-configuration baseline arms of the steering
+          experiments ({!Mantts.try_open_session}'s [scs_transform]). *)
+  link_bps : float;
+      (** Swarm link bandwidth.  The 1 Gb/s default keeps the link
+          effectively unconstrained (the historical swarm behavior, which
+          the goldens pin); the steering experiments shrink it so that
+          congestion storms create genuine scarcity. *)
+  link_mtu : int;
+      (** Swarm link MTU.  The 65535 default means a whole swarm payload
+          fits one segment (the historical behavior); a realistic MTU
+          makes sessions multi-segment so that recovery-scheme dynamics
+          (window occupancy, FEC grouping, go-back-n flooding) are
+          exercised. *)
+  link_queue_pkts : int;
+      (** Swarm link queue depth in packets.  The 4096 default buffers
+          whole retransmission floods as delay (the historical behavior);
+          a realistic shallow queue makes overload tail-drop, so ARQ
+          floods during loss bursts become self-punishing. *)
+  host_speed : float;
+      (** CPU speed multiplier for the two endpoint hosts (default 1.0 =
+          2 us/packet + 1 ns/byte), applied through [Host.create ~speed]
+          so it also divides the per-byte checksum work the session
+          layer charges.  The two endpoints stand for a whole population
+          of hosts, so experiments that scale [link_bps] with the
+          session count should scale this the same way — an unscaled
+          host CPU (the checksum charge alone is a ~55k pkts/s ceiling)
+          quietly becomes the binding constraint of a 10k-session run,
+          starving handshakes on an uncongested wire. *)
 }
 
 val default_config : sessions:int -> seed:int -> config
 (** 2 churn rounds, 2000-byte payloads, a 1 s open window, no admission
     policy, every 10th slot monitored, value (non-wire) mode, reservoir
-    quantiles. *)
+    quantiles, no steering, no chaos, no invariant checking, no SCS
+    pinning, a 1 Gb/s link with a 65535-byte MTU, host speed 1.0. *)
 
 type outcome = {
   offered : int;  (** Open attempts (including churn reopens). *)
@@ -50,6 +94,13 @@ type outcome = {
   closed : int;  (** Sessions closed back down. *)
   delivered_msgs : int;  (** Segments handed to the server application. *)
   delivered_bytes : int;
+  goodput_bytes : int;
+      (** Application-useful bytes.  Loss-tolerant sessions contribute
+          whatever arrived (capped at what they asked to send); a
+          fully-reliable session contributes its requested bytes only if
+          the whole transfer arrived — a reliable transfer with holes is
+          waste, not partial goodput.  This is the differential metric of
+          the steering experiments. *)
   peak_live : int;  (** Largest live-session count seen at the client. *)
   sim_time : Time.t;  (** Simulated time at quiescence. *)
   events_fired : int;  (** Engine events executed over the run. *)
@@ -63,6 +114,13 @@ type outcome = {
   timewait_drops : int;  (** Late segments absorbed in time-wait. *)
   wire_report : Session.Wire.report option;
       (** Wire-path counters when the run was wire-true. *)
+  steer_stats : (int * int) option;
+      (** [(swaps applied, cooldown-blocked decisions)] when the run was
+          steered. *)
+  faults_injected : int;  (** Chaos faults applied over the run. *)
+  violations : Invariant.violation list;
+      (** Invariant-oracle violations (empty when checking was off —
+          and expected empty when it was on). *)
   unites : Unites.t;  (** The run's metric repository (for reports). *)
 }
 

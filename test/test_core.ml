@@ -218,7 +218,11 @@ let test_unites_metric_kinds () =
     (Unites.metric_kind Unites.Wire_encodes = Unites.Whitebox
     && Unites.metric_kind Unites.Wire_rejects = Unites.Whitebox
     && Unites.metric_kind Unites.Wire_pool_reuse = Unites.Whitebox);
-  check_int "all metrics listed" 40 (List.length Unites.all_metrics);
+  check_bool "steer metrics whitebox" true
+    (Unites.metric_kind Unites.Steer_swaps = Unites.Whitebox
+    && Unites.metric_kind Unites.Steer_blocked = Unites.Whitebox
+    && Unites.metric_kind Unites.Steer_time_in_config = Unites.Whitebox);
+  check_int "all metrics listed" 43 (List.length Unites.all_metrics);
   (* Names are unique. *)
   let names = List.map Unites.metric_name Unites.all_metrics in
   check_int "unique names" (List.length names)

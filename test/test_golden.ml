@@ -206,6 +206,124 @@ let wire_swarm_output () =
 let test_wire_swarm () =
   check_golden "wire-true swarm report" wire_swarm_golden (wire_swarm_output ())
 
+(* One steered run pinned end to end: a small swarm on the scarce
+   steering topology under a fixed bit-error burst, with the STEER
+   policy engine live.  The outcome block (including the steer swap
+   counters and contract-aware goodput) and the full UNITES repository —
+   notably the "steer" pseudo-session carrying the per-swap cost
+   accounting — are pinned byte-for-byte.  Any drift in the policy
+   rules, the swap accounting, or steered-run determinism lands here. *)
+let steer_swarm_golden = {golden|swarm: offered=12 admitted=12 degraded=0 refused=0 closed=12
+delivered: 76 msgs, 100900 bytes; peak live=6; table capacity=16
+demux probes: mean=1.000 p99=1; occupancy p99=0.625; timewait drops=0
+events=854 sim_time=7.000s digest=0x93799c1458cb517e
+steer: swaps=8 blocked=14 faults=1 violations=0 goodput=100900
+=== unites ===
+UNITES metric repository (t=7.000s, whitebox=true)
+session -4 (steer):
+  steer_swaps          [wb] n=8 mean=1 sd=0 min=1 p50=1 p95=1 p99=1 max=1
+  steer_blocked        [wb] n=14 mean=1 sd=0 min=1 p50=1 p95=1 p99=1 max=1
+  steer_time_in_config_s [wb] n=8 mean=0.1826 sd=0.2387 min=0 p50=0.1303 p95=0.5717 p99=0.6743 max=0.7
+session -2 (swarm):
+  sessions_open        [wb] n=12 mean=1 sd=0 min=1 p50=1 p95=1 p99=1 max=1
+  demux_probes         [wb] n=236 mean=1 sd=0 min=1 p50=1 p95=1 p99=1 max=1
+  table_occupancy      [wb] n=62 mean=0.373 sd=0.169 min=0 p50=0.4375 p95=0.6219 p99=0.625 max=0.625
+session -1 (chaos):
+  faults_injected      [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+session 0 (scheduler):
+  sched_events_fired   [wb] n=1 mean=854 sd=nan min=854 p50=854 p95=854 p99=854 max=854
+  sched_timers_rearmed [wb] n=1 mean=51 sd=nan min=51 p50=51 p95=51 p99=51 max=51
+  sched_cancelled_ratio [wb] n=1 mean=0 sd=nan min=0 p50=0 p95=0 p99=0 max=0
+  sched_wheel_hit_rate [wb] n=1 mean=0.6697 sd=nan min=0.6697 p50=0.6697 p95=0.6697 p99=0.6697 max=0.6697
+session 1 (sw-0-0):
+  setup_latency_s      [wb] n=2 mean=0 sd=0 min=0 p50=0 p95=0 p99=0 max=0
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.483e-06 sd=nan min=6.483e-06 p50=6.483e-06 p95=6.483e-06 p99=6.483e-06 max=6.483e-06
+session 2 (sw-1-0):
+  setup_latency_s      [wb] n=2 mean=0 sd=0 min=0 p50=0 p95=0 p99=0 max=0
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.509e-06 sd=nan min=6.509e-06 p50=6.509e-06 p95=6.509e-06 p99=6.509e-06 max=6.509e-06
+session 3 (sw-2-0):
+  setup_latency_s      [wb] n=2 mean=0.0001105 sd=0.0001562 min=0 p50=0.0001105 p95=0.0002099 p99=0.0002187 max=0.0002209
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.47e-06 sd=nan min=6.47e-06 p50=6.47e-06 p95=6.47e-06 p99=6.47e-06 max=6.47e-06
+session 4 (sw-0-1):
+  setup_latency_s      [wb] n=2 mean=0 sd=0 min=0 p50=0 p95=0 p99=0 max=0
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.483e-06 sd=nan min=6.483e-06 p50=6.483e-06 p95=6.483e-06 p99=6.483e-06 max=6.483e-06
+session 5 (sw-3-0):
+  setup_latency_s      [wb] n=2 mean=0.0001108 sd=0.0001566 min=0 p50=0.0001108 p95=0.0002104 p99=0.0002193 max=0.0002215
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.483e-06 sd=nan min=6.483e-06 p50=6.483e-06 p95=6.483e-06 p99=6.483e-06 max=6.483e-06
+session 6 (sw-1-1):
+  setup_latency_s      [wb] n=2 mean=0 sd=0 min=0 p50=0 p95=0 p99=0 max=0
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.509e-06 sd=nan min=6.509e-06 p50=6.509e-06 p95=6.509e-06 p99=6.509e-06 max=6.509e-06
+session 7 (sw-4-0):
+  rtt_s                [bb] n=5 mean=0.001705 sd=0.001075 min=0.000551 p50=0.001755 p95=0.003054 p99=0.003276 max=0.003332
+  setup_latency_s      [wb] n=2 mean=0 sd=0 min=0 p50=0 p95=0 p99=0 max=0
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.301e-06 sd=nan min=6.301e-06 p50=6.301e-06 p95=6.301e-06 p99=6.301e-06 max=6.301e-06
+session 8 (sw-5-0):
+  rtt_s                [bb] n=21 mean=0.002829 sd=0.002484 min=0.0007518 p50=0.002649 p95=0.003855 p99=0.01107 max=0.01287
+  setup_latency_s      [wb] n=2 mean=0.0001173 sd=0.0001659 min=0 p50=0.0001173 p95=0.0002229 p99=0.0002323 max=0.0002347
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=1.443e-05 sd=nan min=1.443e-05 p50=1.443e-05 p95=1.443e-05 p99=1.443e-05 max=1.443e-05
+session 9 (sw-3-1):
+  setup_latency_s      [wb] n=2 mean=0.0001108 sd=0.0001566 min=0 p50=0.0001108 p95=0.0002104 p99=0.0002193 max=0.0002215
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.483e-06 sd=nan min=6.483e-06 p50=6.483e-06 p95=6.483e-06 p99=6.483e-06 max=6.483e-06
+session 10 (sw-2-1):
+  setup_latency_s      [wb] n=2 mean=0.0001105 sd=0.0001562 min=0 p50=0.0001105 p95=0.0002099 p99=0.0002187 max=0.0002209
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.47e-06 sd=nan min=6.47e-06 p50=6.47e-06 p95=6.47e-06 p99=6.47e-06 max=6.47e-06
+session 11 (sw-5-1):
+  rtt_s                [bb] n=2 mean=0.002451 sd=0.0001443 min=0.002349 p50=0.002451 p95=0.002543 p99=0.002551 max=0.002553
+  setup_latency_s      [wb] n=2 mean=0.000105 sd=0.0001485 min=0 p50=0.000105 p95=0.0001995 p99=0.0002079 max=0.00021
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.223e-06 sd=nan min=6.223e-06 p50=6.223e-06 p95=6.223e-06 p99=6.223e-06 max=6.223e-06
+session 12 (sw-4-1):
+  rtt_s                [bb] n=2 mean=0.002464 sd=0.0001628 min=0.002349 p50=0.002464 p95=0.002568 p99=0.002577 max=0.002579
+  setup_latency_s      [wb] n=2 mean=0 sd=0 min=0 p50=0 p95=0 p99=0 max=0
+  control_pdus         [wb] n=1 mean=1 sd=nan min=1 p50=1 p95=1 p99=1 max=1
+  host_cpu_s           [wb] n=1 mean=6.301e-06 sd=nan min=6.301e-06 p50=6.301e-06 p95=6.301e-06 p99=6.301e-06 max=6.301e-06
+trace (dropped log entries: 0):
+  chaos.fault.ber_burst        1
+  close                        12
+  deliver                      76
+  open                         12
+  steer.swap                   8
+|golden}
+
+let steer_swarm_output () =
+  let open Adaptive_workloads in
+  let open Adaptive_chaos in
+  let burst =
+    [ { Fault.cls = Fault.Ber_burst; start = Time.ms 150; duration = Time.ms 900;
+        target = 0; intensity = 0.8 } ]
+  in
+  let cfg =
+    { (Swarm.default_config ~sessions:6 ~seed:31337) with
+      Swarm.churn_rounds = 1;
+      monitored_share = 0;
+      payload_bytes = 12_000;
+      link_bps = 30e6;
+      link_mtu = 1500;
+      steer = Some Adaptive_core.Steer.default_policy;
+      chaos = Some burst }
+  in
+  let o = Swarm.run cfg in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Format.asprintf "%a" Swarm.pp_outcome o);
+  Buffer.add_string buf "\n=== unites ===\n";
+  let fmt = Format.formatter_of_buffer buf in
+  Unites.report fmt o.Swarm.unites;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let test_steer_swarm () =
+  check_golden "steered swarm report" steer_swarm_golden (steer_swarm_output ())
+
 let suite =
   [
     ( "golden",
@@ -215,5 +333,7 @@ let suite =
         Alcotest.test_case "UNITES report is pinned" `Quick test_unites_report;
         Alcotest.test_case "wire-true swarm report is pinned" `Quick
           test_wire_swarm;
+        Alcotest.test_case "steered swarm report is pinned" `Quick
+          test_steer_swarm;
       ] );
   ]

@@ -6,4 +6,5 @@ let () =
    @ Test_core.suite @ Test_session.suite @ Test_mantts.suite
    @ Test_workloads.suite @ Test_payload.suite @ Test_random.suite
    @ Test_integration.suite @ Test_chaos.suite @ Test_fleet.suite
-   @ Test_swarm.suite @ Test_megaswarm.suite @ Test_golden.suite)
+   @ Test_swarm.suite @ Test_megaswarm.suite @ Test_steer.suite
+   @ Test_golden.suite)

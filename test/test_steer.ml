@@ -1,0 +1,369 @@
+(* STEER test layer: property tests over random chaos schedules (the
+   flap-cooldown oracle, counter agreement, the infinite-policy
+   no-op-equivalence), a seeded differential check that the steered
+   population's contract-aware goodput is at least the best static
+   baseline's, and the Session.reconfigure error paths the policy engine
+   depends on (static-template bindings, never-opened sessions,
+   reconfigure racing close and time-wait). *)
+
+open Adaptive_sim
+open Adaptive_net
+open Adaptive_mech
+open Adaptive_core
+open Adaptive_chaos
+open Adaptive_workloads
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------- property fixtures *)
+
+(* A small steered swarm on the scarcity topology the steering
+   experiments use: a realistic MTU makes sessions multi-segment and a
+   30 Mb/s link leaves congestion storms something to saturate. *)
+let steer_config ?steer ?chaos ~check_invariants ~sessions ~seed () =
+  {
+    (Swarm.default_config ~sessions ~seed) with
+    Swarm.monitored_share = 0;
+    churn_rounds = 1;
+    payload_bytes = 12_000;
+    link_bps = 30e6;
+    link_mtu = 1500;
+    steer;
+    chaos;
+    check_invariants;
+  }
+
+(* Random chaos schedules drawn by the library's own seeded generator,
+   restricted to the classes STEER reacts to and timed inside the small
+   swarm's activity window. *)
+let schedule_of_seed seed =
+  Fault.random_schedule
+    ~rng:(Rng.create seed)
+    ~classes:[ Fault.Ber_burst; Fault.Congestion_storm; Fault.Route_flap ]
+    ~first:(Time.ms 200) ~last:(Time.sec 2.5) ~max_duration:(Time.sec 1.0) ()
+
+(* Property: over random chaos schedules, the steered run's invariant
+   checker — whose flap-cooldown oracle scans the combined MANTTS/STEER
+   switch stream and flags any session with two component switches
+   closer than [Mantts.reconfigure_cooldown] — records zero violations.
+   This is the "no session gets two STEER swaps inside the cooldown"
+   property, checked by the oracle that audits the real switch log. *)
+let prop_cooldown_respected =
+  QCheck2.Test.make ~name:"random chaos: steered swaps respect the cooldown"
+    ~count:8
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let o =
+        Swarm.run
+          (steer_config ~steer:Steer.default_policy
+             ~chaos:(schedule_of_seed seed) ~check_invariants:true ~sessions:40
+             ~seed ())
+      in
+      o.Swarm.violations = [])
+
+(* Property: the outcome's swap counters agree with the UNITES steer
+   pseudo-session's monotone counters, are non-negative, and replay
+   identically (same seed, same schedule, same counts and digest). *)
+let prop_counters_agree_and_replay =
+  QCheck2.Test.make
+    ~name:"random chaos: swap counters agree with UNITES and replay" ~count:6
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let cfg () =
+        steer_config ~steer:Steer.default_policy ~chaos:(schedule_of_seed seed)
+          ~check_invariants:false ~sessions:40 ~seed ()
+      in
+      let o1 = Swarm.run (cfg ()) and o2 = Swarm.run (cfg ()) in
+      let swaps, blocked =
+        match o1.Swarm.steer_stats with Some sb -> sb | None -> (-1, -1)
+      in
+      let u_swaps =
+        int_of_float
+          (Unites.total o1.Swarm.unites ~session:Unites.steer_session
+             Unites.Steer_swaps)
+      in
+      let u_blocked =
+        int_of_float
+          (Unites.total o1.Swarm.unites ~session:Unites.steer_session
+             Unites.Steer_blocked)
+      in
+      swaps >= 0 && blocked >= 0 && swaps = u_swaps && blocked = u_blocked
+      && o1.Swarm.steer_stats = o2.Swarm.steer_stats
+      && o1.Swarm.digest = o2.Swarm.digest)
+
+(* Property: a policy whose thresholds are all infinite can never fire,
+   so the steered run is observationally identical — same trace digest,
+   same delivered bytes — to the unsteered run under the same chaos. *)
+let prop_infinite_policy_is_noop =
+  QCheck2.Test.make
+    ~name:"random chaos: infinite-threshold policy is digest-identical to \
+           no steering"
+    ~count:6
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let run steer =
+        Swarm.run
+          (steer_config ?steer ~chaos:(schedule_of_seed seed)
+             ~check_invariants:false ~sessions:40 ~seed ())
+      in
+      let steered = run (Some Steer.infinite) and plain = run None in
+      (match steered.Swarm.steer_stats with
+      | Some (0, _) -> true
+      | Some _ | None -> false)
+      && steered.Swarm.digest = plain.Swarm.digest
+      && steered.Swarm.delivered_bytes = plain.Swarm.delivered_bytes)
+
+(* --------------------------------------------------- differential test *)
+
+(* Seeded ber-burst differential, mirroring the Table-1 idiom of
+   test_swarm.ml: a 200-session swarm under a pinned burst-loss
+   backdrop, steered vs the static go-back-n and selective-repeat pins.
+
+   The pinned tolerance is deliberately below 1.0.  On a pure bit-error
+   backdrop (no congestion), always-selective-repeat is a structural
+   upper bound: it protects every segment from birth, while a closed
+   loop steering the QoS-derived configurations can only protect a
+   loss-tolerant stream after the whitebox shows the burst — and a
+   sender with no recovery machinery keeps no copies, so its pre-swap
+   losses are gone forever.  Steering converges to the static optimum
+   (within the tolerance) here; it strictly beats every static pin when
+   congestion storms are in the mix, which is exactly what the e14_steer
+   bench demonstrates.  The floor protects against regressions in the
+   loop itself: a steered run that mis-converts (e.g. parity FEC under
+   multi-loss bursts) or thrashes drops well below it. *)
+let diff_tolerance = 0.90
+
+let diff_backdrop : Fault.schedule =
+  let f cls start duration intensity =
+    { Fault.cls; start; duration; target = 0; intensity }
+  in
+  [
+    f Fault.Ber_burst (Time.ms 400) (Time.ms 1800) 0.8;
+    f Fault.Ber_burst (Time.sec 2.6) (Time.ms 1600) 1.0;
+  ]
+
+let ack_delay = Time.ms 2
+
+let pin_gbn (scs : Scs.t) =
+  {
+    scs with
+    Scs.recovery = Params.Go_back_n;
+    reporting =
+      (match scs.Scs.reporting with
+      | Params.No_report | Params.Nack_on_gap ->
+        Params.Cumulative_ack { delay = ack_delay }
+      | (Params.Cumulative_ack _ | Params.Selective_ack _) as r -> r);
+  }
+
+let pin_sr (scs : Scs.t) =
+  {
+    scs with
+    Scs.recovery = Params.Selective_repeat;
+    reporting =
+      (match scs.Scs.reporting with
+      | Params.No_report | Params.Nack_on_gap | Params.Cumulative_ack _ ->
+        Params.Selective_ack { delay = ack_delay }
+      | Params.Selective_ack _ as r -> r);
+  }
+
+let test_differential_goodput () =
+  let seed = 0xD1FF in
+  let base ?steer ?scs_transform () =
+    {
+      (steer_config ?steer ~chaos:diff_backdrop ~check_invariants:false
+         ~sessions:200 ~seed ())
+      with
+      Swarm.churn_rounds = 2;
+      scs_transform;
+    }
+  in
+  let steered = Swarm.run (base ~steer:Steer.default_policy ()) in
+  let statics =
+    List.map
+      (fun (name, pin) -> (name, Swarm.run (base ~scs_transform:pin ())))
+      [ ("gbn", pin_gbn); ("sr", pin_sr) ]
+  in
+  (match steered.Swarm.steer_stats with
+  | Some (swaps, _) -> check_bool "steering fired" true (swaps > 0)
+  | None -> Alcotest.fail "steered run lost its steer stats");
+  let best_name, best =
+    List.fold_left
+      (fun (bn, b) (n, o) ->
+        if o.Swarm.goodput_bytes > b.Swarm.goodput_bytes then (n, o) else (bn, b))
+      (List.hd statics) (List.tl statics)
+  in
+  let floor_bytes =
+    int_of_float (diff_tolerance *. float_of_int best.Swarm.goodput_bytes)
+  in
+  if steered.Swarm.goodput_bytes < floor_bytes then
+    Alcotest.failf
+      "steered goodput %d under burst loss fell below %.2f x best static \
+       (static-%s at %d)"
+      steered.Swarm.goodput_bytes diff_tolerance best_name
+      best.Swarm.goodput_bytes
+
+(* ------------------------------------- Session.reconfigure error paths *)
+
+(* A two-host fixture small enough to reason about: accept-anything
+   responder, delivery log at b. *)
+type fixture = {
+  engine : Engine.t;
+  disp_a : Session.Dispatcher.dispatcher;
+  received : int ref;
+}
+
+let make_fixture ?(seed = 7) () =
+  let engine = Engine.create () in
+  let topo = Topology.create () in
+  let a = Topology.add_host topo "a" in
+  let b = Topology.add_host topo "b" in
+  Topology.set_symmetric_route topo ~a ~b
+    [
+      Link.create ~bandwidth_bps:10e6 ~propagation:(Time.us 5) ~queue_pkts:64
+        ~mtu:1500 ();
+    ];
+  let net = Network.create engine ~rng:(Rng.create seed) topo in
+  let unites = Unites.create engine in
+  let received = ref 0 in
+  let mk_disp addr =
+    let disp =
+      Session.Dispatcher.create net ~addr ~host:(Host.zero_cost engine) ~unites
+    in
+    Session.Dispatcher.set_acceptor disp (fun ~src:_ ~conn:_ ~proposal ->
+        let scs =
+          match proposal with
+          | Some scs -> scs
+          | None -> { Scs.default with Scs.connection = Params.Implicit }
+        in
+        Session.Dispatcher.Accept
+          {
+            scs;
+            name = "acc";
+            on_deliver = Some (fun _ d -> received := !received + d.Session.bytes);
+            on_signal = None;
+          });
+    disp
+  in
+  let disp_a = mk_disp a in
+  let _disp_b = mk_disp b in
+  (a, b, { engine; disp_a; received })
+
+let transfer_scs =
+  {
+    Scs.default with
+    Scs.connection = Params.Two_way;
+    transmission = Params.Sliding_window { window = 16 };
+    recovery = Params.Go_back_n;
+    reporting = Params.Cumulative_ack { delay = Time.ms 2 };
+    recv_buffer_segments = 32;
+    segment_bytes = 1000;
+    initial_rto = Time.ms 50;
+  }
+
+let to_sr (scs : Scs.t) =
+  {
+    scs with
+    Scs.recovery = Params.Selective_repeat;
+    reporting = Params.Selective_ack { delay = Time.ms 2 };
+  }
+
+let test_reconfigure_static_binding () =
+  let _a, b, f = make_fixture () in
+  let s =
+    Session.connect ~binding:(Tko.Static_template "pinned") f.disp_a
+      ~peers:[ b ] ~scs:transfer_scs ()
+  in
+  Engine.run f.engine;
+  (match Session.reconfigure s (to_sr transfer_scs) with
+  | Ok _ -> Alcotest.fail "static-template binding must refuse to segue"
+  | Error msg ->
+    check_bool "error names the template" true
+      (String.length msg > 0
+      && String.exists (fun _ -> true) msg
+      &&
+      let has_sub sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      has_sub "static template" msg));
+  check_bool "configuration unchanged" true
+    (Scs.equal (Session.scs s) transfer_scs)
+
+let test_reconfigure_before_open () =
+  let _a, b, f = make_fixture () in
+  let s = Session.connect f.disp_a ~peers:[ b ] ~scs:transfer_scs () in
+  (* The connect PDU has not even been delivered yet. *)
+  check_bool "still opening" true (Session.state s = Session.Opening);
+  (match Session.reconfigure s (to_sr transfer_scs) with
+  | Ok changed -> check_bool "recovery swapped" true (List.mem "recovery" changed)
+  | Error e -> Alcotest.failf "reconfigure while opening failed: %s" e);
+  check_bool "new scs bound locally" true
+    ((Session.scs s).Scs.recovery = Params.Selective_repeat);
+  (* The session must still come up and carry data under the new
+     configuration. *)
+  Session.send s ~bytes:4000 ();
+  Engine.run f.engine;
+  check_bool "established after reconfigure-in-opening" true
+    (Session.state s = Session.Established || Session.state s = Session.Closed);
+  check_int "all bytes delivered" 4000 !(f.received)
+
+let test_reconfigure_racing_close () =
+  let _a, b, f = make_fixture () in
+  let s = Session.connect f.disp_a ~peers:[ b ] ~scs:transfer_scs () in
+  Session.send s ~bytes:8000 ();
+  Engine.run f.engine;
+  check_int "transfer completed" 8000 !(f.received);
+  let committed_before =
+    Session.Dispatcher.committed_recv_segments f.disp_a
+  in
+  (* Race 1: reconfigure immediately after close, while the endpoint is
+     draining (Closing).  It must neither crash nor resurrect. *)
+  Session.close s;
+  let _ = Session.reconfigure s (to_sr transfer_scs) in
+  (* Run past the teardown handshake but not past the time-wait sweep,
+     so the connection id is still quarantined. *)
+  Engine.run ~until:(Time.add (Engine.now f.engine) (Time.ms 100)) f.engine;
+  check_bool "closed despite racing reconfigure" true
+    (Session.state s = Session.Closed);
+  (* Race 2: reconfigure a fully closed endpoint (its connection id is
+     in time-wait).  The dispatcher's committed-buffer accounting must
+     not drift — a closed endpoint holds no receive commitment. *)
+  check_bool "conn id quarantined in time-wait" true
+    (Session.Dispatcher.time_wait_count f.disp_a >= 1);
+  let bigger = { transfer_scs with Scs.recv_buffer_segments = 512 } in
+  let _ = Session.reconfigure s bigger in
+  check_bool "still closed" true (Session.state s = Session.Closed);
+  check_int "no committed-buffer drift from a dead endpoint"
+    (committed_before - transfer_scs.Scs.recv_buffer_segments)
+    (Session.Dispatcher.committed_recv_segments f.disp_a)
+
+(* ------------------------------------------------------------- suite *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "steer.properties",
+      qsuite
+        [
+          prop_cooldown_respected;
+          prop_counters_agree_and_replay;
+          prop_infinite_policy_is_noop;
+        ] );
+    ( "steer.differential",
+      [
+        Alcotest.test_case "steered goodput vs best static under burst loss"
+          `Slow test_differential_goodput;
+      ] );
+    ( "steer.reconfigure",
+      [
+        Alcotest.test_case "static-template binding refuses segue" `Quick
+          test_reconfigure_static_binding;
+        Alcotest.test_case "reconfigure before the session opens" `Quick
+          test_reconfigure_before_open;
+        Alcotest.test_case "reconfigure racing close and time-wait" `Quick
+          test_reconfigure_racing_close;
+      ] );
+  ]
