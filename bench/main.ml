@@ -41,6 +41,7 @@ let registry =
     ("e12_wire_path", Wire_path.e12_wire_path);
     ("e13_megaswarm_scale", Megaswarm_scale.e13_megaswarm_scale);
     ("e14_steer", Steer_bench.e14_steer);
+    ("e15_gigaswarm", Megaswarm_scale.e15_gigaswarm);
     ("a1_detection", Ablations.a1_detection);
     ("a2_fec_group", Ablations.a2_fec_group);
     ("a3_ack_delay", Ablations.a3_ack_delay);
@@ -64,7 +65,8 @@ let () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--smoke] [--jobs N] [--seeds a,b,c] [--list | --only ID]";
+    "usage: main.exe [--smoke] [--jobs N] [--seeds a,b,c] [--list | --only ID \
+     [--only ID ...]]";
   exit 1
 
 let () =
@@ -98,7 +100,13 @@ let () =
       action := `List;
       parse rest
     | "--only" :: id :: rest ->
-      action := `Only id;
+      (* Repeatable: experiments that contribute sections to a shared
+         artifact (e13 + e15 -> BENCH_megaswarm.json) can run in one
+         process. *)
+      (action :=
+         match !action with
+         | `Only ids -> `Only (ids @ [ id ])
+         | _ -> `Only [ id ]);
       parse rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %S\n" arg;
@@ -107,12 +115,15 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   match !action with
   | `List -> List.iter (fun (id, _) -> print_endline id) registry
-  | `Only id -> (
-    match List.assoc_opt id registry with
-    | Some f -> f ()
-    | None ->
-      Printf.eprintf "unknown experiment %S; try --list\n" id;
-      exit 1)
+  | `Only ids ->
+    List.iter
+      (fun id ->
+        match List.assoc_opt id registry with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; try --list\n" id;
+          exit 1)
+      ids
   | `All ->
     Format.printf
       "ADAPTIVE reproduction — experiment harness (all tables, figures and claims)@.";

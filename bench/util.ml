@@ -108,6 +108,42 @@ let make_star ?(seed = 4242) ~receivers () =
   in
   (stack, src, dsts, access)
 
+(* ---------------------------------------------------- GC sampling *)
+
+(* Per-stage GC accounting for the bench harness.  OCaml 5 caveat:
+   [Gc] counters are per-domain, so a stage that fans work out to other
+   domains reports only the calling domain's share of minor words —
+   label such stages accordingly or sample at jobs/shards = 1. *)
+type gc_sample = {
+  gs_minor_words : float;  (* minor allocation during the stage *)
+  gs_promoted_words : float;  (* survived a minor collection *)
+  gs_major_words : float;  (* major allocation incl. promotions *)
+  gs_major_collections : int;  (* major cycles finished in-stage *)
+  gs_wall_s : float;
+}
+
+let gc_stage f =
+  let q0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let q1 = Gc.quick_stat () in
+  ( r,
+    {
+      gs_minor_words = q1.Gc.minor_words -. q0.Gc.minor_words;
+      gs_promoted_words = q1.Gc.promoted_words -. q0.Gc.promoted_words;
+      gs_major_words = q1.Gc.major_words -. q0.Gc.major_words;
+      gs_major_collections = q1.Gc.major_collections - q0.Gc.major_collections;
+      gs_wall_s = wall;
+    } )
+
+(* JSON fragment for a sample, no trailing newline or comma. *)
+let json_gc buf s =
+  Printf.bprintf buf
+    {|"gc": { "minor_words": %.0f, "promoted_words": %.0f, "major_words": %.0f, "major_collections": %d }|}
+    s.gs_minor_words s.gs_promoted_words s.gs_major_words
+    s.gs_major_collections
+
 (* --------------------------------------------------------- metrics *)
 
 let goodput_bps stack =

@@ -401,12 +401,15 @@ let run_swarm sessions churn seed soft hard wire steer chaos_seed =
    the identical configuration single-sharded and checks the combined
    digest and every rendered UNITES report byte-for-byte — shard count is
    an execution choice, never a result. *)
-let run_megaswarm sessions partitions shards churn seed parity steer =
+let run_megaswarm sessions partitions shards churn seed parity steer spread_ms
+    cap =
   let cfg =
     { (Megaswarm.default_config ~sessions ~seed) with
       Megaswarm.partitions;
       shards;
       churn_rounds = churn;
+      wan_spread = Time.ms spread_ms;
+      session_cap = (if cap > 0 then Some cap else None);
       steer = (if steer then Some Steer.default_policy else None) }
   in
   Format.printf
@@ -726,6 +729,27 @@ let parity_arg =
           "Re-run the same configuration with --shards 1 and check the \
            digest and UNITES reports byte-for-byte.")
 
+let spread_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "spread" ] ~docv:"MS"
+        ~doc:
+          "Maximum extra per-pair WAN latency in milliseconds: each ordered \
+           partition pair gets a deterministic latency in [base, base + \
+           spread], and SHARD synchronizes on the matching per-pair \
+           lookahead matrix.  0 keeps the uniform WAN.")
+
+let cap_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "cap" ] ~docv:"N"
+        ~doc:
+          "Track at most N distinct sessions per partition in UNITES; the \
+           rest fold into one overflow bucket (totals preserved, digest \
+           unchanged).  0 disables the cap.")
+
 let megaswarm_cmd =
   Cmd.v
     (Cmd.info "megaswarm"
@@ -737,7 +761,7 @@ let megaswarm_cmd =
     Term.(
       ret
         (const run_megaswarm $ sessions_arg $ partitions_arg $ shards_arg
-       $ churn_arg $ seed_arg $ parity_arg $ steer_flag))
+       $ churn_arg $ seed_arg $ parity_arg $ steer_flag $ spread_arg $ cap_arg))
 
 let wire_cmd =
   Cmd.v

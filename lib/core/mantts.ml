@@ -93,7 +93,26 @@ type t = {
      AND exit, so out-of-tick callers always sample fresh state. *)
   path_cache : (int * int, Network.hop_state list) Hashtbl.t;
   rtt_cache : (int * int, Time.t option) Hashtbl.t;
+  (* Synthesis memo (Stage I+II): everything derive_scs reads — path MTU,
+     raw bandwidth, BER, propagation RTT, hop count — is a static link or
+     route property, so repeated opens with an identical (source, ACD)
+     pair derive the identical SCS until some link or route parameter
+     mutates.  [dc_gen] pins the {!Link.config_generation} the cache was
+     filled under; any mutation anywhere invalidates wholesale, which
+     keeps chaos-driven parameter changes (BER bursts, MTU shrinks,
+     failures) visible to the very next open.  The value carries the
+     sampled path RTT so the playout-allowance computation does not need
+     to re-sample the path. *)
+  derive_cache : (int * Acd.t, Scs.t * Time.t) Hashtbl.t;
+  mutable dc_gen : int;
+  (* builtin_rules output is a pure function of (SCS, QoS) and its rule
+     records are immutable, so sessions share one list per shape; the
+     per-session mutable fired/streak state lives in the wrapper records
+     built at open time. *)
+  rules_cache : (Scs.t * Qos.t, Acd.tsa_rule list) Hashtbl.t;
 }
+
+let memo_bound = 512
 
 let monitor_interval = Time.ms 100
 
@@ -123,6 +142,9 @@ let create ~net ~unites ~rng () =
     admission = None;
     path_cache = Hashtbl.create 16;
     rtt_cache = Hashtbl.create 16;
+    derive_cache = Hashtbl.create 64;
+    dc_gen = Link.config_generation ();
+    rules_cache = Hashtbl.create 64;
   }
 
 let engine t = t.t_engine
@@ -364,10 +386,9 @@ let sample_paths t ~src (acd : Acd.t) =
 
 let header_allowance = 64
 
-let derive_scs t ~src (acd : Acd.t) tsc =
+let derive_scs_of_path (acd : Acd.t) tsc (path : path_characteristics) =
   let qos = acd.Acd.qos in
   let pol = Tsc.policies tsc qos in
-  let path = sample_paths t ~src acd in
   let segment_bytes = max 64 (path.mtu - header_allowance) in
   let bdp_segments =
     let bits = path.bottleneck_bps *. Time.to_sec path.rtt in
@@ -501,6 +522,30 @@ let derive_scs t ~src (acd : Acd.t) tsc =
     priority = (if qos.Qos.priority || pol.Tsc.priority_scheduling then 1 else 4);
     initial_rto;
   }
+
+let derive_scs t ~src (acd : Acd.t) tsc =
+  derive_scs_of_path acd tsc (sample_paths t ~src acd)
+
+(* Memoized Stage II for the open path: returns the derived SCS and the
+   sampled path RTT.  Sound because every derive_scs input is a static
+   link/route property (see [derive_cache]); the generation check makes
+   any Link/Topology mutation flush the memo before it can serve stale
+   shapes. *)
+let derived t ~src (acd : Acd.t) tsc =
+  let gen = Link.config_generation () in
+  if t.dc_gen <> gen then begin
+    Hashtbl.reset t.derive_cache;
+    t.dc_gen <- gen
+  end;
+  match Hashtbl.find t.derive_cache (src, acd) with
+  | hit -> hit
+  | exception Not_found ->
+    let path = sample_paths t ~src acd in
+    let hit = (derive_scs_of_path acd tsc path, path.rtt) in
+    if Hashtbl.length t.derive_cache >= memo_bound then
+      Hashtbl.reset t.derive_cache;
+    Hashtbl.add t.derive_cache (src, acd) hit;
+    hit
 
 (* ------------------------------------------------------------------ *)
 (* Built-in adaptation policies (§3(C)) *)
@@ -834,7 +879,7 @@ let try_open_session ?name ?on_deliver ?on_notify ?scs_transform t ~src ~acd () 
          src)
   | (Admitted | Degraded) as decision ->
   let tsc = classify acd in
-  let scs = derive_scs t ~src acd tsc in
+  let scs, path_rtt = derived t ~src acd tsc in
   let scs = if decision = Degraded then degrade_scs scs else scs in
   (* Experiment hook: pin population-wide configuration choices (the
      static-baseline arms of the steering experiments) after derivation
@@ -856,12 +901,22 @@ let try_open_session ?name ?on_deliver ?on_notify ?scs_transform t ~src ~acd () 
       ~scs ()
   in
   (* Honor the descriptor's Transport Measurement Component. *)
-  Unites.restrict_session t.t_unites ~id:(Session.id session) acd.Acd.tmc.Acd.collect;
+  (
+  Unites.restrict_session t.t_unites ~id:(Session.id session) acd.Acd.tmc.Acd.collect);
   let on_notify = match on_notify with Some f -> f | None -> fun _ _ -> () in
-  let pol = Tsc.policies tsc acd.Acd.qos in
   let rules =
-    List.map (fun rule -> { rule; fired = false; streak = 0 })
-      (acd.Acd.tsa @ builtin_rules scs acd.Acd.qos pol)
+    let base =
+      match Hashtbl.find t.rules_cache (scs, acd.Acd.qos) with
+      | rs -> rs
+      | exception Not_found ->
+        let pol = Tsc.policies tsc acd.Acd.qos in
+        let rs = builtin_rules scs acd.Acd.qos pol in
+        if Hashtbl.length t.rules_cache >= memo_bound then
+          Hashtbl.reset t.rules_cache;
+        Hashtbl.add t.rules_cache (scs, acd.Acd.qos) rs;
+        rs
+    in
+    List.map (fun rule -> { rule; fired = false; streak = 0 }) (acd.Acd.tsa @ base)
   in
   let base_rate =
     match scs.Scs.transmission with
@@ -871,8 +926,7 @@ let try_open_session ?name ?on_deliver ?on_notify ?scs_transform t ~src ~acd () 
   let playout_allowance =
     match scs.Scs.delivery with
     | Params.Playout { target } ->
-      let path = sample_paths t ~src acd in
-      Some (Time.max (Time.ms 10) (Time.diff target (path.rtt / 2)))
+      Some (Time.max (Time.ms 10) (Time.diff target (path_rtt / 2)))
     | Params.As_available -> None
   in
   let mon =
@@ -893,7 +947,8 @@ let try_open_session ?name ?on_deliver ?on_notify ?scs_transform t ~src ~acd () 
       m_dead = false;
     }
   in
-  mon.m_route <- route_names t ~src session;
+  (
+  mon.m_route <- route_names t ~src session);
   Hashtbl.replace t.monitors (Session.id session) mon;
   if monitored then begin
     mon_append t mon;

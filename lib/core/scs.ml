@@ -36,7 +36,7 @@ let default =
 
 (* Blobs are ;-separated key=value lists.  Component encodings come from
    Params; the scalar parameters are appended. *)
-let to_blob t =
+let to_blob_uncached t =
   String.concat ";"
     [
       "conn=" ^ Params.connection_to_string t.connection;
@@ -54,7 +54,26 @@ let to_blob t =
       "rto=" ^ string_of_int t.initial_rto;
     ]
 
-let of_blob blob =
+(* Connection setup serializes a proposal into every Syn and parses it
+   back on both sides, but a swarm negotiates the same handful of
+   configurations over and over: memoize both directions.  [t] is fully
+   immutable, so returning a shared record is safe.  The tables reset at
+   a size bound so a workload that synthesizes unbounded shapes cannot
+   grow them without limit. *)
+let blob_cache : (t, string) Hashtbl.t = Hashtbl.create 64
+let parse_cache : (string, t option) Hashtbl.t = Hashtbl.create 64
+let cache_bound = 512
+
+let to_blob t =
+  match Hashtbl.find blob_cache t with
+  | blob -> blob
+  | exception Not_found ->
+    let blob = to_blob_uncached t in
+    if Hashtbl.length blob_cache >= cache_bound then Hashtbl.reset blob_cache;
+    Hashtbl.add blob_cache t blob;
+    blob
+
+let of_blob_uncached blob =
   let kvs =
     List.filter_map
       (fun part ->
@@ -98,7 +117,21 @@ let of_blob blob =
       initial_rto = rto;
     }
 
-let equal a b = to_blob a = to_blob b
+let of_blob blob =
+  match Hashtbl.find parse_cache blob with
+  | parsed -> parsed
+  | exception Not_found ->
+    let parsed = of_blob_uncached blob in
+    if Hashtbl.length parse_cache >= cache_bound then Hashtbl.reset parse_cache;
+    Hashtbl.add parse_cache blob parsed;
+    parsed
+
+(* Structural equality.  The previous definition compared serialized
+   blobs, which built ~2.9k words of strings per template-cache probe —
+   the single largest allocation source at swarm scale.  Every field is
+   an immediate or a variant of immediates/floats, so polymorphic
+   equality is allocation-free and decides the same relation. *)
+let equal (a : t) (b : t) = a = b
 
 let component_names a b =
   List.filter_map

@@ -228,19 +228,49 @@ let backlog_delay t =
 (* ------------------------------------------------------------------ *)
 (* Negotiation blob: SCS fields plus a start-sequence marker. *)
 
+(* Proposals repeat endlessly in a swarm (few configurations, start_seq
+   almost always 0), so the rendered blob is memoized per (scs, seq). *)
+let proposal_cache : (Scs.t * int, string) Hashtbl.t = Hashtbl.create 64
+
 let encode_proposal scs ~start_seq =
-  Printf.sprintf "startseq=%d;%s" start_seq (Scs.to_blob scs)
+  let key = (scs, start_seq) in
+  match Hashtbl.find proposal_cache key with
+  | blob -> blob
+  | exception Not_found ->
+    let blob = Printf.sprintf "startseq=%d;%s" start_seq (Scs.to_blob scs) in
+    if Hashtbl.length proposal_cache >= 512 then Hashtbl.reset proposal_cache;
+    Hashtbl.add proposal_cache key blob;
+    blob
 
 let decode_start_seq blob =
-  List.fold_left
-    (fun acc part ->
-      match String.index_opt part '=' with
-      | Some i when String.sub part 0 i = "startseq" ->
-        int_of_string_opt (String.sub part (i + 1) (String.length part - i - 1))
-        |> Option.value ~default:acc
-      | Some _ | None -> acc)
-    0
-    (String.split_on_char ';' blob)
+  (* Fast path: [encode_proposal] always writes the marker first, so a
+     prefix scan decodes it without splitting the blob into parts. *)
+  let prefix = "startseq=" in
+  let plen = String.length prefix in
+  let len = String.length blob in
+  let rec digits i acc =
+    if i < len then
+      match blob.[i] with
+      | '0' .. '9' -> digits (i + 1) ((acc * 10) + (Char.code blob.[i] - 48))
+      | ';' -> Some acc
+      | _ -> None
+    else Some acc
+  in
+  let fast =
+    if len > plen && String.sub blob 0 plen = prefix then digits plen 0 else None
+  in
+  match fast with
+  | Some seq -> seq
+  | None ->
+    List.fold_left
+      (fun acc part ->
+        match String.index_opt part '=' with
+        | Some i when String.sub part 0 i = "startseq" ->
+          int_of_string_opt (String.sub part (i + 1) (String.length part - i - 1))
+          |> Option.value ~default:acc
+        | Some _ | None -> acc)
+      0
+      (String.split_on_char ';' blob)
 
 (* ------------------------------------------------------------------ *)
 (* Host CPU charging: every PDU pays the per-packet and copy costs, and
@@ -281,12 +311,11 @@ let inject_to t dsts pdu =
   let done_at = charge t bytes in
   let net = t.disp.net in
   let src = t.disp.d_addr in
-  ignore
-    (Engine.schedule (engine t) ~at:done_at (fun () ->
-         match dsts with
-         | [ dst ] -> Network.send net ~src ~dst ~bytes pdu
-         | _ :: _ :: _ -> Network.multicast net ~src ~dsts ~bytes pdu
-         | [] -> ()))
+  Engine.schedule_anon (engine t) ~at:done_at (fun () ->
+      match dsts with
+      | [ dst ] -> Network.send net ~src ~dst ~bytes pdu
+      | _ :: _ :: _ -> Network.multicast net ~src ~dsts ~bytes pdu
+      | [] -> ())
 
 let inject t pdu = inject_to t t.peers pdu
 
@@ -636,7 +665,7 @@ and deliver_segment t (seg : Pdu.seg) ~damaged =
          scheduling order, so releases reach the application in offer
          order even when release points collide. *)
       let at = Time.max at (now t) in
-      ignore (Engine.schedule (engine t) ~at (fun () -> release at))
+      Engine.schedule_anon (engine t) ~at (fun () -> release at)
     | Playout.Late _ -> Unites.count (unites t) ~session:t.id Unites.Late_discards)
 
 (* Returns [true] when the segment was a duplicate. *)
@@ -714,7 +743,7 @@ and handle_data t ?(tx_stamp = Time.zero) (recv : Pdu.t Network.recv) (seg : Pdu
     let duplicate =
       match (scs t).Scs.recovery with
       | Params.Forward_error_correction _ ->
-        let recovered = Fec.Receiver.on_data t.ctx.Tko.fec_rx seg in
+        let recovered = Fec.Receiver.on_data (Tko.fec_rx t.ctx) seg in
         let dup = offer_to_reorder t seg ~damaged in
         List.iter
           (fun s ->
@@ -762,7 +791,7 @@ and handle_parity t (recv : Pdu.t Network.recv) ~covered ~parity =
   if recv.Network.corrupted && (scs t).Scs.detection <> Params.No_detection then
     Unites.count (unites t) ~session:t.id Unites.Corrupt_detected
   else begin
-    let recovered = Fec.Receiver.on_parity t.ctx.Tko.fec_rx ~covered ~parity in
+    let recovered = Fec.Receiver.on_parity (Tko.fec_rx t.ctx) ~covered ~parity in
     List.iter
       (fun s ->
         Unites.count (unites t) ~session:t.id Unites.Fec_recovered;
@@ -926,7 +955,7 @@ and make_endpoint ~disp ~conn ~ep_name ~binding ~peers ~scs ~start_seq ~on_deliv
       Reorder.create ~start:start_seq ~ordering:scs.Scs.ordering
         ~duplicates:scs.Scs.duplicates ();
   let soa_slot = Sessoa.alloc disp.d_soa in
-  let t =
+  let t = 
     {
       id = conn;
       ep_name;
@@ -968,14 +997,16 @@ and make_endpoint ~disp ~conn ~ep_name ~binding ~peers ~scs ~start_seq ~on_deliv
       match on_signal with
       | Some custom -> if builtin = "" then custom ep blob else builtin
       | None -> builtin);
-  Conntable.insert disp.conns ~key:conn ~half_open:(initial_state = Opening) t;
+  (
+  Conntable.insert disp.conns ~key:conn ~half_open:(initial_state = Opening) t);
   disp.d_committed <- disp.d_committed + scs.Scs.recv_buffer_segments;
   (* One count per session, charged to the initiating endpoint — the
      responder's endpoint is the same session arriving at the peer. *)
   if initial_state = Opening then
     Unites.count disp.d_unites ~session:Unites.swarm_session Unites.Sessions_open;
-  observe_table disp;
-  Unites.register_session disp.d_unites ~id:conn ~name:ep_name;
+  (observe_table disp);
+  (
+  Unites.register_session disp.d_unites ~id:conn ~name:ep_name);
   t
 
 (* ------------------------------------------------------------------ *)
@@ -985,7 +1016,8 @@ and handle_pdu disp (recv : Pdu.t Network.recv) =
   let pdu = recv.Network.payload in
   let conn = Pdu.conn_id pdu in
   let slot = Conntable.find disp.conns conn in
-  observe_demux disp (Conntable.last_probes disp.conns);
+  (
+  observe_demux disp (Conntable.last_probes disp.conns));
   if slot >= 0 then
     match Conntable.slot_state disp.conns slot with
     | Conntable.Half_open | Conntable.Open ->
@@ -1019,10 +1051,9 @@ and handle_timewait disp (recv : Pdu.t Network.recv) ~conn pdu =
     (* The peer is retrying its side of the teardown after ours finished:
        re-answer so it can release its endpoint too. *)
     let done_at = Host.process disp.d_host ~bytes:64 () in
-    ignore
-      (Engine.schedule disp.d_engine ~at:done_at (fun () ->
-           Network.send disp.net ~src:disp.d_addr ~dst:recv.Network.src ~bytes:64
-             (Pdu.Fin_ack { conn })))
+    Engine.schedule_anon disp.d_engine ~at:done_at (fun () ->
+        Network.send disp.net ~src:disp.d_addr ~dst:recv.Network.src ~bytes:64
+          (Pdu.Fin_ack { conn }))
   | _ ->
     Unites.count disp.d_unites ~session:Unites.swarm_session Unites.Timewait_drops
 
@@ -1036,10 +1067,9 @@ and accept_connection disp (recv : Pdu.t Network.recv) ~conn ~blob ~first =
       (* A rejection still answers, so the initiator can fail fast. *)
       let engine = disp.d_engine in
       let done_at = Host.process disp.d_host ~bytes:64 () in
-      ignore
-        (Engine.schedule engine ~at:done_at (fun () ->
-             Network.send disp.net ~src:disp.d_addr ~dst:recv.Network.src ~bytes:64
-               (Pdu.Syn_ack { conn; accepted = false; blob = "" })))
+      Engine.schedule_anon engine ~at:done_at (fun () ->
+          Network.send disp.net ~src:disp.d_addr ~dst:recv.Network.src ~bytes:64
+            (Pdu.Syn_ack { conn; accepted = false; blob = "" }))
     | Accept { scs; name; on_deliver; on_signal } ->
       let start_seq = decode_start_seq blob in
       let t =
@@ -1174,8 +1204,8 @@ module Dispatcher = struct
           Unites.observe unites ~session:ep.id Unites.Host_cpu
             (Time.to_sec (Time.diff (Host.total_busy host) before))
         | None -> ());
-        ignore
-          (Engine.schedule disp.d_engine ~at:done_at (fun () -> handle_pdu disp recv)));
+        Engine.schedule_anon disp.d_engine ~at:done_at (fun () ->
+            handle_pdu disp recv));
     disp
 
   let addr d = d.d_addr
@@ -1205,7 +1235,7 @@ let connect ?name:ep_name ?binding ?on_deliver ?on_signal_reply ?(start_seq = 0)
   if peers = [] then invalid_arg "Session.connect: no peers";
   let conn = fresh_conn_id disp in
   let ep_name =
-    match ep_name with Some n -> n | None -> Printf.sprintf "conn-%d" conn
+    match ep_name with Some n -> n | None -> "conn-" ^ string_of_int conn
   in
   let t =
     make_endpoint ~disp ~conn ~ep_name ~binding ~peers ~scs ~start_seq

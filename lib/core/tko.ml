@@ -12,7 +12,7 @@ type context = {
   window : Window.t;
   rtt : Rtt.t;
   mutable reorder : Reorder.t;
-  fec_rx : Fec.Receiver.t;
+  mutable fec_rx_cell : Fec.Receiver.t option;
   mutable fec_tx : Fec.Sender.t option;
   mutable rate : Rate.t option;
   mutable cc : Slowstart.t option;
@@ -49,13 +49,25 @@ let synthesize ?(binding = Synthesized) (scs : Scs.t) =
     rtt = Rtt.create ~initial_rto:scs.Scs.initial_rto ();
     reorder =
       Reorder.create ~ordering:scs.Scs.ordering ~duplicates:scs.Scs.duplicates ();
-    fec_rx = Fec.Receiver.create ();
+    fec_rx_cell = None;
     fec_tx = instantiate_fec_tx scs;
     rate = instantiate_rate scs;
     cc = instantiate_cc scs;
     playout = instantiate_playout scs;
     segue_count = 0;
   }
+
+(* FEC reconstruction state materializes on first use: the receiver
+   carries three hash tables (~150 words), which would dominate endpoint
+   construction for the vast majority of sessions that never see a
+   parity group. *)
+let fec_rx ctx =
+  match ctx.fec_rx_cell with
+  | Some rx -> rx
+  | None ->
+    let rx = Fec.Receiver.create () in
+    ctx.fec_rx_cell <- Some rx;
+    rx
 
 let segue ctx (next : Scs.t) =
   match ctx.binding with

@@ -152,16 +152,86 @@ let all_metrics =
     Steer_time_in_config;
   ]
 
+(* Dense metric indexing: the hot path keys accumulators by the packed
+   int [(session lsl 6) lor metric_index] instead of an [(int * metric)]
+   tuple, so a lookup allocates nothing.  The index order must match
+   {!all_metrics}. *)
+let metric_index = function
+  | Throughput -> 0
+  | Rtt -> 1
+  | Setup_latency -> 2
+  | Delivery_latency -> 3
+  | Jitter -> 4
+  | Segments_sent -> 5
+  | Segments_delivered -> 6
+  | Bytes_delivered -> 7
+  | Retransmissions -> 8
+  | Timeouts -> 9
+  | Dup_segments -> 10
+  | Corrupt_detected -> 11
+  | Corrupt_delivered -> 12
+  | Late_discards -> 13
+  | Losses_unrecovered -> 14
+  | Fec_parity_sent -> 15
+  | Fec_recovered -> 16
+  | Acks_sent -> 17
+  | Nacks_sent -> 18
+  | Control_pdus -> 19
+  | Reconfigurations -> 20
+  | Window_size -> 21
+  | Host_cpu -> 22
+  | Sched_events_fired -> 23
+  | Sched_timers_rearmed -> 24
+  | Sched_cancelled_ratio -> 25
+  | Sched_wheel_hit_rate -> 26
+  | Faults_injected -> 27
+  | Fault_recovery -> 28
+  | Sessions_open -> 29
+  | Sessions_refused -> 30
+  | Sessions_degraded -> 31
+  | Demux_probes -> 32
+  | Table_occupancy -> 33
+  | Timewait_drops -> 34
+  | Wire_encodes -> 35
+  | Wire_decodes -> 36
+  | Wire_rejects -> 37
+  | Wire_fused_sums -> 38
+  | Wire_pool_reuse -> 39
+  | Steer_swaps -> 40
+  | Steer_blocked -> 41
+  | Steer_time_in_config -> 42
+
+let key session mi = (session lsl 6) lor mi
+let key_metric k = k land 63
+
+let is_whitebox =
+  Array.of_list
+    (List.map (fun m -> metric_kind m = Whitebox) all_metrics)
+
+(* Current-bucket accumulation cell.  The running sum lives in a
+   one-element float array (unboxed store); completed buckets spill into
+   [spill] once, when simulated time crosses into the next bucket. *)
+type bcell = {
+  mutable bslot : int;
+  bcur : float array;
+  mutable spill : (int, float) Hashtbl.t option;
+      (* lazily created: a cell only spills when the session records in
+         more than one bucket, which short-lived sessions never do *)
+}
+
 type t = {
   engine : Engine.t;
   mutable whitebox : bool;
   bucket : Time.t;
   res_size : int; (* per-accumulator reservoir bound *)
   estimator : Stats.estimator; (* quantile sketch for every accumulator *)
-  table : (int * metric, Stats.t) Hashtbl.t;
-  buckets : (int * metric, (int, float) Hashtbl.t) Hashtbl.t;
+  table : (int, Stats.t) Hashtbl.t; (* packed (session, metric) key *)
+  buckets : (int, bcell) Hashtbl.t; (* packed (session, metric) key *)
   names : (int, string) Hashtbl.t;
-  tmc : (int, metric list) Hashtbl.t; (* per-session whitebox selection *)
+  tmc : (int, int) Hashtbl.t; (* per-session whitebox selection bitmask *)
+  mutable session_cap : int; (* individually tracked real sessions *)
+  mutable tracked : int;
+  routed : (int, unit) Hashtbl.t; (* real sessions admitted to tracking *)
   mutable whitebox_count : int;
   (* last scheduler counter values folded into the repository, so each
      [sample_scheduler] observes the delta since the previous sample *)
@@ -191,8 +261,13 @@ let wire_session = -3
    time-in-config) describe the STEER policy engine of a whole stack. *)
 let steer_session = -4
 
+(* When a session cap is set, real sessions past the cap share this
+   pseudo-session: totals stay exact while per-session state stays
+   bounded at GIGASWARM scale. *)
+let overflow_session = -5
+
 let create ?(whitebox = true) ?(bucket = Time.sec 1.0) ?(reservoir = 8192)
-    ?(estimator = Stats.Reservoir) engine =
+    ?(estimator = Stats.Reservoir) ?(session_cap = max_int) engine =
   {
     engine;
     whitebox;
@@ -203,78 +278,145 @@ let create ?(whitebox = true) ?(bucket = Time.sec 1.0) ?(reservoir = 8192)
     buckets = Hashtbl.create 64;
     names = Hashtbl.create 16;
     tmc = Hashtbl.create 16;
+    session_cap = max 1 session_cap;
+    tracked = 0;
+    routed = Hashtbl.create 16;
     whitebox_count = 0;
     sched_fired_seen = 0;
     sched_rearmed_seen = 0;
     trace = None;
   }
 
+let set_session_cap t n = t.session_cap <- max 1 n
+
+(* Route a real session id to its tracking bucket.  The first
+   [session_cap] distinct real sessions (in deterministic first-contact
+   order) are tracked individually; later ones fold into
+   [overflow_session].  Only admitted sessions are stored, so the
+   routing table itself is bounded by the cap. *)
+let route t session =
+  if session <= 0 || t.session_cap = max_int then session
+  else if Hashtbl.mem t.routed session then session
+  else if t.tracked < t.session_cap then begin
+    t.tracked <- t.tracked + 1;
+    Hashtbl.add t.routed session ();
+    session
+  end
+  else begin
+    if not (Hashtbl.mem t.names overflow_session) then
+      Hashtbl.replace t.names overflow_session "overflow";
+    overflow_session
+  end
+
 let whitebox_enabled t = t.whitebox
 let set_whitebox t v = t.whitebox <- v
 let register_session t ~id ~name =
   (* First registration wins: the initiator names the session; the
-     responder's acceptance label is secondary. *)
-  if not (Hashtbl.mem t.names id) then Hashtbl.add t.names id name
+     responder's acceptance label is secondary.  Overflow-routed
+     sessions are not named individually, so the name table stays
+     bounded under a session cap. *)
+  let id = route t id in
+  if id <> overflow_session && not (Hashtbl.mem t.names id) then
+    Hashtbl.add t.names id name
 
-let accumulator t key =
-  match Hashtbl.find_opt t.table key with
-  | Some s -> s
-  | None ->
+let accumulator t k =
+  match Hashtbl.find t.table k with
+  | s -> s
+  | exception Not_found ->
     let s = Stats.create ~estimator:t.estimator ~reservoir:t.res_size () in
-    Hashtbl.add t.table key s;
+    Hashtbl.add t.table k s;
     s
 
-let record_bucket t key v =
+let record_bucket t k v =
   let slot = Engine.now t.engine / t.bucket in
-  let per_bucket =
-    match Hashtbl.find_opt t.buckets key with
-    | Some h -> h
-    | None ->
-      let h = Hashtbl.create 16 in
-      Hashtbl.add t.buckets key h;
-      h
-  in
-  Hashtbl.replace per_bucket slot
-    (v +. Option.value ~default:0.0 (Hashtbl.find_opt per_bucket slot))
+  match Hashtbl.find t.buckets k with
+  | c ->
+    if c.bslot = slot then c.bcur.(0) <- c.bcur.(0) +. v
+    else begin
+      (* Simulated time is monotone, so each bucket spills exactly once;
+         the defensive merge keeps re-entry harmless regardless. *)
+      let h =
+        match c.spill with
+        | Some h -> h
+        | None ->
+          let h = Hashtbl.create 4 in
+          c.spill <- Some h;
+          h
+      in
+      let prev =
+        match Hashtbl.find h c.bslot with
+        | p -> p
+        | exception Not_found -> 0.0
+      in
+      Hashtbl.replace h c.bslot (prev +. c.bcur.(0));
+      c.bslot <- slot;
+      c.bcur.(0) <- v
+    end
+  | exception Not_found ->
+    Hashtbl.add t.buckets k { bslot = slot; bcur = [| v |]; spill = None }
+
+let mask_of metrics =
+  List.fold_left (fun acc m -> acc lor (1 lsl metric_index m)) 0 metrics
 
 let restrict_session t ~id metrics =
-  if metrics = [] then Hashtbl.remove t.tmc id else Hashtbl.replace t.tmc id metrics
+  let id = route t id in
+  if id = overflow_session then begin
+    (* Overflowed sessions share one restriction mask: the union of
+       their TMCs.  Deterministic (first-contact order) and bounded. *)
+    match mask_of metrics with
+    | 0 -> ()
+    | m ->
+      let cur = match Hashtbl.find t.tmc id with c -> c | exception Not_found -> 0 in
+      Hashtbl.replace t.tmc id (cur lor m)
+  end
+  else if metrics = [] then Hashtbl.remove t.tmc id
+  else Hashtbl.replace t.tmc id (mask_of metrics)
 
-let wanted t session m =
-  match Hashtbl.find_opt t.tmc session with
-  | None -> true
-  | Some metrics -> List.mem m metrics
+let wanted t session mi =
+  match Hashtbl.find t.tmc session with
+  | mask -> mask land (1 lsl mi) <> 0
+  | exception Not_found -> true
+
+let record t session mi v =
+  let k = key session mi in
+  Stats.add (accumulator t k) v;
+  record_bucket t k v
 
 let observe t ~session m v =
-  match metric_kind m with
-  | Whitebox when (not t.whitebox) || not (wanted t session m) -> ()
-  | Whitebox ->
-    t.whitebox_count <- t.whitebox_count + 1;
-    Stats.add (accumulator t (session, m)) v;
-    record_bucket t (session, m) v
-  | Blackbox ->
-    Stats.add (accumulator t (session, m)) v;
-    record_bucket t (session, m) v
+  let mi = metric_index m in
+  if Array.unsafe_get is_whitebox mi then begin
+    if t.whitebox then begin
+      let session = route t session in
+      if wanted t session mi then begin
+        t.whitebox_count <- t.whitebox_count + 1;
+        record t session mi v
+      end
+    end
+  end
+  else record t (route t session) mi v
 
 let count t ~session m = observe t ~session m 1.0
 
 let stats t ~session m =
-  Option.map Stats.summarize (Hashtbl.find_opt t.table (session, m))
+  Option.map Stats.summarize
+    (Hashtbl.find_opt t.table (key session (metric_index m)))
 
 let total t ~session m =
-  match Hashtbl.find_opt t.table (session, m) with
-  | Some s -> Stats.total s
-  | None -> 0.0
+  match Hashtbl.find t.table (key session (metric_index m)) with
+  | s -> Stats.total s
+  | exception Not_found -> 0.0
 
 let mean t ~session m =
-  match Hashtbl.find_opt t.table (session, m) with
-  | Some s -> Stats.mean s
-  | None -> nan
+  match Hashtbl.find t.table (key session (metric_index m)) with
+  | s -> Stats.mean s
+  | exception Not_found -> nan
 
 let aggregate_acc t m =
+  let mi = metric_index m in
   Hashtbl.fold
-    (fun (_, metric) s acc ->
-      if metric = m then match acc with None -> Some s | Some a -> Some (Stats.merge a s)
+    (fun k s acc ->
+      if key_metric k = mi then
+        match acc with None -> Some s | Some a -> Some (Stats.merge a s)
       else acc)
     t.table None
 
@@ -310,23 +452,30 @@ let sample_scheduler t =
       (Engine.wheel_hit_rate t.engine)
   end
 
+let cell_fold f acc c =
+  let acc =
+    match c.spill with
+    | None -> acc
+    | Some h -> Hashtbl.fold (fun slot v acc -> f acc slot v) h acc
+  in
+  f acc c.bslot c.bcur.(0)
+
 let series t ~session m =
-  match Hashtbl.find_opt t.buckets (session, m) with
+  match Hashtbl.find_opt t.buckets (key session (metric_index m)) with
   | None -> []
-  | Some h ->
-    Hashtbl.fold (fun slot v acc -> (slot * t.bucket, v) :: acc) h []
+  | Some c ->
+    cell_fold (fun acc slot v -> (slot * t.bucket, v) :: acc) [] c
     |> List.sort compare
 
 let aggregate_series t m =
+  let mi = metric_index m in
   let merged = Hashtbl.create 32 in
+  let add _ slot v =
+    Hashtbl.replace merged slot
+      (v +. Option.value ~default:0.0 (Hashtbl.find_opt merged slot))
+  in
   Hashtbl.iter
-    (fun (_, metric) h ->
-      if metric = m then
-        Hashtbl.iter
-          (fun slot v ->
-            Hashtbl.replace merged slot
-              (v +. Option.value ~default:0.0 (Hashtbl.find_opt merged slot)))
-          h)
+    (fun k c -> if key_metric k = mi then cell_fold add () c)
     t.buckets;
   Hashtbl.fold (fun slot v acc -> (slot * t.bucket, v) :: acc) merged []
   |> List.sort compare

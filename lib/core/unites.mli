@@ -101,7 +101,7 @@ type t
 
 val create :
   ?whitebox:bool -> ?bucket:Time.t -> ?reservoir:int ->
-  ?estimator:Stats.estimator -> Engine.t -> t
+  ?estimator:Stats.estimator -> ?session_cap:int -> Engine.t -> t
 (** [create engine] makes a repository; [whitebox] (default [true])
     enables whitebox collection.  [bucket] (default 1 s) is the width of
     the time buckets behind {!series} — the TMC "sampling rate".
@@ -111,7 +111,16 @@ val create :
     [estimator] (default {!Stats.Reservoir}) selects the quantile sketch
     for every accumulator: megaswarm-scale runs pass {!Stats.P2} so the
     repository's memory is ~15 floats per (session, metric) bucket
-    regardless of sample volume. *)
+    regardless of sample volume.  [session_cap] (default unbounded)
+    bounds the number of real sessions tracked individually: the first
+    [session_cap] distinct session ids (deterministic first-contact
+    order) keep per-session accumulators, later ones fold into
+    {!overflow_session} so GIGASWARM-scale runs hold per-session state
+    for a bounded prefix while totals stay exact. *)
+
+val set_session_cap : t -> int -> unit
+(** Adjust the individually-tracked session bound (min 1).  Sessions
+    already admitted stay tracked. *)
 
 val whitebox_enabled : t -> bool
 (** Whether whitebox metrics are being recorded. *)
@@ -185,6 +194,11 @@ val steer_session : int
     policy engine records {!Steer_swaps}, {!Steer_blocked} and
     {!Steer_time_in_config} — the steering loop belongs to the stack,
     not to any one connection. *)
+
+val overflow_session : int
+(** Reserved pseudo-session id ([-5]) that absorbs observations from
+    real sessions beyond the [session_cap]: their totals are preserved
+    in aggregate under this id instead of per-session accumulators. *)
 
 val attach_trace : t -> Trace.t -> unit
 (** Attach a trace sink so {!report} presents its counters — including

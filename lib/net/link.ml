@@ -30,6 +30,15 @@ type t = {
    (lib/fleet) build their stacks concurrently. *)
 let counter = Atomic.make 0
 
+(* Configuration generation: bumped by every mutation of a parameter that
+   feeds path characterization (BER, MTU, up/down, cross traffic, route
+   edits — topology calls [touch_config] too).  Higher layers memoize
+   values derived from link properties and use this to invalidate; it is
+   global across links, so a bump only costs spurious re-derivation. *)
+let config_gen = Atomic.make 0
+let touch_config () = Atomic.incr config_gen
+let config_generation () = Atomic.get config_gen
+
 let create ?name ~bandwidth_bps ~propagation ?(queue_pkts = 64) ?(ber = 0.0)
     ?(mtu = 65535) () =
   if bandwidth_bps <= 0.0 then invalid_arg "Link.create: non-positive bandwidth";
@@ -64,18 +73,20 @@ let ber t = t.ber
 let queue_capacity t = t.queue_pkts
 
 let set_background_utilization t u =
+  touch_config ();
   t.background <- Float.max 0.0 (Float.min 0.98 u)
 
 let background_utilization t = t.background
 
-let fail t = t.up <- false
-let repair t = t.up <- true
+let fail t = touch_config (); t.up <- false
+let repair t = touch_config (); t.up <- true
 let is_up t = t.up
 
-let set_ber t ber = t.ber <- Float.max 0.0 ber
+let set_ber t ber = touch_config (); t.ber <- Float.max 0.0 ber
 
 let set_mtu t mtu =
   if mtu <= 0 then invalid_arg "Link.set_mtu: non-positive MTU";
+  touch_config ();
   t.mtu <- mtu
 
 let effective_bps t = t.bandwidth_bps *. (1.0 -. t.background)

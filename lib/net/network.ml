@@ -171,6 +171,9 @@ type outcome =
   | Lost_down
   | Lost_mtu
 
+(* [cache] memoizes per-link verdicts across a multicast fan-out so a
+   shared upstream hop is transmitted once; unicast sends pass [None]
+   and skip the association list entirely. *)
 let traverse t ~cache ~frame ~bytes hops =
   let now = Engine.now t.engine in
   let lframe =
@@ -184,12 +187,15 @@ let traverse t ~cache ~frame ~bytes hops =
       if bytes > Link.mtu link then Lost_mtu
       else
         let verdict =
-          match List.assq_opt link !cache with
-          | Some v -> v
-          | None ->
-            let v = Link.transmit link ?frame:lframe ~rng:t.rng ~now ~arrival ~bytes () in
-            cache := (link, v) :: !cache;
-            v
+          match cache with
+          | None -> Link.transmit link ?frame:lframe ~rng:t.rng ~now ~arrival ~bytes ()
+          | Some cache -> (
+            match List.assq_opt link !cache with
+            | Some v -> v
+            | None ->
+              let v = Link.transmit link ?frame:lframe ~rng:t.rng ~now ~arrival ~bytes () in
+              cache := (link, v) :: !cache;
+              v)
         in
         match verdict with
         | Link.Transmitted { departs; corrupted = c } ->
@@ -209,8 +215,7 @@ let traverse t ~cache ~frame ~bytes hops =
    delivered. *)
 let deliver_wire t w ~src ~dst ~bytes ~sent_at ~at ~corrupted lease =
   Pool.retain lease;
-  ignore
-    (Engine.schedule t.engine ~at (fun () ->
+  Engine.schedule_anon t.engine ~at (fun () ->
          let buf = Pool.lease_buf lease in
          let buf =
            if not corrupted then buf
@@ -231,9 +236,9 @@ let deliver_wire t w ~src ~dst ~bytes ~sent_at ~at ~corrupted lease =
          | None -> w.wh_rejected <- w.wh_rejected + 1
          | Some payload -> (
            w.wh_decoded <- w.wh_decoded + 1;
-           match Hashtbl.find_opt t.handlers dst with
-           | None -> ()
-           | Some handler ->
+           match Hashtbl.find t.handlers dst with
+           | exception Not_found -> ()
+           | handler ->
              t.s_delivered <- t.s_delivered + 1;
              handler
                {
@@ -245,7 +250,7 @@ let deliver_wire t w ~src ~dst ~bytes ~sent_at ~at ~corrupted lease =
                  received_at = at;
                  corrupted;
                }));
-         w.wh_release lease))
+         w.wh_release lease)
 
 let deliver t ~src ~dst ~bytes ~sent_at ~frame payload outcome =
   match outcome with
@@ -258,22 +263,21 @@ let deliver t ~src ~dst ~bytes ~sent_at ~frame payload outcome =
     | Some w, Some lease ->
       deliver_wire t w ~src ~dst ~bytes ~sent_at ~at ~corrupted lease
     | _ ->
-      ignore
-        (Engine.schedule t.engine ~at (fun () ->
-             match Hashtbl.find_opt t.handlers dst with
-             | None -> ()
-             | Some handler ->
-               t.s_delivered <- t.s_delivered + 1;
-               handler
-                 {
-                   payload;
-                   src;
-                   dst;
-                   wire_bytes = bytes;
-                   sent_at;
-                   received_at = at;
-                   corrupted;
-                 })))
+      Engine.schedule_anon t.engine ~at (fun () ->
+          match Hashtbl.find t.handlers dst with
+          | exception Not_found -> ()
+          | handler ->
+            t.s_delivered <- t.s_delivered + 1;
+            handler
+              {
+                payload;
+                src;
+                dst;
+                wire_bytes = bytes;
+                sent_at;
+                received_at = at;
+                corrupted;
+              }))
 
 let send_on_cache t ~cache ~frame ~src ~dst ~bytes payload =
   match Topology.route t.topology ~src ~dst with
@@ -309,14 +313,15 @@ let send t ~src ~dst ~bytes payload =
   t.s_sent <- t.s_sent + 1;
   t.s_bytes_sent <- t.s_bytes_sent + bytes;
   let frame = encode_frame t ~bytes payload in
-  send_on_cache t ~cache:(ref []) ~frame ~src ~dst ~bytes payload;
+  (
+  send_on_cache t ~cache:None ~frame ~src ~dst ~bytes payload);
   release_frame t frame
 
 let multicast t ~src ~dsts ~bytes payload =
   if bytes <= 0 then invalid_arg "Network.multicast: non-positive size";
   t.s_sent <- t.s_sent + 1;
   t.s_bytes_sent <- t.s_bytes_sent + bytes;
-  let cache = ref [] in
+  let cache = Some (ref []) in
   let frame = encode_frame t ~bytes payload in
   List.iter (fun dst -> send_on_cache t ~cache ~frame ~src ~dst ~bytes payload) dsts;
   release_frame t frame

@@ -23,6 +23,7 @@ let hosts t = List.mapi (fun i name -> (i, name)) (List.rev t.names)
 
 let set_route t ~src ~dst hops =
   if hops = [] then invalid_arg "Topology.set_route: empty route";
+  Link.touch_config ();
   Hashtbl.replace t.routes (src, dst) hops
 
 (* Full duplex: the reverse direction gets its own transmitter and queue. *)

@@ -44,12 +44,13 @@ type event = {
   mutable action : unit -> unit;
   mutable prev : event; (* intrusive wheel-slot list; [nil] when detached *)
   mutable next : event;
+  pooled : bool; (* recycled into the free list after firing *)
 }
 
 (* Shared sentinel: never linked, never mutated. *)
 let rec nil =
   { deadline = 0; seq = 0; live = false; loc = loc_none;
-    action = (fun () -> ()); prev = nil; next = nil }
+    action = (fun () -> ()); prev = nil; next = nil; pooled = false }
 
 type t = {
   mutable clock : Time.t;
@@ -60,6 +61,7 @@ type t = {
   overflow : event Heap.t;
   mutable overflow_dead : int;
   slots : event array; (* [0,256): level 0; [256,512): level 1 *)
+  mutable free : event; (* intrusive free list of recycled anon events *)
   mutable c0 : int; (* events resident in level 0 *)
   mutable c1 : int; (* events resident in level 1 *)
   mutable wtick : int; (* watermark: events at ticks <= wtick are in [ready] *)
@@ -88,6 +90,7 @@ let create ?(backend = `Wheel) () =
     overflow = Heap.create ();
     overflow_dead = 0;
     slots = Array.make (2 * num_slots) nil;
+    free = nil;
     c0 = 0;
     c1 = 0;
     wtick = 0;
@@ -324,10 +327,32 @@ let schedule_event t e ~at =
 let schedule t ~at f =
   let e =
     { deadline = 0; seq = 0; live = false; loc = loc_none; action = f;
-      prev = nil; next = nil }
+      prev = nil; next = nil; pooled = false }
   in
   schedule_event t e ~at;
   (t, e)
+
+let noop () = ()
+
+(* Fire-and-forget scheduling: no handle, so the event record cannot
+   escape and is recycled through [t.free] once it fires.  The hot data
+   paths (packet delivery, ingress dispatch) schedule hundreds of
+   thousands of these; reuse removes an event record plus a handle pair
+   per occurrence from the minor heap. *)
+let schedule_anon t ~at f =
+  if t.free != nil then begin
+    let e = t.free in
+    t.free <- e.next;
+    e.next <- nil;
+    e.action <- f;
+    schedule_event t e ~at
+  end
+  else
+    let e =
+      { deadline = 0; seq = 0; live = false; loc = loc_none; action = f;
+        prev = nil; next = nil; pooled = true }
+    in
+    schedule_event t e ~at
 
 let schedule_after t ~delay f = schedule t ~at:(Time.add t.clock delay) f
 let cancel (t, e) = cancel_event t e
@@ -353,7 +378,15 @@ let step t =
     t.live_count <- t.live_count - 1;
     t.clock <- e.deadline;
     t.fired <- t.fired + 1;
-    e.action ();
+    let action = e.action in
+    if e.pooled then begin
+      (* Recycle before running: the action may re-enter the scheduler,
+         and an anon event has no handle that could observe the reuse. *)
+      e.action <- noop;
+      e.next <- t.free;
+      t.free <- e
+    end;
+    action ();
     true
   end
 
@@ -375,6 +408,11 @@ let run ?until ?max_events t =
 
 let pending_events t = t.live_count
 let events_fired t = t.fired
+
+let next_deadline t =
+  match next_live_deadline t with
+  | d when d = max_int -> None
+  | d -> Some d
 
 (* --------------------------------------------------- whitebox counters *)
 
@@ -441,7 +479,7 @@ module Timer = struct
   let make engine ~period ~delay f =
     let e =
       { deadline = 0; seq = 0; live = false; loc = loc_none;
-        action = (fun () -> ()); prev = nil; next = nil }
+        action = (fun () -> ()); prev = nil; next = nil; pooled = false }
     in
     let timer = { engine; ev = e; period; count = 0; callback = f } in
     e.action <- (fun () -> expire timer);

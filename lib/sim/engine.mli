@@ -43,6 +43,13 @@ val schedule : t -> at:Time.t -> (unit -> unit) -> handle
 val schedule_after : t -> delay:Time.t -> (unit -> unit) -> handle
 (** [schedule_after t ~delay f] is [schedule t ~at:(now t + delay) f]. *)
 
+val schedule_anon : t -> at:Time.t -> (unit -> unit) -> unit
+(** [schedule_anon t ~at f] is {!schedule} without a handle: the event
+    cannot be cancelled or queried, and its record is recycled through an
+    internal free list after it fires.  Use on fire-and-forget hot paths
+    (per-PDU deliveries, ingress dispatch) where the event record and
+    handle pair of {!schedule} would otherwise be allocated per packet. *)
+
 val cancel : handle -> unit
 (** Prevent the event from firing.  Cancelling a fired or already-cancelled
     event is a no-op.  Wheel-resident events are unlinked in O(1);
@@ -62,6 +69,12 @@ val run : ?until:Time.t -> ?max_events:int -> t -> unit
 
 val pending_events : t -> int
 (** Number of scheduled (uncancelled) events. *)
+
+val next_deadline : t -> Time.t option
+(** Deadline of the earliest pending event, or [None] when the queue is
+    empty.  Does not advance the clock or fire anything.  SHARD's
+    skip-empty-window fast path uses this to jump the barrier clock over
+    spans where no partition has work. *)
 
 val events_fired : t -> int
 (** Total events executed since creation. *)

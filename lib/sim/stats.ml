@@ -89,17 +89,20 @@ let p2_targets = [| 0.50; 0.95; 0.99 |]
 
 type store =
   | Res of { data : float array; mutable stored : int; rng : Rng.t }
-  | Stream of { head : float array; markers : p2m array }
+  | Stream of { head : float array; mutable markers : p2m array }
 
-type t = {
-  mutable n : int;
-  mutable mean : float;
-  mutable m2 : float;
-  mutable sum : float;
-  mutable mn : float;
-  mutable mx : float;
-  store : store;
-}
+(* Scalar moments live in a float array rather than mutable record
+   fields: a record mixing [n : int] with mutable floats keeps the
+   floats boxed, so every [add] would allocate three fresh boxes on the
+   minor heap.  Float-array stores are unboxed, making [add] for the
+   moment scalars allocation-free on the hot path. *)
+type t = { mutable n : int; q : float array; store : store }
+
+let q_mean = 0
+and q_m2 = 1
+and q_sum = 2
+and q_mn = 3
+and q_mx = 4
 
 let create ?(estimator = Reservoir) ?(reservoir = 8192) ?(seed = 0x5747) () =
   let store =
@@ -107,9 +110,13 @@ let create ?(estimator = Reservoir) ?(reservoir = 8192) ?(seed = 0x5747) () =
     | Reservoir ->
       Res { data = Array.make reservoir 0.0; stored = 0; rng = Rng.create seed }
     | P2 ->
-      Stream { head = Array.make 5 0.0; markers = Array.map p2m_create p2_targets }
+      (* Markers materialize lazily once five observations arrive: most
+         per-session accumulators in a churning swarm see a handful of
+         samples, and the three 5-marker structures are ~100 words that
+         would dominate short-lived sessions' allocation. *)
+      Stream { head = Array.make 5 0.0; markers = [||] }
   in
-  { n = 0; mean = 0.0; m2 = 0.0; sum = 0.0; mn = infinity; mx = neg_infinity; store }
+  { n = 0; q = [| 0.0; 0.0; 0.0; infinity; neg_infinity |]; store }
 
 let estimator_kind t = match t.store with Res _ -> Reservoir | Stream _ -> P2
 
@@ -118,12 +125,13 @@ let reservoir_capacity t =
 
 let add t x =
   t.n <- t.n + 1;
-  t.sum <- t.sum +. x;
-  let delta = x -. t.mean in
-  t.mean <- t.mean +. (delta /. float_of_int t.n);
-  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
-  if x < t.mn then t.mn <- x;
-  if x > t.mx then t.mx <- x;
+  let q = t.q in
+  q.(q_sum) <- q.(q_sum) +. x;
+  let delta = x -. q.(q_mean) in
+  q.(q_mean) <- q.(q_mean) +. (delta /. float_of_int t.n);
+  q.(q_m2) <- q.(q_m2) +. (delta *. (x -. q.(q_mean)));
+  if x < q.(q_mn) then q.(q_mn) <- x;
+  if x > q.(q_mx) then q.(q_mx) <- x;
   match t.store with
   | Res r ->
     let cap = Array.length r.data in
@@ -141,18 +149,25 @@ let add t x =
       if t.n = 5 then begin
         let sorted = Array.copy s.head in
         Array.sort Float.compare sorted;
+        if s.markers = [||] then s.markers <- Array.map p2m_create p2_targets;
         Array.iter (fun m -> p2m_init m sorted) s.markers
       end
     end
-    else Array.iter (fun m -> p2m_add m x) s.markers
+    else
+      (* Explicit loop: [Array.iter] with a closure capturing [x] would
+         allocate on every single observation. *)
+      let ms = s.markers in
+      for i = 0 to Array.length ms - 1 do
+        p2m_add (Array.unsafe_get ms i) x
+      done
 
 let count t = t.n
-let total t = t.sum
-let mean t = if t.n = 0 then nan else t.mean
-let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+let total t = t.q.(q_sum)
+let mean t = if t.n = 0 then nan else t.q.(q_mean)
+let variance t = if t.n < 2 then nan else t.q.(q_m2) /. float_of_int (t.n - 1)
 let stddev t = sqrt (variance t)
-let min_value t = if t.n = 0 then nan else t.mn
-let max_value t = if t.n = 0 then nan else t.mx
+let min_value t = if t.n = 0 then nan else t.q.(q_mn)
+let max_value t = if t.n = 0 then nan else t.q.(q_mx)
 
 let sorted_quantile xs q =
   Array.sort Float.compare xs;
@@ -176,16 +191,17 @@ let quantile t q =
       (* Piecewise-linear through (0, min), the marker estimates, and
          (1, max).  Running max keeps the curve monotone even if marker
          heights cross on an adversarial stream. *)
+      let mn = t.q.(q_mn) and mx = t.q.(q_mx) in
       let q = Float.max 0.0 (Float.min 1.0 q) in
-      let pts = Array.make (Array.length s.markers + 2) (0.0, t.mn) in
-      let level = ref t.mn in
+      let pts = Array.make (Array.length s.markers + 2) (0.0, mn) in
+      let level = ref mn in
       Array.iteri
         (fun i m ->
-          level := Float.max !level (Float.min t.mx m.h.(2));
+          level := Float.max !level (Float.min mx m.h.(2));
           pts.(i + 1) <- (m.pq, !level))
         s.markers;
-      pts.(Array.length pts - 1) <- (1.0, t.mx);
-      let result = ref t.mx in
+      pts.(Array.length pts - 1) <- (1.0, mx);
+      let result = ref mx in
       (try
          for i = 0 to Array.length pts - 2 do
            let x0, y0 = pts.(i) and x1, y1 = pts.(i + 1) in
@@ -226,25 +242,26 @@ let merge a b =
   feed_into t b;
   (* Correct the exact moments, which the sketches would only approximate. *)
   t.n <- a.n + b.n;
-  t.sum <- a.sum +. b.sum;
+  t.q.(q_sum) <- a.q.(q_sum) +. b.q.(q_sum);
   if t.n > 0 then begin
     let na = float_of_int a.n and nb = float_of_int b.n in
-    let delta = b.mean -. a.mean in
-    let nm = ((na *. a.mean) +. (nb *. b.mean)) /. (na +. nb) in
-    t.mean <- nm;
-    t.m2 <- a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. (na +. nb))
+    let am = a.q.(q_mean) and bm = b.q.(q_mean) in
+    let delta = bm -. am in
+    t.q.(q_mean) <- ((na *. am) +. (nb *. bm)) /. (na +. nb);
+    t.q.(q_m2) <-
+      a.q.(q_m2) +. b.q.(q_m2) +. (delta *. delta *. na *. nb /. (na +. nb))
   end;
-  t.mn <- Float.min a.mn b.mn;
-  t.mx <- Float.max a.mx b.mx;
+  t.q.(q_mn) <- Float.min a.q.(q_mn) b.q.(q_mn);
+  t.q.(q_mx) <- Float.max a.q.(q_mx) b.q.(q_mx);
   t
 
 let clear t =
   t.n <- 0;
-  t.mean <- 0.0;
-  t.m2 <- 0.0;
-  t.sum <- 0.0;
-  t.mn <- infinity;
-  t.mx <- neg_infinity;
+  t.q.(q_mean) <- 0.0;
+  t.q.(q_m2) <- 0.0;
+  t.q.(q_sum) <- 0.0;
+  t.q.(q_mn) <- infinity;
+  t.q.(q_mx) <- neg_infinity;
   match t.store with
   | Res r -> r.stored <- 0
   | Stream _ ->

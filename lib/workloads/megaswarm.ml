@@ -15,8 +15,19 @@ type config = {
   monitored_share : int;
   cross_share : int;
   wan_latency : Time.t;
+  wan_spread : Time.t;
+  session_cap : int option;
   steer : Steer.policy option;
 }
+
+(* Deterministic per-pair one-way WAN latency: the base plus a spread
+   term that depends only on the ordered (src, dst) pair, so SHARD's
+   per-pair lookahead matrix and the stamped arrival times agree by
+   construction at every shard count.  [wan_spread = zero] collapses to
+   the uniform-latency WAN. *)
+let pair_latency cfg ~src ~dst =
+  if cfg.wan_spread = Time.zero then cfg.wan_latency
+  else Time.add cfg.wan_latency (((31 * src) + (17 * dst)) mod (cfg.wan_spread + 1))
 
 let default_config ~sessions ~seed =
   {
@@ -30,6 +41,8 @@ let default_config ~sessions ~seed =
     monitored_share = 10;
     cross_share = 16;
     wan_latency = Time.ms 5;
+    wan_spread = Time.zero;
+    session_cap = None;
     steer = None;
   }
 
@@ -52,6 +65,10 @@ type outcome = {
   monitor_walked : int;
   tw_sweeps : int;
   tw_expired : int;
+  sync_windows : int;
+  sync_skipped : int;
+  shard_wall_s : float list;
+  stage_minor_words : (string * float) list;
   unites_reports : string list;
 }
 
@@ -118,6 +135,14 @@ let build_partition cfg ~index ~seed =
         ~queue_pkts:4096 () ];
   let trace = Trace.create ~log_capacity:256 () in
   Unites.attach_trace stack.Adaptive.unites trace;
+  (* GIGASWARM memory bound: cap the per-session metric population so the
+     UNITES tables — and the rendered report — stay O(cap) however many
+     sessions churn through.  Overflowed sessions fold into one shared
+     bucket; totals are preserved.  The trace digest never sees UNITES
+     routing, so the cap cannot perturb the parity oracle. *)
+  (match cfg.session_cap with
+  | Some cap -> Unites.set_session_cap stack.Adaptive.unites cap
+  | None -> ());
   let p =
     {
       p_index = index;
@@ -139,8 +164,12 @@ let build_partition cfg ~index ~seed =
   Mantts.set_app_handler (Mantts.entity mantts server) (fun session d ->
       p.p_delivered_msgs <- p.p_delivered_msgs + 1;
       p.p_delivered_bytes <- p.p_delivered_bytes + d.Session.bytes;
+      (* Same bytes as [Printf.sprintf "%d:%d"] without the format
+         interpreter: this string is folded into the trace digest per
+         delivered message. *)
       Trace.event trace ~at:d.Session.delivered_at ~category:"deliver"
-        ~detail:(Printf.sprintf "%d:%d" (Session.id session) d.Session.bytes));
+        ~detail:
+          (string_of_int (Session.id session) ^ ":" ^ string_of_int d.Session.bytes));
   p
 
 (* Install partition [p]'s remote hook: map the unrouted virtual
@@ -160,7 +189,7 @@ let install_wan cfg parts p =
         let src_role = if src = p.p_server then 1 else 0 in
         let now = Engine.now engine in
         p.p_outbox <-
-          ( Time.add now cfg.wan_latency,
+          ( Time.add now (pair_latency cfg ~src:p.p_index ~dst:target),
             target,
             {
               w_src = virtual_addr ~partition:p.p_index ~role:src_role;
@@ -181,20 +210,34 @@ let schedule_opens cfg p ~local_slots =
     Rng.split_ix (Rng.create (cfg.seed lxor 0x4D534D53 (* "MSMS" *))) p.p_index
   in
   let apps = Array.of_list Workloads.all in
+  let napps = Array.length apps in
+  (* One ACD per (application, monitored) shape, shared across every open:
+     descriptors are immutable and MANTTS only reads them, and handing the
+     same physical value back makes the MANTTS synthesis memo's structural
+     key comparison short-circuit on pointer equality. *)
+  let acd_cache = Array.make (2 * napps) None in
   let acd_for slot =
-    let app = apps.(slot mod Array.length apps) in
+    let app_ix = slot mod napps in
     let monitored =
       cfg.monitored_share > 0 && slot mod cfg.monitored_share = 0
     in
-    let qos =
-      {
-        (Workloads.qos app) with
-        Qos.duration = Some (if monitored then long_duration else short_duration);
-      }
-    in
-    Acd.make
-      ~tmc:{ Acd.collect = [ Unites.Setup_latency ]; sample_every = Time.sec 1.0 }
-      ~participants:[ p.p_server ] ~qos ()
+    let key = (2 * app_ix) + Bool.to_int monitored in
+    match acd_cache.(key) with
+    | Some acd -> acd
+    | None ->
+      let qos =
+        {
+          (Workloads.qos apps.(app_ix)) with
+          Qos.duration = Some (if monitored then long_duration else short_duration);
+        }
+      in
+      let acd =
+        Acd.make
+          ~tmc:{ Acd.collect = [ Unites.Setup_latency ]; sample_every = Time.sec 1.0 }
+          ~participants:[ p.p_server ] ~qos ()
+      in
+      acd_cache.(key) <- Some acd;
+      acd
   in
   (* Global stagger: partition [p] owns global slots p, p+P, p+2P, … so
      offered load is phase-interleaved across partitions exactly as one
@@ -214,20 +257,22 @@ let schedule_opens cfg p ~local_slots =
     Trace.event p.p_trace ~at:(Engine.now engine) ~category:"xopen"
       ~detail:(string_of_int (Session.id session));
     Session.send session ~bytes:(max 64 (cfg.payload_bytes / 2)) ();
-    ignore
-      (Engine.schedule engine
-         ~at:(Time.add (Engine.now engine) short_duration)
-         (fun () ->
-           Trace.event p.p_trace ~at:(Engine.now engine) ~category:"xclose"
-             ~detail:(string_of_int (Session.id session));
-           Session.close session))
+    Engine.schedule_anon engine
+      ~at:(Time.add (Engine.now engine) short_duration)
+      (fun () ->
+        Trace.event p.p_trace ~at:(Engine.now engine) ~category:"xclose"
+          ~detail:(string_of_int (Session.id session));
+        Session.close session)
   in
   let rec attempt slot round ~at =
-    ignore (Engine.schedule engine ~at (fun () -> open_now slot round))
+    Engine.schedule_anon engine ~at (fun () -> open_now slot round)
   and open_now slot round =
     p.p_offered <- p.p_offered + 1;
     let rng = Rng.split_ix base_rng ((slot * 131) + round) in
-    let name = Printf.sprintf "ms-%d-%d-%d" p.p_index slot round in
+    let name =
+      "ms-" ^ string_of_int p.p_index ^ "-" ^ string_of_int slot ^ "-"
+      ^ string_of_int round
+    in
     let acd = acd_for slot in
     let lifetime = Time.ms (300 + Rng.int rng 500) in
     (match Mantts.try_open_session ~name mantts ~src:p.p_client ~acd () with
@@ -252,16 +297,15 @@ let schedule_opens cfg p ~local_slots =
         max 64 ((cfg.payload_bytes / 2) + Rng.int rng cfg.payload_bytes)
       in
       Session.send session ~bytes ();
-      ignore
-        (Engine.schedule engine
-           ~at:(Time.add (Engine.now engine) lifetime)
-           (fun () ->
-             Trace.event p.p_trace ~at:(Engine.now engine) ~category:"close"
-               ~detail:(string_of_int (Session.id session));
-             Mantts.close_session mantts session;
-             if round < cfg.churn_rounds then
-               attempt slot (round + 1)
-                 ~at:(Time.add (Engine.now engine) (Time.ms 100)))));
+      Engine.schedule_anon engine
+        ~at:(Time.add (Engine.now engine) lifetime)
+        (fun () ->
+          Trace.event p.p_trace ~at:(Engine.now engine) ~category:"close"
+            ~detail:(string_of_int (Session.id session));
+          Mantts.close_session mantts session;
+          if round < cfg.churn_rounds then
+            attempt slot (round + 1)
+              ~at:(Time.add (Engine.now engine) (Time.ms 100))));
     if cfg.cross_share > 0 && slot mod cfg.cross_share = 0 && round = 0 then
       open_cross slot round
   in
@@ -269,17 +313,25 @@ let schedule_opens cfg p ~local_slots =
     attempt slot 0 ~at:(open_at slot)
   done
 
-let run cfg =
+let run ?clock cfg =
   if cfg.sessions <= 0 then invalid_arg "Megaswarm.run: sessions must be positive";
   if cfg.partitions < 1 then
     invalid_arg "Megaswarm.run: partitions must be >= 1";
   if cfg.shards < 1 then invalid_arg "Megaswarm.run: shards must be >= 1";
   let seeds = Array.of_list (Fleet.seeds_of ~master:cfg.seed ~n:cfg.partitions) in
+  (* Stage allocation accounting: minor words on the coordinating domain
+     per phase.  Authoritative at shards = 1 (OCaml 5 GC counters are
+     per-domain); at shards > 1 the sim stage misses worker-domain
+     allocation and is a lower bound.  The split keeps the hot-path
+     figure (sim) separate from one-time setup and O(sessions) report
+     rendering (reduce). *)
+  let w0 = Gc.minor_words () in
   let parts =
     Array.init cfg.partitions (fun i ->
         build_partition cfg ~index:i ~seed:seeds.(i))
   in
   Array.iter (install_wan cfg parts) parts;
+  let w_build = Gc.minor_words () in
   Array.iter
     (fun p ->
       let local_slots =
@@ -288,12 +340,16 @@ let run cfg =
       in
       schedule_opens cfg p ~local_slots)
     parts;
+  let w_sched = Gc.minor_words () in
   let horizon =
     Time.add cfg.open_window
       (Time.sec (3.0 *. float_of_int (cfg.churn_rounds + 1)))
   in
   let shard =
-    Shard.create ~lookahead:cfg.wan_latency ~partitions:cfg.partitions
+    Shard.create
+      ~pair_lookahead:(fun ~src ~dst -> pair_latency cfg ~src ~dst)
+      ~next_deadline:(fun i -> Engine.next_deadline parts.(i).p_stack.Adaptive.engine)
+      ?clock ~lookahead:cfg.wan_latency ~partitions:cfg.partitions
       ~run_to:(fun i until ->
         Engine.run ~until parts.(i).p_stack.Adaptive.engine)
       ~drain:(fun i ->
@@ -305,12 +361,14 @@ let run cfg =
           msgs)
       ~inject:(fun i ~at ~src:_ m ->
         let net = parts.(i).p_stack.Adaptive.net in
-        ignore
-          (Engine.schedule parts.(i).p_stack.Adaptive.engine ~at (fun () ->
-               Network.deliver_remote net ~src:m.w_src ~dst:m.w_dst
-                 ~bytes:m.w_bytes ~sent_at:m.w_sent m.w_pdu)))
+        Engine.schedule_anon parts.(i).p_stack.Adaptive.engine ~at (fun () ->
+            Network.deliver_remote net ~src:m.w_src ~dst:m.w_dst
+              ~bytes:m.w_bytes ~sent_at:m.w_sent m.w_pdu))
+      ()
   in
   let wan_exchanged = Shard.run shard ~shards:cfg.shards ~until:horizon in
+  let sync = Shard.last_stats shard in
+  let w_sim = Gc.minor_words () in
   let digests =
     Array.to_list (Array.map (fun p -> Trace.hash p.p_trace) parts)
   in
@@ -335,6 +393,22 @@ let run cfg =
         (s + s', e + e'))
       (0, 0)
       [ p.p_client; p.p_server ]
+  in
+  let unites_reports =
+    Array.to_list
+      (Array.map
+         (fun p ->
+           Format.asprintf "partition %d@.%a" p.p_index Unites.report
+             p.p_stack.Adaptive.unites)
+         parts)
+  in
+  let stage_minor_words =
+    [
+      ("build", w_build -. w0);
+      ("schedule", w_sched -. w_build);
+      ("sim", w_sim -. w_sched);
+      ("reduce", Gc.minor_words () -. w_sim);
+    ]
   in
   {
     offered = sum (fun p -> p.p_offered);
@@ -363,13 +437,11 @@ let run cfg =
     monitor_walked = sum (fun p -> snd (tick_stats p));
     tw_sweeps = sum (fun p -> fst (tw_stats p));
     tw_expired = sum (fun p -> snd (tw_stats p));
-    unites_reports =
-      Array.to_list
-        (Array.map
-           (fun p ->
-             Format.asprintf "partition %d@.%a" p.p_index Unites.report
-               p.p_stack.Adaptive.unites)
-           parts);
+    sync_windows = sync.Shard.windows;
+    sync_skipped = sync.Shard.skipped_spans;
+    shard_wall_s = Array.to_list sync.Shard.shard_wall_s;
+    stage_minor_words;
+    unites_reports;
   }
 
 let pp_outcome fmt o =
@@ -380,11 +452,13 @@ let pp_outcome fmt o =
      delivered: %d msgs, %d bytes; peak live=%d; wan msgs=%d@,\
      demux probes mean (worst partition)=%.3f@,\
      monitor ticks=%d walked=%d; tw sweeps=%d expired=%d@,\
+     sync windows=%d skipped spans=%d@,\
      events=%d sim_time=%a digest=0x%Lx@,\
      partition digests: %a@]"
     o.offered o.admitted o.refused o.cross_opened o.delivered_msgs
     o.delivered_bytes o.peak_live o.wan_exchanged o.demux_probes_mean_max
     o.monitor_ticks o.monitor_walked o.tw_sweeps o.tw_expired
+    o.sync_windows o.sync_skipped
     o.events_fired Time.pp o.sim_time o.digest
     (Format.pp_print_list
        ~pp_sep:(fun fmt () -> Format.fprintf fmt " ")

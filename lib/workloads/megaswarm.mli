@@ -36,8 +36,22 @@ type config = {
   monitored_share : int;  (** Every Nth local session keeps a monitor. *)
   cross_share : int;  (** Every Nth local slot opens a WAN session
                           (0 disables cross traffic). *)
-  wan_latency : Time.t;  (** One-way cross-partition latency; also the
-                             conservative lookahead. *)
+  wan_latency : Time.t;  (** Base one-way cross-partition latency; also
+                             the conservative lookahead floor. *)
+  wan_spread : Time.t;
+      (** Maximum extra per-pair latency.  Each ordered (src, dst)
+          partition pair gets a deterministic latency in
+          [wan_latency, wan_latency + wan_spread], and SHARD's per-pair
+          lookahead matrix is built from the same function — so
+          heterogeneous WANs synchronize on per-destination windows
+          rather than the global minimum.  [Time.zero] (the default)
+          collapses to the uniform-latency WAN. *)
+  session_cap : int option;
+      (** When set, each partition's UNITES repository tracks at most
+          this many distinct sessions individually; the rest fold into
+          one overflow bucket (totals preserved).  Bounds metric — and
+          report-rendering — memory at GIGASWARM scale.  UNITES routing
+          never reaches the trace, so the digest is unaffected. *)
   steer : Steer.policy option;
       (** When set, each partition runs its own STEER engine over its
           locally opened sessions.  Steering state is partition-local, so
@@ -68,15 +82,29 @@ type outcome = {
                              set, O(monitored) not O(sessions). *)
   tw_sweeps : int;  (** Coalesced time-wait sweeper firings. *)
   tw_expired : int;  (** Time-wait entries those sweeps expired. *)
+  sync_windows : int;  (** SHARD barrier windows executed. *)
+  sync_skipped : int;  (** Empty spans jumped by the skip fast path. *)
+  shard_wall_s : float list;
+      (** Wall seconds each shard spent inside partition windows, in
+          shard order; all zeros unless {!run} was given a clock. *)
+  stage_minor_words : (string * float) list;
+      (** Minor words allocated on the coordinating domain per run
+          stage, in order: ["build"], ["schedule"], ["sim"], ["reduce"].
+          The ["sim"] entry over the event count is the hot-path
+          allocation figure; authoritative at [shards = 1] (GC counters
+          are per-domain). *)
   unites_reports : string list;  (** Rendered per-partition UNITES
                                      reports, in partition order. *)
 }
 
-val run : config -> outcome
+val run : ?clock:(unit -> float) -> config -> outcome
 (** Build the partitions, run them to quiescence under conservative
     barrier-window synchronization, and reduce.  Deterministic in
-    [config]; independent of [shards] by construction.  Raises
-    [Invalid_argument] on a non-positive session/partition/shard count
-    (a zero [wan_latency] is rejected by {!Adaptive_fleet.Shard}). *)
+    [config]; independent of [shards] by construction.  [clock]
+    (e.g. [Unix.gettimeofday]) enables the per-shard wall-time
+    breakdown in the outcome without making this library depend on
+    unix.  Raises [Invalid_argument] on a non-positive
+    session/partition/shard count (a zero [wan_latency] is rejected by
+    {!Adaptive_fleet.Shard}). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -46,6 +46,42 @@ let prop_shard_parity =
       && o1.Megaswarm.unites_reports = o2.Megaswarm.unites_reports
       && o1.Megaswarm.unites_reports = o4.Megaswarm.unites_reports)
 
+(* Heterogeneous per-pair lookahead: a positive wan_spread gives every
+   ordered partition pair its own latency and hands SHARD the matching
+   lookahead matrix, so the barrier runs per-destination run-ahead
+   horizons instead of the global minimum.  The refinement must be
+   invisible in the results: digest, per-partition digests and rendered
+   UNITES reports byte-identical at 1, 2 and 4 shards. *)
+let prop_pair_lookahead_parity =
+  let gen =
+    QCheck2.Gen.(
+      let* seed = int_range 1 10_000 in
+      let* sessions = int_range 80 200 in
+      let* partitions = int_range 2 5 in
+      let* spread_ms = int_range 1 20 in
+      return (seed, sessions, partitions, spread_ms))
+  in
+  QCheck2.Test.make
+    ~name:"per-pair lookahead preserves shard-count invariance" ~count:3
+    ~print:(fun (seed, sessions, partitions, spread_ms) ->
+      Printf.sprintf "seed=%d sessions=%d partitions=%d spread=%dms" seed
+        sessions partitions spread_ms)
+    gen
+    (fun (seed, sessions, partitions, spread_ms) ->
+      let cfg =
+        { (Megaswarm.default_config ~sessions ~seed) with
+          Megaswarm.partitions;
+          churn_rounds = 1;
+          wan_spread = Time.ms spread_ms }
+      in
+      let run shards = Megaswarm.run { cfg with Megaswarm.shards } in
+      let o1 = run 1 and o2 = run 2 and o4 = run 4 in
+      Int64.equal o1.Megaswarm.digest o2.Megaswarm.digest
+      && Int64.equal o1.Megaswarm.digest o4.Megaswarm.digest
+      && o1.Megaswarm.partition_digests = o2.Megaswarm.partition_digests
+      && o1.Megaswarm.unites_reports = o2.Megaswarm.unites_reports
+      && o1.Megaswarm.unites_reports = o4.Megaswarm.unites_reports)
+
 let test_megaswarm_deterministic () =
   let cfg = Megaswarm.default_config ~sessions:150 ~seed:11 in
   let o1 = Megaswarm.run cfg in
@@ -82,7 +118,7 @@ let test_zero_lookahead_rejected () =
     (fun () ->
       ignore
         (Shard.create ~lookahead:Time.zero ~partitions:2 ~run_to:dummy_run
-           ~drain:dummy_drain ~inject:dummy_inject));
+           ~drain:dummy_drain ~inject:dummy_inject ()));
   (* The same guard reaches megaswarm configs through wan_latency. *)
   match
     Megaswarm.run
@@ -91,6 +127,57 @@ let test_zero_lookahead_rejected () =
   with
   | _ -> Alcotest.fail "zero wan_latency must not run"
   | exception Invalid_argument _ -> ()
+
+(* The per-pair refinement must not open a hole the scalar guard
+   closed: a lookahead matrix with even one non-positive entry is
+   rejected at construction. *)
+let test_zero_pair_lookahead_rejected () =
+  let dummy_run _ _ = () in
+  let dummy_drain _ = [] in
+  let dummy_inject _ ~at:_ ~src:_ () = () in
+  Alcotest.check_raises "one zero pair is rejected"
+    (Invalid_argument
+       "Shard.create: per-pair lookahead must be positive — a zero-lookahead \
+        cross-partition link admits no conservative synchronization window")
+    (fun () ->
+      ignore
+        (Shard.create
+           ~pair_lookahead:(fun ~src ~dst ->
+             if src = 2 && dst = 0 then Time.zero else Time.ms 5)
+           ~lookahead:(Time.ms 5) ~partitions:3 ~run_to:dummy_run
+           ~drain:dummy_drain ~inject:dummy_inject ()))
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path allocation budget *)
+
+(* Regression guard for the allocation-starved event loop: the sim
+   stage of a seeded churn run must stay under a fixed minor-words-per-
+   event ceiling.  The measured figure is ~100 words/event; the ceiling
+   leaves headroom for compiler/runtime variance but fails loudly if an
+   allocating construct (closure, tuple key, format call) sneaks back
+   onto the per-event path.  shards = 1 so the per-domain GC counters
+   see every event. *)
+let test_alloc_budget () =
+  let cfg =
+    { (Megaswarm.default_config ~sessions:2_000 ~seed:77) with
+      Megaswarm.partitions = 2 }
+  in
+  let o = Megaswarm.run cfg in
+  let sim =
+    match List.assoc_opt "sim" o.Megaswarm.stage_minor_words with
+    | Some w -> w
+    | None -> Alcotest.fail "outcome is missing the sim stage sample"
+  in
+  check_bool "events fired" true (o.Megaswarm.events_fired > 0);
+  let per_event = sim /. float_of_int o.Megaswarm.events_fired in
+  if per_event > 180.0 then
+    Alcotest.failf
+      "hot path allocates %.0f minor words/event (ceiling 180); an \
+       allocation crept back into the per-event path"
+      per_event;
+  check_bool "stage accounting covers the run" true
+    (List.map fst o.Megaswarm.stage_minor_words
+    = [ "build"; "schedule"; "sim"; "reduce" ])
 
 (* ------------------------------------------------------------------ *)
 (* P² estimator vs exact order statistics *)
@@ -170,7 +257,8 @@ let test_p2_merge () =
 let suite =
   [
     ( "megaswarm.parity",
-      List.map QCheck_alcotest.to_alcotest [ prop_shard_parity ]
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_shard_parity; prop_pair_lookahead_parity ]
       @ [
           Alcotest.test_case "megaswarm is deterministic" `Quick
             test_megaswarm_deterministic;
@@ -179,6 +267,13 @@ let suite =
       [
         Alcotest.test_case "zero lookahead rejected" `Quick
           test_zero_lookahead_rejected;
+        Alcotest.test_case "zero per-pair lookahead rejected" `Quick
+          test_zero_pair_lookahead_rejected;
+      ] );
+    ( "megaswarm.alloc",
+      [
+        Alcotest.test_case "sim stage under the words/event ceiling" `Quick
+          test_alloc_budget;
       ] );
     ( "megaswarm.p2",
       List.map QCheck_alcotest.to_alcotest [ prop_p2_error_bound ]
